@@ -1,0 +1,58 @@
+// Ablation for Design Choice 1 (channel-based scheduling with per-channel
+// queues, vs FatVAP-style per-AP slots). Same stack, same environment:
+// only the scheduling discipline differs. The AP-sliced driver reserves
+// the card for one AP at a time even against a same-channel sibling, so on
+// a single channel it pays pure overhead; Spider's per-channel queue talks
+// to all of them at once.
+
+#include <cstdio>
+
+#include "bench/bench_util.hpp"
+
+using namespace spider;
+
+int main() {
+  bench::banner("Ablation — per-channel queues vs per-AP slots",
+                "same stack and town; only the scheduling discipline differs");
+
+  TextTable table({"driver", "channels", "throughput (KB/s)", "connectivity",
+                   "joins ok"});
+
+  struct Variant {
+    const char* name;
+    trace::DriverKind kind;
+    bool single_channel;
+  };
+  const Variant variants[] = {
+      {"Spider (channel queues)", trace::DriverKind::kSpider, true},
+      {"FatVAP-style (AP slots)", trace::DriverKind::kFatVap, true},
+      {"Spider (channel queues)", trace::DriverKind::kSpider, false},
+      {"FatVAP-style (AP slots)", trace::DriverKind::kFatVap, false},
+  };
+
+  for (const auto& v : variants) {
+    auto cfg = bench::town_scenario(/*seed=*/600);
+    cfg.duration = sec(1200);
+    cfg.driver = v.kind;
+    cfg.spider = bench::tuned_spider();
+    if (v.single_channel) {
+      cfg.spider.mode = core::OperationMode::single(1);
+      cfg.fatvap.channels = {1};
+    } else {
+      cfg.spider.mode = core::OperationMode::equal_split({1, 6, 11}, msec(600));
+      cfg.fatvap.channels = {1, 6, 11};
+    }
+    cfg.fatvap.period = msec(600);
+    const auto result = trace::run_scenario_averaged(cfg, 3);
+    table.add_row({v.name, v.single_channel ? "1" : "3",
+                   TextTable::num(result.avg_throughput_kBps, 1),
+                   TextTable::percent(result.connectivity),
+                   std::to_string(result.e2e_succeeded)});
+  }
+  table.print(std::cout);
+  std::printf(
+      "\nExpected: with one channel, per-AP slotting loses throughput to\n"
+      "serialisation that channel queues avoid entirely; with three\n"
+      "channels both switch, and the gap narrows.\n");
+  return 0;
+}

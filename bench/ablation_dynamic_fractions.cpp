@@ -1,0 +1,91 @@
+// Ablation: static equal multi-channel schedule vs the goodput-weighted
+// dynamic schedule (§4.8's "incorporate end-to-end bandwidth estimates").
+// The town's channel populations are skewed so that one channel carries
+// most of the capacity — exactly where reweighting should pay.
+
+#include <cstdio>
+
+#include "bench/bench_util.hpp"
+#include "core/dynamic_schedule.hpp"
+#include "core/link_manager.hpp"
+#include "core/spider_driver.hpp"
+#include "mobility/mobility.hpp"
+#include "trace/testbed.hpp"
+
+using namespace spider;
+
+namespace {
+
+struct Outcome {
+  double kBps = 0.0;
+  double connectivity = 0.0;
+  std::uint64_t rebalances = 0;
+};
+
+Outcome run(bool dynamic, std::uint64_t seed) {
+  trace::TestbedConfig tc;
+  tc.seed = seed;
+  trace::Testbed bed(tc);
+  mob::DeploymentConfig dep;
+  dep.road_length_m = 2500;
+  dep.aps_per_km = 10;
+  // Skew: channel 1 hosts most APs; 6 and 11 are sparse.
+  dep.channel_weights = {{1, 0.70}, {6, 0.15}, {11, 0.15}};
+  Rng rng = bed.fork_rng();
+  for (const auto& site : mob::generate_deployment(dep, rng)) {
+    trace::Testbed::ApSpec spec;
+    spec.channel = site.channel;
+    spec.position = site.position;
+    spec.backhaul = site.backhaul;
+    bed.add_ap(spec);
+  }
+  mob::BackAndForthRoad route(dep.road_length_m, 10.0);
+  core::SpiderConfig cfg = bench::tuned_spider();
+  cfg.mode = core::OperationMode::equal_split({1, 6, 11}, msec(600));
+  core::SpiderDriver driver(bed.sim, bed.medium, bed.next_client_mac_block(),
+                            [&] { return route.position_at(bed.sim.now()); },
+                            cfg);
+  core::LinkManager manager(driver, bed.server_ip());
+  trace::ThroughputRecorder rec;
+  trace::DownloadHarness harness(bed.sim, bed.server_ip(), rec);
+  harness.attach(manager);
+  core::DynamicScheduleController dyn(driver);
+  driver.start();
+  manager.start();
+  if (dynamic) dyn.start();
+
+  const Time duration = sec(900);
+  bed.sim.run_until(duration);
+  rec.finalize(duration);
+  return Outcome{rec.average_throughput_kBps(), rec.connectivity_fraction(),
+                 dyn.rebalances()};
+}
+
+}  // namespace
+
+int main() {
+  bench::banner("Ablation — static vs goodput-weighted multi-channel schedule",
+                "skewed town (70% of APs on ch1), 15-minute drives x3 seeds");
+
+  TextTable table({"schedule", "throughput (KB/s)", "connectivity",
+                   "rebalances"});
+  for (bool dynamic : {false, true}) {
+    Outcome sum;
+    for (std::uint64_t seed = 990; seed < 993; ++seed) {
+      const auto o = run(dynamic, seed);
+      sum.kBps += o.kBps / 3;
+      sum.connectivity += o.connectivity / 3;
+      sum.rebalances += o.rebalances;
+    }
+    table.add_row({dynamic ? "dynamic (goodput-weighted)" : "static equal",
+                   TextTable::num(sum.kBps, 1),
+                   TextTable::percent(sum.connectivity),
+                   std::to_string(sum.rebalances)});
+  }
+  table.print(std::cout);
+  std::printf(
+      "\nExpected: reweighting shifts dwell toward the channel that carries\n"
+      "the traffic, recovering part of the single-channel advantage while\n"
+      "keeping a floor on the sparse channels for discovery.\n");
+  return 0;
+}

@@ -1,0 +1,95 @@
+// Ablation: execute the analytical optimiser's schedule in the full
+// system. The per-channel offered bandwidth of the generated town feeds
+// Eqs. 8-10 (`analysis/schedule_synthesis`); the suggested fractions run
+// head-to-head against the paper's hand-picked modes.
+
+#include <cstdio>
+
+#include "analysis/schedule_synthesis.hpp"
+#include "bench/bench_util.hpp"
+#include "mobility/deployment.hpp"
+
+using namespace spider;
+
+namespace {
+
+/// Aggregates a deployment's backhaul per orthogonal channel.
+std::vector<model::ChannelBandwidth> channel_offers(
+    const std::vector<mob::ApSite>& sites) {
+  std::vector<model::ChannelBandwidth> offers = {{1, 0}, {6, 0}, {11, 0}};
+  for (const auto& site : sites) {
+    for (auto& offer : offers) {
+      if (offer.channel == site.channel && site.internet_connected) {
+        // Normalise by road coverage: an AP contributes its backhaul only
+        // while in range, so weight by footprint share of the road.
+        offer.available_bps += site.backhaul.bps * 0.08;
+      }
+    }
+  }
+  return offers;
+}
+
+trace::ScenarioConfig base_cfg(std::uint64_t seed) {
+  auto cfg = bench::town_scenario(seed);
+  cfg.duration = sec(1200);
+  cfg.spider = bench::tuned_spider();
+  // Skewed channel mix makes the schedule choice matter.
+  cfg.deployment.channel_weights = {{1, 0.55}, {6, 0.30}, {11, 0.15}};
+  return cfg;
+}
+
+}  // namespace
+
+int main() {
+  bench::banner("Ablation — optimiser-synthesised schedule, executed",
+                "Eqs. 8-10 fractions vs hand-picked modes, x3 seeds");
+
+  // One surveyed town, replayed identically for every variant (the
+  // optimiser must plan for the deployment the runs actually see).
+  auto survey_cfg = base_cfg(990);
+  Rng survey_rng(survey_cfg.seed);
+  const auto sites = mob::generate_deployment(survey_cfg.deployment, survey_rng);
+  model::SynthesisParams params;
+  params.speed_mps = survey_cfg.speed_mps;
+  const auto offers = channel_offers(sites);
+  for (const auto& o : offers) {
+    std::printf("survey: ch%d ~%.1f Mbps reachable\n", o.channel,
+                o.available_bps / 1e6);
+  }
+  const auto suggestion = suggest_fractions(offers, params);
+
+  std::printf("optimiser suggestion:");
+  for (const auto& [ch, f] : suggestion) std::printf(" ch%d=%.0f%%", ch, f * 100);
+  std::printf("\n\n");
+
+  struct Variant {
+    std::string name;
+    core::OperationMode mode;
+  };
+  std::vector<Variant> variants = {
+      {"single ch1 (hand-picked)", core::OperationMode::single(1)},
+      {"equal thirds (hand-picked)",
+       core::OperationMode::equal_split({1, 6, 11}, msec(600))},
+      {"optimiser fractions", core::OperationMode::weighted(suggestion, msec(600))},
+  };
+
+  TextTable table({"schedule", "throughput (KB/s)", "connectivity"});
+  for (const auto& v : variants) {
+    double kBps = 0, conn = 0;
+    for (std::uint64_t seed = 990; seed < 993; ++seed) {
+      auto cfg = base_cfg(seed);
+      cfg.fixed_sites = sites;  // same town for all variants and seeds
+      cfg.spider.mode = v.mode;
+      const auto r = trace::run_scenario(cfg);
+      kBps += r.avg_throughput_kBps / 3;
+      conn += r.connectivity / 3;
+    }
+    table.add_row({v.name, TextTable::num(kBps, 1), TextTable::percent(conn)});
+  }
+  table.print(std::cout);
+  std::printf(
+      "\nThe synthesised schedule should land at or near the best\n"
+      "hand-picked mode: at 10 m/s the optimiser concentrates time on the\n"
+      "AP-rich channel, echoing the paper's single-channel conclusion.\n");
+  return 0;
+}

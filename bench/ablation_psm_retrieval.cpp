@@ -1,0 +1,76 @@
+// Ablation: Spider's PSM-clear wake (flush the AP buffer at line rate on
+// every channel entry) vs the standard 802.11 PS-Poll discipline (stay in
+// power-save, watch beacon TIMs, pull one frame per poll). The per-frame
+// poll round-trips throttle bulk TCP badly — the quantified reason
+// Spider's switch sequence uses NullData wakes.
+
+#include <cstdio>
+
+#include "bench/bench_util.hpp"
+#include "core/link_manager.hpp"
+#include "core/spider_driver.hpp"
+#include "trace/testbed.hpp"
+
+using namespace spider;
+
+namespace {
+
+double run(core::PsmRetrieval retrieval, Time dwell, std::uint64_t seed) {
+  trace::TestbedConfig tc;
+  tc.seed = seed;
+  tc.propagation.base_loss = 0.01;
+  tc.propagation.good_radius_m = 95;
+  trace::Testbed bed(tc);
+  trace::Testbed::ApSpec spec;
+  spec.channel = 1;
+  spec.position = {15, 0};
+  spec.backhaul = mbps(4);
+  spec.dhcp.offer_delay_median = msec(150);
+  spec.dhcp.offer_delay_max = msec(400);
+  bed.add_ap(spec);
+
+  core::SpiderConfig cfg = bench::tuned_spider();
+  cfg.num_interfaces = 1;
+  cfg.mode = core::OperationMode::equal_split({1, 11}, 2 * dwell);
+  cfg.psm_retrieval = retrieval;
+  core::SpiderDriver driver(bed.sim, bed.medium, bed.next_client_mac_block(),
+                            [] { return Position{0, 0}; }, cfg);
+  core::LinkManager manager(driver, bed.server_ip());
+  trace::ThroughputRecorder rec;
+  trace::DownloadHarness harness(bed.sim, bed.server_ip(), rec);
+  harness.attach(manager);
+  driver.start();
+  manager.start();
+
+  bed.sim.run_until(sec(15));
+  const auto warm = rec.total_bytes();
+  bed.sim.run_until(sec(75));
+  return static_cast<double>(rec.total_bytes() - warm) / 60.0 / 1e3;
+}
+
+}  // namespace
+
+int main() {
+  bench::banner("Ablation — PSM retrieval: NullData wake vs PS-Poll",
+                "50/50 two-channel schedule, 4 Mbps AP, 60 s download x3 seeds");
+
+  TextTable table({"dwell per channel (ms)", "wake-flush (KB/s)",
+                   "ps-poll (KB/s)", "wake advantage"});
+  for (int dwell_ms : {50, 100, 200, 400}) {
+    double wake = 0, poll = 0;
+    for (std::uint64_t seed = 995; seed < 998; ++seed) {
+      wake += run(core::PsmRetrieval::kWakeNull, msec(dwell_ms), seed) / 3;
+      poll += run(core::PsmRetrieval::kPsPoll, msec(dwell_ms), seed) / 3;
+    }
+    table.add_row({std::to_string(dwell_ms), TextTable::num(wake, 1),
+                   TextTable::num(poll, 1),
+                   poll > 0 ? TextTable::num(wake / poll, 1) + "x" : "inf"});
+  }
+  table.print(std::cout);
+  std::printf(
+      "\nPS-Poll pays a poll round-trip per buffered frame and only learns\n"
+      "about traffic from ~100 ms beacons, so bulk transfers crawl; the\n"
+      "PSM-clear wake drains the buffer at line rate the moment the card\n"
+      "lands on the channel.\n");
+  return 0;
+}

@@ -1,0 +1,83 @@
+// Engine micro-benchmarks (google-benchmark): how fast the simulator core
+// runs. These are sanity/perf-regression checks for the substrate, not
+// paper reproductions — the experiment benches above depend on the engine
+// being fast enough to sweep 30-minute drives in seconds.
+
+#include <benchmark/benchmark.h>
+
+#include "core/link_manager.hpp"
+#include "core/spider_driver.hpp"
+#include "sim/event_queue.hpp"
+#include "trace/experiment.hpp"
+#include "trace/testbed.hpp"
+
+using namespace spider;
+
+namespace {
+
+void BM_EventQueuePushPop(benchmark::State& state) {
+  sim::EventQueue q;
+  std::int64_t t = 0;
+  for (auto _ : state) {
+    for (int i = 0; i < 64; ++i) {
+      q.push(Time{t + (i * 37) % 1000}, [] {});
+    }
+    while (!q.empty()) q.pop_and_run();
+    t += 1000;
+  }
+  state.SetItemsProcessed(state.iterations() * 64);
+}
+BENCHMARK(BM_EventQueuePushPop);
+
+void BM_EventHandleCancel(benchmark::State& state) {
+  sim::EventQueue q;
+  for (auto _ : state) {
+    auto h = q.push(Time{1000}, [] {});
+    h.cancel();
+    benchmark::DoNotOptimize(q.empty());
+  }
+}
+BENCHMARK(BM_EventHandleCancel);
+
+void BM_MediumBroadcast(benchmark::State& state) {
+  sim::Simulator sim;
+  phy::Medium medium(sim, phy::Propagation({.base_loss = 0.0}), Rng(1));
+  std::vector<std::unique_ptr<phy::Radio>> radios;
+  const int n = static_cast<int>(state.range(0));
+  for (int i = 0; i < n; ++i) {
+    radios.push_back(std::make_unique<phy::Radio>(
+        medium, wire::MacAddress(i + 1),
+        [i] { return Position{static_cast<double>(i), 0}; }));
+    radios.back()->tune(6);
+  }
+  sim.run_until(msec(10));
+  wire::Frame f;
+  f.type = wire::FrameType::kBeacon;
+  f.dst = wire::MacAddress::broadcast();
+  f.size_bytes = 100;
+  for (auto _ : state) {
+    radios[0]->send(f);
+    sim.run_until(sim.now() + msec(2));
+  }
+  state.SetItemsProcessed(state.iterations() * (n - 1));
+}
+BENCHMARK(BM_MediumBroadcast)->Arg(4)->Arg(16)->Arg(64);
+
+void BM_TownScenarioMinute(benchmark::State& state) {
+  // Wall-clock cost of one simulated minute of the full stack.
+  for (auto _ : state) {
+    trace::ScenarioConfig cfg;
+    cfg.seed = 1;
+    cfg.duration = sec(60);
+    cfg.deployment.road_length_m = 1500;
+    cfg.deployment.aps_per_km = 10;
+    cfg.spider.mode = core::OperationMode::single(6);
+    auto result = trace::run_scenario(cfg);
+    benchmark::DoNotOptimize(result.total_bytes);
+  }
+}
+BENCHMARK(BM_TownScenarioMinute)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

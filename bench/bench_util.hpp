@@ -1,0 +1,75 @@
+#pragma once
+
+// Shared configuration for the reproduction benches. Each bench binary
+// regenerates one table or figure of the paper; the defaults here are the
+// paper's experimental constants (§4.1) so individual benches only override
+// what their experiment sweeps.
+
+#include <cstdio>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "trace/experiment.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+
+namespace spider::bench {
+
+/// The "our town" vehicular environment of §4.1: a downtown road driven
+/// repeatedly at passenger-car speed, open APs concentrated on channels
+/// 1/6/11, residential backhauls, heavy-tailed DHCP servers.
+inline trace::ScenarioConfig town_scenario(std::uint64_t seed = 1) {
+  trace::ScenarioConfig cfg;
+  cfg.seed = seed;
+  cfg.duration = sec(1800);  // "30-60 minutes" per experiment
+  cfg.speed_mps = 10.0;
+  cfg.deployment.road_length_m = 2500;
+  cfg.deployment.aps_per_km = 10;
+  cfg.driver = trace::DriverKind::kSpider;
+  cfg.spider.mode = core::OperationMode::single(1);
+  return cfg;
+}
+
+/// Spider's tuned mobile stack (100 ms link-layer timers, reduced DHCP
+/// retransmit) used throughout §4 unless the experiment sweeps timers.
+inline core::SpiderConfig tuned_spider() {
+  core::SpiderConfig c;
+  c.num_interfaces = 7;
+  c.mlme = {.ll_timeout = msec(100), .max_retries = 5};
+  c.dhcp = {.retx_timeout = msec(600), .max_sends = 4};
+  return c;
+}
+
+/// Prints a CDF as fraction-at-or-below over a fixed grid, one row per x.
+inline void print_cdf(const std::string& label, Cdf& cdf,
+                      const std::vector<double>& grid,
+                      const std::string& x_label) {
+  TextTable t({x_label, "F(x) [" + label + "]", "n=" + std::to_string(cdf.size())});
+  for (double x : grid) {
+    t.add_row({TextTable::num(x, 2), TextTable::num(cdf.fraction_at_or_below(x), 3)});
+  }
+  t.print(std::cout);
+  if (!cdf.empty()) {
+    std::printf("  median=%.2f  mean=%.2f  p90=%.2f\n\n", cdf.median(),
+                cdf.mean(), cdf.quantile(0.9));
+  } else {
+    std::printf("  (no samples)\n\n");
+  }
+}
+
+inline std::vector<double> linspace(double lo, double hi, int n) {
+  std::vector<double> out;
+  for (int i = 0; i < n; ++i) {
+    out.push_back(lo + (hi - lo) * i / (n - 1));
+  }
+  return out;
+}
+
+inline void banner(const std::string& title, const std::string& paper_ref) {
+  std::cout << "==========================================================\n"
+            << title << "\n(" << paper_ref << ")\n"
+            << "==========================================================\n";
+}
+
+}  // namespace spider::bench

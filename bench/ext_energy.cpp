@@ -1,0 +1,107 @@
+// Extension bench: energy efficiency of the scheduling policies. The
+// paper's introduction motivates Wi-Fi offloading with "higher per-bit
+// energy efficiency"; this bench quantifies the per-MB energy of each
+// Spider configuration — the cost of channel switching (resets burn power
+// and suppress goodput) shows up directly in joules per megabyte.
+
+#include <cstdio>
+
+#include "bench/bench_util.hpp"
+#include "core/link_manager.hpp"
+#include "core/spider_driver.hpp"
+#include "mobility/mobility.hpp"
+#include "phy/energy.hpp"
+#include "trace/testbed.hpp"
+
+using namespace spider;
+
+namespace {
+
+struct Outcome {
+  double joules = 0.0;
+  double mb = 0.0;
+  double switch_s = 0.0;
+};
+
+Outcome run_mode(const core::OperationMode& mode, std::uint64_t seed) {
+  trace::TestbedConfig tc;
+  tc.seed = seed;
+  trace::Testbed bed(tc);
+  mob::DeploymentConfig dep;
+  dep.road_length_m = 2500;
+  dep.aps_per_km = 10;
+  Rng rng = bed.fork_rng();
+  for (const auto& site : mob::generate_deployment(dep, rng)) {
+    trace::Testbed::ApSpec spec;
+    spec.channel = site.channel;
+    spec.position = site.position;
+    spec.backhaul = site.backhaul;
+    bed.add_ap(spec);
+  }
+  mob::BackAndForthRoad route(dep.road_length_m, 10.0);
+  core::SpiderConfig cfg = bench::tuned_spider();
+  cfg.mode = mode;
+  core::SpiderDriver driver(bed.sim, bed.medium, bed.next_client_mac_block(),
+                            [&] { return route.position_at(bed.sim.now()); },
+                            cfg);
+  core::LinkManager manager(driver, bed.server_ip());
+  trace::ThroughputRecorder rec;
+  trace::DownloadHarness harness(bed.sim, bed.server_ip(), rec);
+  harness.attach(manager);
+  driver.start();
+  manager.start();
+  bed.sim.run_until(sec(900));
+
+  phy::EnergyModel model;
+  Outcome out;
+  out.joules = model.joules(driver.radio(), bed.sim.now());
+  out.mb = static_cast<double>(rec.total_bytes()) / 1e6;
+  out.switch_s = to_seconds(driver.radio().switch_airtime());
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  bench::banner("Extension — energy per megabyte by schedule",
+                "Atheros-era power model; 15-minute town drives x3 seeds");
+
+  struct Variant {
+    const char* name;
+    core::OperationMode mode;
+  };
+  const Variant variants[] = {
+      {"single channel (ch1)", core::OperationMode::single(1)},
+      {"2 channels equal", core::OperationMode::equal_split({1, 6}, msec(400))},
+      {"3 channels equal",
+       core::OperationMode::equal_split({1, 6, 11}, msec(600))},
+      {"3 channels, D=150ms",
+       core::OperationMode::equal_split({1, 6, 11}, msec(150))},
+  };
+
+  TextTable table({"schedule", "energy (J)", "data (MB)", "J per MB",
+                   "reset time (s)"});
+  for (const auto& v : variants) {
+    Outcome total;
+    for (std::uint64_t seed = 970; seed < 973; ++seed) {
+      const auto o = run_mode(v.mode, seed);
+      total.joules += o.joules;
+      total.mb += o.mb;
+      total.switch_s += o.switch_s;
+    }
+    table.add_row({
+        v.name,
+        TextTable::num(total.joules / 3.0, 0),
+        TextTable::num(total.mb / 3.0, 1),
+        TextTable::num(total.mb > 0 ? total.joules / total.mb : 0.0, 1),
+        TextTable::num(total.switch_s / 3.0, 1),
+    });
+  }
+  table.print(std::cout);
+  std::printf(
+      "\nThe card never sleeps (Spider's fake-PSM keeps it awake), so the\n"
+      "baseline draw is fixed; efficiency is therefore goodput-dominated,\n"
+      "and the single-channel schedule wins J/MB by a wide margin. Frantic\n"
+      "schedules additionally burn reset time for nothing.\n");
+  return 0;
+}

@@ -1,0 +1,102 @@
+// Extension bench: §4.7 asks whether Spider "can support all the TCP flows
+// that users need" by comparing duration distributions. This bench answers
+// behaviourally: it replays a web-browsing workload (heavy-tailed object
+// sizes, think time) over town drives and reports what fraction of fetches
+// actually complete under each configuration.
+
+#include <cstdio>
+
+#include "bench/bench_util.hpp"
+#include "core/spider_driver.hpp"
+#include "mobility/mobility.hpp"
+#include "trace/webflows.hpp"
+
+using namespace spider;
+
+namespace {
+
+trace::WebFlowHarness::Summary run_mode(const core::OperationMode& mode,
+                                        std::size_t ifaces,
+                                        std::uint64_t seed) {
+  trace::TestbedConfig tc;
+  tc.seed = seed;
+  trace::Testbed bed(tc);
+
+  mob::DeploymentConfig dep;
+  dep.road_length_m = 2500;
+  dep.aps_per_km = 10;
+  Rng rng = bed.fork_rng();
+  for (const auto& site : mob::generate_deployment(dep, rng)) {
+    trace::Testbed::ApSpec spec;
+    spec.channel = site.channel;
+    spec.position = site.position;
+    spec.backhaul = site.backhaul;
+    bed.add_ap(spec);
+  }
+
+  mob::BackAndForthRoad route(dep.road_length_m, 10.0);
+  core::SpiderConfig cfg = bench::tuned_spider();
+  cfg.mode = mode;
+  cfg.num_interfaces = ifaces;
+  core::SpiderDriver driver(bed.sim, bed.medium, bed.next_client_mac_block(),
+                            [&] { return route.position_at(bed.sim.now()); },
+                            cfg);
+  core::LinkManager manager(driver, bed.server_ip());
+  trace::WebFlowHarness web(bed.sim, bed.server_ip(), trace::WebFlowConfig{},
+                            Rng(seed * 13 + 1));
+  web.attach(manager);
+
+  driver.start();
+  manager.start();
+  bed.sim.run_until(sec(900));
+  return web.summarize();
+}
+
+}  // namespace
+
+int main() {
+  bench::banner("Extension — web-flow completion over Spider",
+                "heavy-tailed object fetches with think time, town drives");
+
+  struct Variant {
+    const char* name;
+    core::OperationMode mode;
+    std::size_t ifaces;
+  };
+  const Variant variants[] = {
+      {"multi-AP, single channel", core::OperationMode::single(1), 7},
+      {"single-AP, single channel", core::OperationMode::single(1), 1},
+      {"multi-AP, 3 channels",
+       core::OperationMode::equal_split({1, 6, 11}, msec(600)), 7},
+  };
+
+  TextTable table({"config", "fetches", "completed", "aborted",
+                   "completion rate", "median fetch (s)"});
+  for (const auto& v : variants) {
+    std::size_t attempted = 0, completed = 0, aborted = 0;
+    Cdf times;
+    for (std::uint64_t seed = 950; seed < 953; ++seed) {
+      auto s = run_mode(v.mode, v.ifaces, seed);
+      attempted += s.attempted;
+      completed += s.completed;
+      aborted += s.aborted;
+      for (double t : s.completion_times_s.samples()) times.add(t);
+    }
+    table.add_row({
+        v.name,
+        std::to_string(attempted),
+        std::to_string(completed),
+        std::to_string(aborted),
+        TextTable::percent(attempted ? static_cast<double>(completed) / attempted
+                                     : 0.0),
+        TextTable::num(times.empty() ? 0.0 : times.median(), 2),
+    });
+  }
+  table.print(std::cout);
+  std::printf(
+      "\nReading: typical web objects complete comfortably within a Spider\n"
+      "connection — the behavioural form of Fig. 16's distribution overlap.\n"
+      "The 3-channel config completes more fetches in dead zones' fringes\n"
+      "but each takes longer.\n");
+  return 0;
+}

@@ -1,0 +1,48 @@
+// Fig. 2: probability of join success as a function of the fraction of
+// time spent on the AP's channel — closed-form model (Eq. 7) against the
+// Monte-Carlo simulation that validates it.
+//
+// Paper setup: D = 500 ms, t = 4 s, beta_min = 500 ms, beta_max in {5, 10} s,
+// w = 7 ms, c = 100 ms, h = 10%. Expected shape: strongly non-linear; the
+// node must spend close to 100% of its time on the channel for an assured
+// join, and the beta_max = 10 s curve sits well below beta_max = 5 s.
+
+#include <cstdio>
+
+#include "analysis/join_model.hpp"
+#include "bench/bench_util.hpp"
+
+int main() {
+  using namespace spider;
+  using namespace spider::model;
+
+  bench::banner("Fig. 2 — join success vs fraction of time on channel",
+                "model Eq.7 vs Monte-Carlo, D=500ms t=4s w=7ms c=100ms h=10%");
+
+  Rng rng(2026);
+  TextTable table({"fi", "model(bmax=5s)", "sim(bmax=5s)", "model(bmax=10s)",
+                   "sim(bmax=10s)"});
+  for (double fi = 0.0; fi <= 1.0001; fi += 0.05) {
+    JoinModelParams p5;
+    p5.beta_max = 5.0;
+    p5.fi = fi;
+    JoinModelParams p10;
+    p10.beta_max = 10.0;
+    p10.fi = fi;
+    table.add_row({
+        TextTable::num(fi, 2),
+        TextTable::num(p_join(p5), 3),
+        TextTable::num(simulate_join(p5, 10000, rng), 3),
+        TextTable::num(p_join(p10), 3),
+        TextTable::num(simulate_join(p10, 10000, rng), 3),
+    });
+  }
+  table.print(std::cout);
+
+  // Headline checks mirrored from the paper's discussion (§2.1.2).
+  JoinModelParams p10;
+  p10.beta_max = 10.0;
+  std::printf("\np(fi=0.10)=%.2f vs p(fi=0.30)=%.2f  (paper: 20%% vs 75%% band)\n",
+              p_join_at(p10, 0.10), p_join_at(p10, 0.30));
+  return 0;
+}

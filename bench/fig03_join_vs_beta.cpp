@@ -1,0 +1,32 @@
+// Fig. 3: probability of join success as a function of the maximum AP
+// response time beta_max, for fractions fi in {0.10, 0.25, 0.40, 0.50}.
+//
+// Expected shape: all curves decay as the AP gets slower; small fractions
+// decay fastest. This is the paper's argument for DHCP caching, AP-history
+// and reduced timeouts — anything that shrinks beta_max.
+
+#include "analysis/join_model.hpp"
+#include "bench/bench_util.hpp"
+
+int main() {
+  using namespace spider;
+  using namespace spider::model;
+
+  bench::banner("Fig. 3 — join success vs beta_max",
+                "Eq.7, D=500ms t=4s beta_min=500ms w=7ms c=100ms h=10%");
+
+  const double fractions[] = {0.10, 0.25, 0.40, 0.50};
+  TextTable table({"beta_max(s)", "fi=0.10", "fi=0.25", "fi=0.40", "fi=0.50"});
+  for (double beta = 0.5; beta <= 10.01; beta += 0.5) {
+    std::vector<std::string> row{TextTable::num(beta, 1)};
+    for (double fi : fractions) {
+      JoinModelParams p;
+      p.beta_max = beta;
+      p.fi = fi;
+      row.push_back(TextTable::num(p_join(p), 3));
+    }
+    table.add_row(std::move(row));
+  }
+  table.print(std::cout);
+  return 0;
+}

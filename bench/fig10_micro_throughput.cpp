@@ -1,0 +1,141 @@
+// Fig. 10: throughput micro-benchmark vs per-AP backhaul bandwidth, for a
+// static client and two APs behind traffic-shaped backhauls:
+//
+//   - one card, stock driver (one AP)
+//   - two cards, stock drivers (one AP each, different channels)
+//   - Spider (100,0,0): both APs on channel 1, no switching
+//   - Spider (50,0,50): APs on channels 1 and 11, 50 ms per channel
+//   - Spider (100,0,100): same, 100 ms per channel
+//
+// Expected shape: Spider on a single channel tracks the two-card rig at
+// ~2x the one-card line; the switching configurations trade throughput
+// for the second channel, with the faster schedule better at high rates.
+
+#include <cstdio>
+#include <memory>
+
+#include "baseline/stock_wifi.hpp"
+#include "bench/bench_util.hpp"
+#include "core/link_manager.hpp"
+#include "core/spider_driver.hpp"
+#include "trace/testbed.hpp"
+
+using namespace spider;
+
+namespace {
+
+constexpr Time kWarmup = sec(15);
+constexpr Time kMeasure = sec(60);
+
+std::unique_ptr<trace::Testbed> make_bed(BitRate backhaul, bool same_channel,
+                                         std::uint64_t seed) {
+  trace::TestbedConfig tc;
+  tc.seed = seed;
+  tc.propagation.base_loss = 0.01;
+  tc.propagation.good_radius_m = 95;
+  auto bed = std::make_unique<trace::Testbed>(tc);
+  trace::Testbed::ApSpec spec;
+  spec.backhaul = backhaul;
+  spec.dhcp.offer_delay_median = msec(150);
+  spec.dhcp.offer_delay_max = msec(400);
+  spec.channel = 1;
+  spec.position = {15, 0};
+  bed->add_ap(spec);
+  spec.channel = same_channel ? 1 : 11;
+  spec.position = {-15, 0};
+  bed->add_ap(spec);
+  return bed;
+}
+
+double measure(trace::Testbed& bed, trace::ThroughputRecorder& recorder) {
+  bed.sim.run_until(kWarmup);
+  const auto warm = recorder.total_bytes();
+  bed.sim.run_until(kWarmup + kMeasure);
+  return static_cast<double>(recorder.total_bytes() - warm) /
+         to_seconds(kMeasure) / 1e3;
+}
+
+double spider_run_once(BitRate backhaul, core::OperationMode mode,
+                       bool same_channel, std::uint64_t seed) {
+  auto bed = make_bed(backhaul, same_channel, seed);
+  core::SpiderConfig cfg = bench::tuned_spider();
+  cfg.num_interfaces = 2;
+  cfg.mode = std::move(mode);
+  core::SpiderDriver driver(bed->sim, bed->medium, bed->next_client_mac_block(),
+                            [] { return Position{0, 0}; }, cfg);
+  core::LinkManager manager(driver, bed->server_ip());
+  trace::ThroughputRecorder recorder;
+  trace::DownloadHarness harness(bed->sim, bed->server_ip(), recorder);
+  harness.attach(manager);
+  driver.start();
+  manager.start();
+  return measure(*bed, recorder);
+}
+
+double stock_run_once(BitRate backhaul, int cards, std::uint64_t seed) {
+  auto bed = make_bed(backhaul, /*same_channel=*/false, seed);
+  trace::ThroughputRecorder recorder;
+  trace::DownloadHarness harness(bed->sim, bed->server_ip(), recorder);
+
+  std::vector<std::unique_ptr<base::StockWifiDriver>> drivers;
+  for (int i = 0; i < cards; ++i) {
+    base::StockConfig sc;
+    sc.lock_channel = i == 0 ? 1 : 11;  // each card owns one AP's channel
+    drivers.push_back(std::make_unique<base::StockWifiDriver>(
+        bed->sim, bed->medium, bed->next_client_mac_block(),
+        [] { return Position{0, 0}; }, sc, bed->server_ip()));
+    harness.attach(*drivers.back());
+    drivers.back()->start();
+  }
+  return measure(*bed, recorder);
+}
+
+double spider_run(BitRate backhaul, const core::OperationMode& mode,
+                  bool same_channel) {
+  double sum = 0;
+  for (std::uint64_t seed = 100; seed < 103; ++seed) {
+    sum += spider_run_once(backhaul, mode, same_channel, seed);
+  }
+  return sum / 3.0;
+}
+
+double stock_run(BitRate backhaul, int cards) {
+  double sum = 0;
+  for (std::uint64_t seed = 100; seed < 103; ++seed) {
+    sum += stock_run_once(backhaul, cards, seed);
+  }
+  return sum / 3.0;
+}
+
+}  // namespace
+
+int main() {
+  bench::banner("Fig. 10 — throughput vs backhaul bandwidth per AP",
+                "static client, two shaped APs, 60 s bulk downloads");
+
+  TextTable table({"backhaul (Mbps)", "1 card stock", "2 cards stock",
+                   "Spider (100,0,0)", "Spider (50,0,50)",
+                   "Spider (100,0,100)"});
+  for (double mb : {0.5, 1.0, 2.0, 3.0, 4.0, 5.0}) {
+    const BitRate rate = mbps(mb);
+    table.add_row({
+        TextTable::num(mb, 1),
+        TextTable::num(stock_run(rate, 1), 0),
+        TextTable::num(stock_run(rate, 2), 0),
+        TextTable::num(spider_run(rate, core::OperationMode::single(1), true), 0),
+        TextTable::num(
+            spider_run(rate,
+                       core::OperationMode::equal_split({1, 11}, msec(100)),
+                       false),
+            0),
+        TextTable::num(
+            spider_run(rate,
+                       core::OperationMode::equal_split({1, 11}, msec(200)),
+                       false),
+            0),
+    });
+  }
+  std::printf("All cells: average throughput in KB/s.\n\n");
+  table.print(std::cout);
+  return 0;
+}

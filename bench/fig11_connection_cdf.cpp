@@ -1,0 +1,39 @@
+// Fig. 11: CDF of Internet connectivity durations for the four Spider
+// configurations of Table 2. Expected shape: single-channel multi-AP holds
+// the longest connections; multi-channel multi-AP the shortest (joins on
+// other channels interrupt transfers).
+
+#include "bench/bench_util.hpp"
+
+using namespace spider;
+
+int main() {
+  bench::banner("Fig. 11 — CDF of connection durations",
+                "runs of consecutive 1 s bins with data, per configuration");
+
+  struct Variant {
+    const char* name;
+    core::OperationMode mode;
+    std::size_t ifaces;
+  };
+  const Variant variants[] = {
+      {"single AP (ch1)", core::OperationMode::single(1), 1},
+      {"multiple APs (ch1)", core::OperationMode::single(1), 7},
+      {"single AP (multi-channel)",
+       core::OperationMode::equal_split({1, 6, 11}, msec(600)), 1},
+      {"multiple APs (multi-channel)",
+       core::OperationMode::equal_split({1, 6, 11}, msec(600)), 7},
+  };
+
+  for (const auto& v : variants) {
+    auto cfg = bench::town_scenario(/*seed=*/200);
+    cfg.spider = bench::tuned_spider();
+    cfg.spider.mode = v.mode;
+    cfg.spider.num_interfaces = v.ifaces;
+    auto result = trace::run_scenario_averaged(cfg, 3);
+    bench::print_cdf(v.name, result.connection_durations,
+                     {1, 2, 5, 10, 20, 40, 80, 150, 250},
+                     "connection duration (s)");
+  }
+  return 0;
+}

@@ -1,0 +1,40 @@
+// Fig. 12: CDF of disruption lengths (runs of seconds with no data) for
+// the four Spider configurations. Expected shape: the multi-channel
+// multi-AP configuration has the *shortest* disruptions (a larger AP pool
+// to fall back on), while single-channel configurations suffer the longest
+// outages where their channel has no coverage.
+
+#include "bench/bench_util.hpp"
+
+using namespace spider;
+
+int main() {
+  bench::banner("Fig. 12 — CDF of disruption lengths",
+                "runs of consecutive 1 s bins with no data, per configuration");
+
+  struct Variant {
+    const char* name;
+    core::OperationMode mode;
+    std::size_t ifaces;
+  };
+  const Variant variants[] = {
+      {"single AP (ch1)", core::OperationMode::single(1), 1},
+      {"multiple APs (ch1)", core::OperationMode::single(1), 7},
+      {"single AP (multi-channel)",
+       core::OperationMode::equal_split({1, 6, 11}, msec(600)), 1},
+      {"multiple APs (multi-channel)",
+       core::OperationMode::equal_split({1, 6, 11}, msec(600)), 7},
+  };
+
+  for (const auto& v : variants) {
+    auto cfg = bench::town_scenario(/*seed=*/200);
+    cfg.spider = bench::tuned_spider();
+    cfg.spider.mode = v.mode;
+    cfg.spider.num_interfaces = v.ifaces;
+    auto result = trace::run_scenario_averaged(cfg, 3);
+    bench::print_cdf(v.name, result.disruption_durations,
+                     {1, 2, 5, 10, 20, 40, 80, 150, 300},
+                     "disruption length (s)");
+  }
+  return 0;
+}

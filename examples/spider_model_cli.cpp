@@ -1,0 +1,159 @@
+// spider_model_cli — explore the paper's analytical models from the
+// command line: the join-success model (Eqs. 5-7), its Monte-Carlo
+// validation, and the throughput-maximisation optimiser (Eqs. 8-10).
+//
+//   ./build/examples/spider_model_cli join --beta-max 10 --t 4
+//   ./build/examples/spider_model_cli join --fi 0.25 --sweep beta
+//   ./build/examples/spider_model_cli opt --joined 0.5 --available 0.5
+//
+// Subcommands:
+//   join   p(fi, t) over a fi sweep (default) or a beta_max sweep
+//          flags: --d D_s --t T_s --beta-min S --beta-max S --w S --c S
+//                 --h P --fi F --sweep fi|beta --mc TRIALS
+//   opt    optimal 2-channel schedule vs speed
+//          flags: --joined SHARE --available SHARE --range M
+//                 --speeds a,b,c
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "analysis/join_model.hpp"
+#include "analysis/throughput_opt.hpp"
+#include "util/random.hpp"
+#include "util/table.hpp"
+
+using namespace spider;
+using namespace spider::model;
+
+namespace {
+
+[[noreturn]] void usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s join [--d S] [--t S] [--beta-min S] [--beta-max S]\n"
+               "               [--w S] [--c S] [--h P] [--fi F]\n"
+               "               [--sweep fi|beta] [--mc TRIALS]\n"
+               "       %s opt  [--joined SHARE] [--available SHARE]\n"
+               "               [--range M] [--speeds a,b,c]\n",
+               argv0, argv0);
+  std::exit(2);
+}
+
+std::vector<double> parse_list(const std::string& text) {
+  std::vector<double> out;
+  std::size_t pos = 0;
+  while (pos < text.size()) {
+    auto comma = text.find(',', pos);
+    if (comma == std::string::npos) comma = text.size();
+    out.push_back(std::atof(text.substr(pos, comma - pos).c_str()));
+    pos = comma + 1;
+  }
+  return out;
+}
+
+int run_join(int argc, char** argv) {
+  JoinModelParams p;
+  std::string sweep = "fi";
+  int mc_trials = 0;
+  for (int i = 2; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) usage(argv[0]);
+      return argv[++i];
+    };
+    if (arg == "--d") p.D = std::atof(next());
+    else if (arg == "--t") p.t = std::atof(next());
+    else if (arg == "--beta-min") p.beta_min = std::atof(next());
+    else if (arg == "--beta-max") p.beta_max = std::atof(next());
+    else if (arg == "--w") p.w = std::atof(next());
+    else if (arg == "--c") p.c = std::atof(next());
+    else if (arg == "--h") p.h = std::atof(next());
+    else if (arg == "--fi") p.fi = std::atof(next());
+    else if (arg == "--sweep") sweep = next();
+    else if (arg == "--mc") mc_trials = std::atoi(next());
+    else usage(argv[0]);
+  }
+
+  std::printf("join model: D=%.3gs t=%.3gs beta=[%.3g,%.3g]s w=%.3gs "
+              "c=%.3gs h=%.2f\n\n",
+              p.D, p.t, p.beta_min, p.beta_max, p.w, p.c, p.h);
+  Rng rng(1);
+  if (sweep == "beta") {
+    TextTable table(mc_trials > 0
+                        ? std::vector<std::string>{"beta_max (s)", "p(join)", "monte-carlo"}
+                        : std::vector<std::string>{"beta_max (s)", "p(join)"});
+    for (double b = 0.5; b <= p.beta_max + 1e-9; b += 0.5) {
+      JoinModelParams q = p;
+      q.beta_max = b;
+      std::vector<std::string> row{TextTable::num(b, 1),
+                                   TextTable::num(p_join(q), 4)};
+      if (mc_trials > 0) {
+        row.push_back(TextTable::num(simulate_join(q, mc_trials, rng), 4));
+      }
+      table.add_row(std::move(row));
+    }
+    table.print(std::cout);
+  } else {
+    TextTable table(mc_trials > 0
+                        ? std::vector<std::string>{"fi", "p(join)", "monte-carlo"}
+                        : std::vector<std::string>{"fi", "p(join)"});
+    for (double fi = 0.0; fi <= 1.0001; fi += 0.05) {
+      JoinModelParams q = p;
+      q.fi = fi;
+      std::vector<std::string> row{TextTable::num(fi, 2),
+                                   TextTable::num(p_join(q), 4)};
+      if (mc_trials > 0) {
+        row.push_back(TextTable::num(simulate_join(q, mc_trials, rng), 4));
+      }
+      table.add_row(std::move(row));
+    }
+    table.print(std::cout);
+  }
+  return 0;
+}
+
+int run_opt(int argc, char** argv) {
+  double joined = 0.5, available = 0.5, range = 100.0;
+  std::vector<double> speeds = {2.5, 3.3, 5.0, 6.6, 10.0, 20.0};
+  for (int i = 2; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) usage(argv[0]);
+      return argv[++i];
+    };
+    if (arg == "--joined") joined = std::atof(next());
+    else if (arg == "--available") available = std::atof(next());
+    else if (arg == "--range") range = std::atof(next());
+    else if (arg == "--speeds") speeds = parse_list(next());
+    else usage(argv[0]);
+  }
+
+  std::printf("optimiser: ch1 joined=%.0f%% of Bw, ch2 available=%.0f%%, "
+              "range=%.0fm\n\n", joined * 100, available * 100, range);
+  TextTable table({"speed (m/s)", "T in range (s)", "ch1 (kbps)", "ch2 (kbps)",
+                   "total (kbps)"});
+  for (const auto& point : fig4_sweep(joined, available, speeds, range)) {
+    table.add_row({
+        TextTable::num(point.speed_mps, 1),
+        TextTable::num(2.0 * range / point.speed_mps, 1),
+        TextTable::num(point.ch1.kbps(), 0),
+        TextTable::num(point.ch2.kbps(), 0),
+        TextTable::num(point.ch1.kbps() + point.ch2.kbps(), 0),
+    });
+  }
+  table.print(std::cout);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) usage(argv[0]);
+  const std::string cmd = argv[1];
+  if (cmd == "join") return run_join(argc, argv);
+  if (cmd == "opt") return run_opt(argc, argv);
+  usage(argv[0]);
+}

@@ -1,0 +1,63 @@
+// A commute through town: the paper's headline scenario as a runnable
+// program. A car drives a 2.5 km road lined with open APs, once with
+// Spider (single channel, multiple APs) and once with a stock driver, and
+// the example prints a side-by-side report.
+//
+//   ./build/examples/vehicular_commute [seed]
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "trace/experiment.hpp"
+
+using namespace spider;
+
+namespace {
+
+trace::ScenarioConfig commute(std::uint64_t seed) {
+  trace::ScenarioConfig cfg;
+  cfg.seed = seed;
+  cfg.duration = sec(900);  // 15 minutes of driving
+  cfg.speed_mps = 11.0;     // ~25 mph
+  cfg.deployment.road_length_m = 2500;
+  cfg.deployment.aps_per_km = 10;
+  cfg.spider.mode = core::OperationMode::single(6);
+  return cfg;
+}
+
+void report(const char* name, const trace::ScenarioResult& r) {
+  std::printf("%-22s %7.1f KB/s  connectivity %5.1f%%  joins %zu/%zu ok\n",
+              name, r.avg_throughput_kBps, r.connectivity * 100.0,
+              r.e2e_succeeded, r.joins_attempted);
+  trace::ScenarioResult& mut = const_cast<trace::ScenarioResult&>(r);
+  if (!mut.disruption_durations.empty()) {
+    std::printf("%-22s longest disruption %.0f s, median connection %.0f s\n",
+                "", mut.disruption_durations.quantile(1.0),
+                mut.connection_durations.median());
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::uint64_t seed = argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 7;
+  std::printf("commute: 2.5 km road, 15 min at 11 m/s, seed %llu\n\n",
+              static_cast<unsigned long long>(seed));
+
+  auto spider_cfg = commute(seed);
+  report("Spider (ch6, 7 ifaces)", trace::run_scenario(spider_cfg));
+
+  auto spider_multi = commute(seed);
+  spider_multi.spider.mode = core::OperationMode::equal_split({1, 6, 11}, msec(600));
+  report("Spider (3 channels)", trace::run_scenario(spider_multi));
+
+  auto stock_cfg = commute(seed);
+  stock_cfg.driver = trace::DriverKind::kStock;
+  report("Stock driver", trace::run_scenario(stock_cfg));
+
+  std::printf(
+      "\nReading the numbers: Spider's single-channel mode maximises\n"
+      "throughput; the three-channel schedule trades throughput for\n"
+      "shorter disruptions; the stock driver trails both.\n");
+  return 0;
+}

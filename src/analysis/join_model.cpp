@@ -1,0 +1,85 @@
+#include "analysis/join_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace spider::model {
+
+int segments_per_round(const JoinModelParams& p) {
+  const double window = p.D * p.fi - p.w;
+  if (window <= 0.0) return 0;
+  return static_cast<int>(std::ceil(window / p.c));
+}
+
+int rounds_in_range(const JoinModelParams& p) {
+  return static_cast<int>(std::floor(p.t / p.D));
+}
+
+double q_segment(const JoinModelParams& p, int m, int n, int k) {
+  const double alpha_min = k * p.c + p.beta_min;
+  const double alpha_max = k * p.c + p.beta_max;
+  const double delta_min = (n - m) * p.D + p.c - p.w;
+  const double delta_max = (n - m + p.fi) * p.D + p.c - p.w;
+
+  if (delta_min > alpha_max) return 0.0;
+  if (delta_max < alpha_min) return 0.0;
+  const double overlap =
+      std::min(alpha_max, delta_max) - std::max(alpha_min, delta_min);
+  if (alpha_max <= alpha_min) return 0.0;
+  return std::clamp(overlap / (alpha_max - alpha_min), 0.0, 1.0);
+}
+
+double q_round(const JoinModelParams& p, int m, int n) {
+  const int segments = segments_per_round(p);
+  const double survive = (1.0 - p.h) * (1.0 - p.h);
+  double prob_none = 1.0;
+  for (int k = 1; k <= segments; ++k) {
+    prob_none *= 1.0 - q_segment(p, m, n, k) * survive;
+  }
+  return prob_none;
+}
+
+double p_join(const JoinModelParams& p) {
+  const int rounds = rounds_in_range(p);
+  double prob_all_fail = 1.0;
+  for (int m = 1; m <= rounds; ++m) {
+    for (int n = m; n <= rounds; ++n) {
+      prob_all_fail *= q_round(p, m, n);
+    }
+  }
+  return 1.0 - prob_all_fail;
+}
+
+double p_join_at(JoinModelParams p, double fi) {
+  p.fi = fi;
+  return p_join(p);
+}
+
+double simulate_join(const JoinModelParams& p, int trials, Rng& rng) {
+  const int rounds = rounds_in_range(p);
+  const int segments = segments_per_round(p);
+  if (rounds <= 0 || segments <= 0 || trials <= 0) return 0.0;
+
+  int successes = 0;
+  for (int trial = 0; trial < trials; ++trial) {
+    bool joined = false;
+    for (int m = 1; m <= rounds && !joined; ++m) {
+      for (int k = 1; k <= segments && !joined; ++k) {
+        if (rng.chance(p.h)) continue;  // request lost
+        const double beta = rng.uniform(p.beta_min, p.beta_max);
+        if (rng.chance(p.h)) continue;  // response lost
+        // Offset of the response within the schedule, measured from the
+        // start of round m (the same quantity Eq. 1/2 constrain).
+        const double x = p.w + (k - 1) * p.c + beta;
+        const int j = static_cast<int>(std::floor(x / p.D));  // n - m
+        if (m + j > rounds) continue;  // response lands after we left range
+        const double within_round = x - j * p.D;
+        if (within_round <= p.D * p.fi) joined = true;
+      }
+    }
+    successes += joined ? 1 : 0;
+  }
+  return static_cast<double>(successes) / static_cast<double>(trials);
+}
+
+}  // namespace spider::model

@@ -1,0 +1,46 @@
+#pragma once
+
+#include "util/random.hpp"
+
+namespace spider::model {
+
+/// Parameters of the analytical join model (§2.1.1), in seconds. Defaults
+/// are the values used to produce Fig. 2.
+struct JoinModelParams {
+  double D = 0.5;          ///< scheduling period (s)
+  double fi = 0.5;         ///< fraction of D spent on the AP's channel
+  double t = 4.0;          ///< time in range (s); s = t/D rounds
+  double beta_min = 0.5;   ///< fastest AP join response (s)
+  double beta_max = 10.0;  ///< slowest AP join response (s)
+  double w = 0.007;        ///< channel switch overhead (s)
+  double c = 0.1;          ///< spacing between join requests (s)
+  double h = 0.1;          ///< per-message loss probability
+};
+
+/// Eq. 5: probability that the single request sent in segment k of round m
+/// is answered within the on-channel window of round n (lossless channel).
+double q_segment(const JoinModelParams& p, int m, int n, int k);
+
+/// Eq. 6: probability that *no* request of round m completes in round n,
+/// on a lossy channel (each message survives independently with 1-h).
+double q_round(const JoinModelParams& p, int m, int n);
+
+/// Eq. 7: probability of obtaining at least one successful join response
+/// within t seconds, given the fraction fi.
+double p_join(const JoinModelParams& p);
+
+/// Convenience: p_join with an overridden fraction.
+double p_join_at(JoinModelParams p, double fi);
+
+/// Monte-Carlo simulation of the same simplified join process, used to
+/// validate the closed form (the "Simulation" series of Fig. 2). Returns
+/// the success frequency over `trials`.
+double simulate_join(const JoinModelParams& p, int trials, Rng& rng);
+
+/// Number of request segments per round: ceil((D*fi - w) / c), >= 0.
+int segments_per_round(const JoinModelParams& p);
+
+/// Rounds the node stays in range: floor(t / D).
+int rounds_in_range(const JoinModelParams& p);
+
+}  // namespace spider::model

@@ -1,0 +1,51 @@
+#include "analysis/schedule_synthesis.hpp"
+
+#include <algorithm>
+
+namespace spider::model {
+
+std::vector<std::pair<wire::Channel, double>> suggest_fractions(
+    const std::vector<ChannelBandwidth>& offers,
+    const SynthesisParams& params) {
+  if (offers.empty()) return {};
+
+  OptProblem problem;
+  problem.wireless = params.wireless;
+  problem.T = 2.0 * params.range_m / std::max(0.1, params.speed_mps);
+  problem.join = params.join;
+  // Coarser grid for k = 3: the search is exact within the step and the
+  // downstream scheduler quantises to milliseconds anyway.
+  problem.grid_step = offers.size() >= 3 ? 0.05 : 0.02;
+  for (const auto& offer : offers) {
+    ChannelOffer ch;
+    // Nothing is joined at planning time: all bandwidth must be earned
+    // through joins, so it all sits in the "available" term that E[X_i]
+    // discounts.
+    ch.available = bps(std::min(offer.available_bps, params.wireless.bps));
+    problem.channels.push_back(ch);
+  }
+
+  const OptSolution solution = maximize_throughput(problem);
+
+  std::vector<std::pair<wire::Channel, double>> fractions;
+  for (std::size_t i = 0; i < offers.size(); ++i) {
+    if (solution.fractions[i] >= params.min_useful_fraction) {
+      fractions.emplace_back(offers[i].channel, solution.fractions[i]);
+    }
+  }
+  if (fractions.empty()) {
+    // Degenerate optimum (e.g. vanishing T): park on the fattest channel.
+    const auto best = std::max_element(
+        offers.begin(), offers.end(), [](const auto& a, const auto& b) {
+          return a.available_bps < b.available_bps;
+        });
+    fractions.emplace_back(best->channel, 1.0);
+  }
+  // Renormalise after dropping slivers.
+  double total = 0.0;
+  for (const auto& [ch, f] : fractions) total += f;
+  for (auto& [ch, f] : fractions) f /= total;
+  return fractions;
+}
+
+}  // namespace spider::model

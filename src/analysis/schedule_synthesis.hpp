@@ -1,0 +1,39 @@
+#pragma once
+
+#include <vector>
+
+#include "analysis/throughput_opt.hpp"
+#include "wire/frame.hpp"
+
+namespace spider::model {
+
+/// Model-driven schedule synthesis: turn a snapshot of per-channel offered
+/// bandwidth into the channel fractions the Eqs. 8-10 optimiser considers
+/// optimal for a client moving at `speed`.
+///
+/// This closes the loop the paper leaves open between its analytical
+/// framework (§2.1.3) and its static operation modes (§3.2.2): instead of
+/// hand-picking "single channel" or "equal thirds", derive the fractions
+/// from what the scanner (or a deployment survey) reports. The ablation
+/// bench executes the suggested schedule in the full system.
+struct ChannelBandwidth {
+  wire::Channel channel = 0;
+  double available_bps = 0.0;  ///< aggregate backhaul reachable on channel
+};
+
+struct SynthesisParams {
+  double speed_mps = 10.0;
+  double range_m = 100.0;
+  BitRate wireless = kWirelessRate;
+  JoinModelParams join;          ///< D, beta, w, c, h for E[X_i]
+  /// Fractions below this are dropped and the schedule renormalised (a
+  /// 3% slot is pure switching overhead).
+  double min_useful_fraction = 0.05;
+};
+
+/// The optimiser's fractions over the given channels (sums to 1; may
+/// contain a single entry, meaning: park). Empty input -> empty output.
+std::vector<std::pair<wire::Channel, double>> suggest_fractions(
+    const std::vector<ChannelBandwidth>& offers, const SynthesisParams& params);
+
+}  // namespace spider::model

@@ -1,0 +1,103 @@
+#include "analysis/selection_opt.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+namespace spider::model {
+
+SelectionResult select_exhaustive(const std::vector<ApCandidate>& candidates,
+                                  double budget) {
+  const std::size_t n = candidates.size();
+  SelectionResult best;
+  const std::uint64_t subsets = 1ULL << n;
+  for (std::uint64_t mask = 0; mask < subsets; ++mask) {
+    ++best.nodes_explored;
+    double value = 0.0, cost = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (mask & (1ULL << i)) {
+        value += candidates[i].value();
+        cost += candidates[i].cost();
+      }
+    }
+    if (cost <= budget && value > best.value) {
+      best.value = value;
+      best.cost = cost;
+      best.chosen.clear();
+      for (std::size_t i = 0; i < n; ++i) {
+        if (mask & (1ULL << i)) best.chosen.push_back(i);
+      }
+    }
+  }
+  return best;
+}
+
+SelectionResult select_knapsack_dp(const std::vector<ApCandidate>& candidates,
+                                   double budget, double resolution) {
+  const std::size_t n = candidates.size();
+  const auto slots = static_cast<std::size_t>(std::floor(budget / resolution)) + 1;
+  // dp[c] = best value with cost index <= c; parent pointers reconstruct.
+  std::vector<double> dp(slots, 0.0);
+  std::vector<std::vector<bool>> take(n, std::vector<bool>(slots, false));
+  SelectionResult result;
+
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto w = static_cast<std::size_t>(
+        std::ceil(candidates[i].cost() / resolution));
+    const double v = candidates[i].value();
+    if (w >= slots) continue;
+    for (std::size_t c = slots; c-- > w;) {
+      ++result.nodes_explored;
+      if (dp[c - w] + v > dp[c]) {
+        dp[c] = dp[c - w] + v;
+        take[i][c] = true;
+      }
+    }
+  }
+
+  // Reconstruct the chosen set.
+  std::size_t c = slots - 1;
+  for (std::size_t i = n; i-- > 0;) {
+    if (take[i][c]) {
+      result.chosen.push_back(i);
+      result.value += candidates[i].value();
+      result.cost += candidates[i].cost();
+      const auto w = static_cast<std::size_t>(
+          std::ceil(candidates[i].cost() / resolution));
+      c -= w;
+    }
+  }
+  std::reverse(result.chosen.begin(), result.chosen.end());
+  return result;
+}
+
+SelectionResult select_greedy(const std::vector<ApCandidate>& candidates,
+                              double budget) {
+  std::vector<std::size_t> order(candidates.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    const double da = candidates[a].cost() <= 0.0
+                          ? 0.0
+                          : candidates[a].value() / candidates[a].cost();
+    const double db = candidates[b].cost() <= 0.0
+                          ? 0.0
+                          : candidates[b].value() / candidates[b].cost();
+    return da > db;
+  });
+
+  SelectionResult result;
+  double remaining = budget;
+  for (std::size_t i : order) {
+    ++result.nodes_explored;
+    if (candidates[i].cost() <= remaining) {
+      remaining -= candidates[i].cost();
+      result.chosen.push_back(i);
+      result.value += candidates[i].value();
+      result.cost += candidates[i].cost();
+    }
+  }
+  std::sort(result.chosen.begin(), result.chosen.end());
+  return result;
+}
+
+}  // namespace spider::model

@@ -1,0 +1,46 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace spider::model {
+
+/// One AP as seen by the multi-AP selection problem of Appendix A:
+/// `time_in_range` (T_i), `bandwidth` (W_i, any consistent unit) and the
+/// per-use scheduling/association overhead (D_i). The value of selecting
+/// the AP is T_i * W_i; its cost against the road-segment budget T is
+/// T_i + D_i.
+struct ApCandidate {
+  double time_in_range = 0.0;
+  double bandwidth = 0.0;
+  double overhead = 0.0;
+
+  double value() const { return time_in_range * bandwidth; }
+  double cost() const { return time_in_range + overhead; }
+};
+
+struct SelectionResult {
+  std::vector<std::size_t> chosen;  ///< indices into the candidate list
+  double value = 0.0;
+  double cost = 0.0;
+  std::uint64_t nodes_explored = 0;  ///< work metric for the benches
+};
+
+/// Exact optimum by exhaustive subset enumeration — O(2^n), the
+/// demonstration that the optimal selection blows up (Appendix A reduces
+/// the problem to 0-1 knapsack).
+SelectionResult select_exhaustive(const std::vector<ApCandidate>& candidates,
+                                  double budget);
+
+/// Exact-within-discretisation optimum via the classic knapsack DP over a
+/// cost grid of `resolution` (pseudo-polynomial).
+SelectionResult select_knapsack_dp(const std::vector<ApCandidate>& candidates,
+                                   double budget, double resolution = 0.1);
+
+/// Spider-like greedy: rank by value density (value/cost), take while the
+/// budget lasts. Linearithmic, online-capable — the real-time answer the
+/// paper's utility heuristic approximates.
+SelectionResult select_greedy(const std::vector<ApCandidate>& candidates,
+                              double budget);
+
+}  // namespace spider::model

@@ -1,0 +1,123 @@
+#include "analysis/throughput_opt.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <functional>
+
+namespace spider::model {
+
+double expected_join_fraction(const JoinModelParams& join, double fi, double T) {
+  if (fi <= 0.0) return 1.0;  // never on the channel: never joins
+  JoinModelParams p = join;
+  p.fi = fi;
+  // E[min(T_join, T)] / T via the tail sum, in 1-second steps.
+  const int horizon = std::max(1, static_cast<int>(std::floor(T)));
+  double waiting = 0.0;
+  for (int t = 0; t < horizon; ++t) {
+    p.t = static_cast<double>(t);
+    waiting += 1.0 - p_join(p);
+  }
+  return std::clamp(waiting / T, 0.0, 1.0);
+}
+
+OptSolution maximize_throughput(const OptProblem& problem) {
+  const std::size_t k = problem.channels.size();
+  const double step = problem.grid_step;
+  const double w_over_d = problem.switch_overhead_s / problem.join.D;
+
+  // Per-channel feasibility cap as a function of its own fraction:
+  // fi <= (B_j + (1 - E[X_i]) * B_a) / Bw. E[X_i] only matters where there
+  // is "available" (not yet joined) bandwidth, so memoise E on the grid.
+  const int grid_n = static_cast<int>(std::round(1.0 / step));
+  std::vector<double> join_fraction(grid_n + 1, 0.0);
+  bool any_available = false;
+  for (const auto& ch : problem.channels) {
+    any_available |= ch.available.bps > 0.0;
+  }
+  if (any_available) {
+    for (int g = 0; g <= grid_n; ++g) {
+      join_fraction[g] =
+          expected_join_fraction(problem.join, g * step, problem.T);
+    }
+  }
+
+  auto cap = [&](std::size_t i, int g) {
+    const auto& ch = problem.channels[i];
+    const double connected = 1.0 - join_fraction[g];
+    return (ch.joined.bps + connected * ch.available.bps) / problem.wireless.bps;
+  };
+
+  OptSolution best;
+  best.fractions.assign(k, 0.0);
+  best.bandwidth.assign(k, BitRate{});
+  best.total = BitRate{};
+
+  std::vector<int> grid(k, 0);
+  std::function<void(std::size_t, int)> search = [&](std::size_t i,
+                                                     int budget_left) {
+    if (i + 1 == k) {
+      // Last channel takes the largest feasible remainder.
+      int g = budget_left;
+      while (g > 0 && g * step > cap(i, g) + 1e-12) --g;
+      grid[i] = g;
+
+      // Constraint (10): switching overhead per active channel; a card
+      // parked on a single channel never switches.
+      int active = 0;
+      double sum = 0.0;
+      for (std::size_t j = 0; j < k; ++j) {
+        if (grid[j] > 0) {
+          ++active;
+          sum += grid[j] * step;
+        }
+      }
+      const double overhead = active > 1 ? active * w_over_d : 0.0;
+      if (sum + overhead > 1.0 + 1e-9) return;
+
+      double total_bps = 0.0;
+      for (std::size_t j = 0; j < k; ++j) {
+        total_bps += grid[j] * step * problem.wireless.bps;
+      }
+      if (total_bps > best.total.bps) {
+        best.total = bps(total_bps);
+        for (std::size_t j = 0; j < k; ++j) {
+          best.fractions[j] = grid[j] * step;
+          best.bandwidth[j] = bps(grid[j] * step * problem.wireless.bps);
+        }
+      }
+      return;
+    }
+    for (int g = 0; g <= budget_left; ++g) {
+      if (g * step > cap(i, g) + 1e-12) continue;  // infeasible at this fi
+      grid[i] = g;
+      search(i + 1, budget_left - g);
+    }
+    grid[i] = 0;
+  };
+  if (k > 0) search(0, grid_n);
+  return best;
+}
+
+std::vector<SpeedPoint> fig4_sweep(double joined_share_ch1,
+                                   double available_share_ch2,
+                                   const std::vector<double>& speeds,
+                                   double range_m) {
+  std::vector<SpeedPoint> out;
+  for (double v : speeds) {
+    OptProblem problem;
+    problem.join.beta_min = 0.5;
+    problem.join.beta_max = 10.0;
+    problem.T = 2.0 * range_m / v;
+    problem.channels = {
+        ChannelOffer{.joined = bps(joined_share_ch1 * problem.wireless.bps),
+                     .available = BitRate{}},
+        ChannelOffer{.joined = BitRate{},
+                     .available = bps(available_share_ch2 * problem.wireless.bps)},
+    };
+    const OptSolution sol = maximize_throughput(problem);
+    out.push_back(SpeedPoint{v, sol.bandwidth[0], sol.bandwidth[1]});
+  }
+  return out;
+}
+
+}  // namespace spider::model

@@ -1,0 +1,60 @@
+#pragma once
+
+#include <vector>
+
+#include "analysis/join_model.hpp"
+#include "util/units.hpp"
+
+namespace spider::model {
+
+/// One channel's bandwidth situation in the optimisation framework
+/// (§2.1.3): `joined` is end-to-end bandwidth from APs the node already
+/// holds (B^i_j), `available` is bandwidth from APs it is still trying to
+/// join (B^i_a).
+struct ChannelOffer {
+  BitRate joined;
+  BitRate available;
+};
+
+/// Inputs to the throughput-maximisation problem (Eqs. 8-10).
+struct OptProblem {
+  std::vector<ChannelOffer> channels;
+  BitRate wireless = kWirelessRate;     ///< Bw
+  double T = 20.0;                      ///< time in range (s)
+  JoinModelParams join;                 ///< model constants (D, beta, w, c, h)
+  double switch_overhead_s = 0.007;     ///< w in constraint (10)
+  double grid_step = 0.01;              ///< search resolution for fractions
+};
+
+/// Solution: the optimal fraction and resulting bandwidth per channel.
+struct OptSolution {
+  std::vector<double> fractions;
+  std::vector<BitRate> bandwidth;  ///< fi * Bw, per channel
+  BitRate total;
+};
+
+/// Expected fraction of T spent *before* the join completes, for a node
+/// spending fraction `fi` on the channel: (1/T) * sum over seconds of
+/// (1 - p(fi, t)). The paper writes E[X_i] as a sum over p(fi, t); we use
+/// the standard tail-sum form so that (1 - E[X_i]) is the connected
+/// fraction of T the constraint needs. This is the one place we deviate
+/// from the paper's notation (documented in DESIGN.md).
+double expected_join_fraction(const JoinModelParams& join, double fi, double T);
+
+/// Solves Eqs. 8-10 by grid search over the fraction simplex (exact within
+/// grid_step; the problem is tiny: k <= 3 in every paper scenario).
+OptSolution maximize_throughput(const OptProblem& problem);
+
+/// The paper's Fig. 4 sweep: for a two-channel offer split, the optimal
+/// per-channel bandwidth at each speed (T = 2 * range / v).
+struct SpeedPoint {
+  double speed_mps;
+  BitRate ch1;
+  BitRate ch2;
+};
+std::vector<SpeedPoint> fig4_sweep(double joined_share_ch1,
+                                   double available_share_ch2,
+                                   const std::vector<double>& speeds,
+                                   double range_m = 100.0);
+
+}  // namespace spider::model

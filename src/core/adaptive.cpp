@@ -1,0 +1,83 @@
+#include "core/adaptive.hpp"
+
+#include <unordered_map>
+
+namespace spider::core {
+
+AdaptiveModeController::AdaptiveModeController(SpiderDriver& driver,
+                                               SpeedFn speed,
+                                               AdaptiveConfig config)
+    : driver_(driver), speed_(std::move(speed)), config_(std::move(config)) {}
+
+void AdaptiveModeController::start() {
+  timer_.emplace(driver_.simulator(), config_.check_interval, [this] { tick(); });
+  timer_->start();
+  tick();  // pick the right mode immediately
+}
+
+void AdaptiveModeController::stop() { timer_.reset(); }
+
+wire::Channel AdaptiveModeController::busiest_channel() const {
+  // Prefer the channel where the scanner currently hears the most APs;
+  // total RSSI breaks ties so a single strong AP beats a single weak one.
+  std::unordered_map<wire::Channel, std::pair<int, double>> score;
+  for (const auto& obs : driver_.scanner().current()) {
+    auto& [count, rssi_sum] = score[obs.channel];
+    ++count;
+    rssi_sum += obs.rssi_dbm + 100.0;  // shift so the sum is positive
+  }
+  wire::Channel best = config_.channels.empty() ? 6 : config_.channels.front();
+  std::pair<int, double> best_score{-1, 0.0};
+  for (wire::Channel ch : config_.channels) {
+    const auto it = score.find(ch);
+    const auto s = it == score.end() ? std::pair<int, double>{0, 0.0} : it->second;
+    if (s.first > best_score.first ||
+        (s.first == best_score.first && s.second > best_score.second)) {
+      best = ch;
+      best_score = s;
+    }
+  }
+  return best;
+}
+
+void AdaptiveModeController::tick() {
+  sim::Simulator& sim = driver_.simulator();
+  if (sim.now() - last_flip_ < config_.min_mode_hold) return;
+
+  const double v = speed_();
+  if (!single_mode_ && v >= config_.speed_threshold_mps + config_.hysteresis_mps) {
+    driver_.set_mode(OperationMode::single(busiest_channel()));
+    single_mode_ = true;
+    ++mode_switches_;
+    last_flip_ = sim.now();
+  } else if (single_mode_ &&
+             v <= config_.speed_threshold_mps - config_.hysteresis_mps) {
+    driver_.set_mode(OperationMode::equal_split(config_.channels,
+                                                config_.multi_channel_period));
+    single_mode_ = false;
+    ++mode_switches_;
+    last_flip_ = sim.now();
+  } else if (single_mode_) {
+    // Stay single-channel but follow the AP population as it shifts; if
+    // the chosen channel has gone completely dark, widen the schedule so
+    // the scanner can find where the APs went.
+    if (config_.rediscover_when_dark &&
+        driver_.scanner()
+            .current_on(driver_.mode().fractions.front().first)
+            .empty() &&
+        driver_.scanner().current().empty()) {
+      driver_.set_mode(OperationMode::equal_split(config_.channels,
+                                                  config_.multi_channel_period));
+      single_mode_ = false;  // a later tick re-parks on the busiest channel
+      last_flip_ = sim.now();
+      return;
+    }
+    const wire::Channel target = busiest_channel();
+    if (!driver_.mode().includes(target)) {
+      driver_.set_mode(OperationMode::single(target));
+      last_flip_ = sim.now();
+    }
+  }
+}
+
+}  // namespace spider::core

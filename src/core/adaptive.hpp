@@ -1,0 +1,66 @@
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "core/spider_driver.hpp"
+#include "sim/simulator.hpp"
+
+namespace spider::core {
+
+/// Speed-adaptive scheduling — the extension sketched in §4.8: "an
+/// augmented design would encompass both mobile and nomadic scenarios by
+/// alternating between staying on one channel at high speeds and managing
+/// multiple channels when moving slowly."
+///
+/// The dividing speed comes from the paper's optimisation framework
+/// (~10 m/s for typical parameter values, Fig. 4). Above it, the
+/// controller parks the card on the single channel where the scanner
+/// currently sees the most (strongest) APs; below it, it spreads the
+/// schedule across the orthogonal channels. Hysteresis prevents flapping
+/// around the threshold.
+struct AdaptiveConfig {
+  double speed_threshold_mps = 10.0;
+  double hysteresis_mps = 1.0;
+  Time check_interval = sec(1);
+  /// Channels considered in slow (multi-channel) mode.
+  std::vector<wire::Channel> channels = {1, 6, 11};
+  Time multi_channel_period = msec(600);
+  /// Minimum dwell in a mode before another flip is allowed.
+  Time min_mode_hold = sec(5);
+  /// In single-channel mode with no fresh APs heard on that channel, fall
+  /// back to the multi-channel schedule to rediscover coverage (a parked
+  /// card cannot hear other channels at all).
+  bool rediscover_when_dark = true;
+};
+
+class AdaptiveModeController {
+ public:
+  using SpeedFn = std::function<double()>;  ///< current speed, m/s
+
+  AdaptiveModeController(SpiderDriver& driver, SpeedFn speed,
+                         AdaptiveConfig config = {});
+
+  void start();
+  void stop();
+
+  bool in_single_channel_mode() const { return single_mode_; }
+  std::uint64_t mode_switches() const { return mode_switches_; }
+
+  /// Exposed for tests: one evaluation step.
+  void tick();
+
+ private:
+  wire::Channel busiest_channel() const;
+
+  SpiderDriver& driver_;
+  SpeedFn speed_;
+  AdaptiveConfig config_;
+  bool single_mode_ = false;
+  Time last_flip_{Time::min() / 2};
+  std::uint64_t mode_switches_ = 0;
+  std::optional<sim::PeriodicTimer> timer_;
+};
+
+}  // namespace spider::core

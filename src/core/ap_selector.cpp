@@ -1,0 +1,70 @@
+#include "core/ap_selector.hpp"
+
+namespace spider::core {
+
+const char* to_string(JoinOutcome o) {
+  switch (o) {
+    case JoinOutcome::kAssocFailed: return "assoc-failed";
+    case JoinOutcome::kAssocOnly: return "assoc-only";
+    case JoinOutcome::kDhcpBound: return "dhcp-bound";
+    case JoinOutcome::kEndToEnd: return "end-to-end";
+  }
+  return "?";
+}
+
+double ApSelector::outcome_value(JoinOutcome outcome) const {
+  switch (outcome) {
+    case JoinOutcome::kAssocFailed: return 0.0;
+    case JoinOutcome::kAssocOnly: return config_.va;
+    case JoinOutcome::kDhcpBound: return config_.vb;
+    case JoinOutcome::kEndToEnd: return config_.vc;
+  }
+  return 0.0;
+}
+
+void ApSelector::record_outcome(wire::Bssid bssid, JoinOutcome outcome) {
+  const double value = outcome_value(outcome);
+  auto [it, inserted] = utilities_.try_emplace(bssid, value);
+  if (!inserted) {
+    it->second = (1.0 - config_.recency_weight) * it->second +
+                 config_.recency_weight * value;
+  }
+}
+
+void ApSelector::blacklist(wire::Bssid bssid, Time now) {
+  blacklist_until_[bssid] = now + config_.blacklist_duration;
+}
+
+bool ApSelector::blacklisted(wire::Bssid bssid, Time now) const {
+  auto it = blacklist_until_.find(bssid);
+  return it != blacklist_until_.end() && it->second > now;
+}
+
+double ApSelector::utility(wire::Bssid bssid) const {
+  auto it = utilities_.find(bssid);
+  // "Every new open AP that has sufficient signal strength is assigned the
+  // maximum utility so that the AP is considered for association at least
+  // once."
+  return it == utilities_.end() ? config_.vc : it->second;
+}
+
+std::optional<mac::ApObservation> ApSelector::select(
+    const std::vector<mac::ApObservation>& candidates,
+    const std::unordered_set<wire::Bssid>& in_use, Time now) const {
+  const mac::ApObservation* best = nullptr;
+  double best_utility = -1.0;
+  for (const auto& obs : candidates) {
+    if (in_use.contains(obs.bssid) || blacklisted(obs.bssid, now)) continue;
+    const double u = utility(obs.bssid);
+    if (!best || u > best_utility + config_.tie_margin ||
+        (u > best_utility - config_.tie_margin &&
+         obs.rssi_dbm > best->rssi_dbm)) {
+      best = &obs;
+      best_utility = std::max(best_utility, u);
+    }
+  }
+  if (!best) return std::nullopt;
+  return *best;
+}
+
+}  // namespace spider::core

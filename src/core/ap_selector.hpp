@@ -1,0 +1,54 @@
+#pragma once
+
+#include <optional>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "core/config.hpp"
+#include "mac/scanner.hpp"
+#include "util/time.hpp"
+
+namespace spider::core {
+
+/// Terminal outcome of one join attempt, ordered by progress.
+enum class JoinOutcome { kAssocFailed, kAssocOnly, kDhcpBound, kEndToEnd };
+const char* to_string(JoinOutcome o);
+
+/// Spider's utility-driven AP selection (§3.1, Design Choice 2).
+///
+/// Choosing the optimal AP subset is NP-hard (Appendix A), so Spider keeps
+/// a per-BSSID utility: a recency-weighted average of how far past join
+/// attempts progressed (0 for association failures, va/vb/vc beyond).
+/// Unseen APs bootstrap at the maximum utility so each gets at least one
+/// try; ties break on signal strength; failed APs are blacklisted briefly.
+class ApSelector {
+ public:
+  explicit ApSelector(SelectorConfig config) : config_(config) {}
+
+  /// Folds a finished attempt into the AP's utility.
+  void record_outcome(wire::Bssid bssid, JoinOutcome outcome);
+
+  void blacklist(wire::Bssid bssid, Time now);
+  bool blacklisted(wire::Bssid bssid, Time now) const;
+
+  /// Current utility (bootstrap value for unknown APs).
+  double utility(wire::Bssid bssid) const;
+
+  /// Picks the best join candidate: highest utility, RSSI tiebreak,
+  /// skipping in-use and blacklisted APs.
+  std::optional<mac::ApObservation> select(
+      const std::vector<mac::ApObservation>& candidates,
+      const std::unordered_set<wire::Bssid>& in_use, Time now) const;
+
+  std::size_t known_aps() const { return utilities_.size(); }
+
+ private:
+  double outcome_value(JoinOutcome outcome) const;
+
+  SelectorConfig config_;
+  std::unordered_map<wire::Bssid, double> utilities_;
+  std::unordered_map<wire::Bssid, Time> blacklist_until_;
+};
+
+}  // namespace spider::core

@@ -1,0 +1,69 @@
+#pragma once
+
+#include <cstddef>
+
+#include "core/op_mode.hpp"
+#include "mac/client_mlme.hpp"
+#include "mac/scanner.hpp"
+#include "net/dhcp_client.hpp"
+#include "net/ping.hpp"
+#include "phy/radio.hpp"
+#include "util/time.hpp"
+
+namespace spider::core {
+
+/// Utility bookkeeping for AP selection (§3.1, Design Choice 2).
+struct SelectorConfig {
+  /// Values assigned per join attempt by how far it progressed:
+  /// association-only < dhcp-bound < end-to-end verified. Failures during
+  /// link-layer association score zero.
+  double va = 0.3;   ///< associated but DHCP failed
+  double vb = 0.6;   ///< DHCP bound but no end-to-end connectivity
+  double vc = 1.0;   ///< full join (the bootstrap value for unseen APs)
+  /// Weight of the newest outcome in the utility average ("recent joins
+  /// are given larger weights").
+  double recency_weight = 0.6;
+  /// Utilities within this margin are ties, broken by signal strength.
+  double tie_margin = 0.05;
+  /// How long a failed AP is kept out of consideration. The stock DHCP
+  /// behaviour idles 60 s after a failure; Spider retries much sooner —
+  /// at vehicular speed a long blacklist would outlive the encounter.
+  Time blacklist_duration = sec(2);
+};
+
+/// How the driver retrieves AP-buffered traffic after a channel switch.
+/// Spider's choice (`kWakeNull`) clears the PSM bit with a NullData so the
+/// AP flushes its whole buffer at line rate; `kPsPoll` is the standard
+/// 802.11 power-save discipline — stay in PSM, watch beacon TIMs, and pull
+/// one frame per PS-Poll. The ablation bench quantifies the difference.
+enum class PsmRetrieval { kWakeNull, kPsPoll };
+
+/// Everything configurable about a Spider client. Field defaults are the
+/// tuned mobile configuration from §4 (7 interfaces, 100 ms link-layer
+/// timers); experiments override what they sweep.
+struct SpiderConfig {
+  std::size_t num_interfaces = 7;
+  OperationMode mode = OperationMode::single(6);
+
+  phy::RadioConfig radio;
+  mac::MlmeConfig mlme{.ll_timeout = msec(100), .max_retries = 5};
+  net::DhcpClientConfig dhcp{.retx_timeout = sec(1), .max_sends = 3};
+  net::PingProberConfig ping;
+  mac::ScannerConfig scanner;
+  SelectorConfig selector;
+
+  /// Link-manager policy loop.
+  Time evaluate_interval = msec(100);
+  /// Deadline for the post-DHCP end-to-end connectivity test.
+  Time e2e_timeout = sec(3);
+  /// Hard cap on one join attempt end-to-end.
+  Time join_deadline = sec(15);
+  bool use_lease_cache = true;
+
+  /// Per-channel outgoing packet queue bound (Design Choice 1).
+  std::size_t channel_queue_limit = 256;
+
+  PsmRetrieval psm_retrieval = PsmRetrieval::kWakeNull;
+};
+
+}  // namespace spider::core

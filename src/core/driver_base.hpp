@@ -1,0 +1,43 @@
+#pragma once
+
+#include <cstddef>
+
+#include "core/config.hpp"
+#include "core/op_mode.hpp"
+#include "mac/scanner.hpp"
+#include "sim/simulator.hpp"
+#include "wire/frame.hpp"
+#include "wire/packet.hpp"
+
+namespace spider::core {
+
+class VirtualInterface;
+
+/// The contract between a wireless driver and the layers above it
+/// (virtual interfaces, link management, applications). SpiderDriver is
+/// the paper's channel-scheduled driver; the baselines (FatVAP-style
+/// AP-sliced scheduling, stock single-AP behaviour) implement the same
+/// surface so that selection policy and measurement code are shared.
+class DriverBase {
+ public:
+  virtual ~DriverBase() = default;
+
+  virtual sim::Simulator& simulator() = 0;
+  virtual const SpiderConfig& config() const = 0;
+
+  /// The channels this driver will consider (for Spider: the schedule).
+  virtual const OperationMode& mode() const = 0;
+
+  virtual mac::Scanner& scanner() = 0;
+  virtual VirtualInterface& iface(std::size_t i) = 0;
+  virtual std::size_t num_interfaces() const = 0;
+
+  /// Immediate management transmission on `channel`; false if the card is
+  /// not currently serving that channel (the caller retries later).
+  virtual bool send_mgmt(wire::Frame frame, wire::Channel channel) = 0;
+
+  /// Data-path transmission for `vif`; the driver may queue.
+  virtual void send_data(VirtualInterface& vif, wire::PacketPtr packet) = 0;
+};
+
+}  // namespace spider::core

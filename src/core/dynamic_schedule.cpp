@@ -1,0 +1,77 @@
+#include "core/dynamic_schedule.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace spider::core {
+
+DynamicScheduleController::DynamicScheduleController(
+    SpiderDriver& driver, DynamicScheduleConfig config)
+    : driver_(driver), config_(config) {
+  last_rx_.assign(driver_.num_interfaces(), 0);
+}
+
+void DynamicScheduleController::start() {
+  timer_.emplace(driver_.simulator(), config_.window, [this] { tick(); });
+  timer_->start();
+}
+
+void DynamicScheduleController::stop() { timer_.reset(); }
+
+void DynamicScheduleController::tick() {
+  const OperationMode& mode = driver_.mode();
+  if (mode.single_channel()) return;  // nothing to rebalance
+
+  // Per-channel bytes delivered since the last tick, attributed through
+  // each interface's current channel.
+  std::vector<std::pair<wire::Channel, double>> window_bytes;
+  for (wire::Channel ch : mode.channels()) window_bytes.emplace_back(ch, 0.0);
+  for (std::size_t i = 0; i < driver_.num_interfaces(); ++i) {
+    VirtualInterface& vif = driver_.iface(i);
+    const std::uint64_t now_rx = vif.rx_bytes();
+    const double delta = static_cast<double>(now_rx - last_rx_[i]);
+    last_rx_[i] = now_rx;
+    for (auto& [ch, bytes] : window_bytes) {
+      if (vif.channel() == ch) bytes += delta;
+    }
+  }
+
+  // EWMA per channel (channels can come and go with mode changes).
+  for (const auto& [ch, bytes] : window_bytes) {
+    auto it = std::find_if(ewma_.begin(), ewma_.end(),
+                           [ch = ch](const auto& e) { return e.first == ch; });
+    if (it == ewma_.end()) {
+      ewma_.emplace_back(ch, bytes);
+    } else {
+      it->second = config_.alpha * bytes + (1.0 - config_.alpha) * it->second;
+    }
+  }
+
+  // New fractions: proportional to smoothed goodput, floored.
+  double total = 0.0;
+  for (const auto& [ch, est] : ewma_) {
+    if (mode.includes(ch)) total += std::max(1.0, est);
+  }
+  if (total <= 0.0) return;
+
+  std::vector<std::pair<wire::Channel, double>> fractions;
+  for (wire::Channel ch : mode.channels()) {
+    const auto it = std::find_if(ewma_.begin(), ewma_.end(),
+                                 [ch](const auto& e) { return e.first == ch; });
+    const double est = it == ewma_.end() ? 1.0 : std::max(1.0, it->second);
+    fractions.emplace_back(ch, std::max(config_.min_fraction, est / total));
+  }
+  OperationMode next = OperationMode::weighted(fractions, mode.period);
+
+  // Skip no-op reschedules: a mode swap resets the slot cycle.
+  double max_change = 0.0;
+  for (const auto& [ch, f] : next.fractions) {
+    max_change = std::max(max_change, std::abs(f - mode.fraction_of(ch)));
+  }
+  if (max_change < config_.rebalance_threshold) return;
+
+  driver_.set_mode(std::move(next));
+  ++rebalances_;
+}
+
+}  // namespace spider::core

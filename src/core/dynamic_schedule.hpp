@@ -1,0 +1,51 @@
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "core/spider_driver.hpp"
+#include "sim/simulator.hpp"
+
+namespace spider::core {
+
+/// Goodput-weighted multi-channel scheduling — the second half of §4.8's
+/// future work ("Spider's AP selection has to incorporate a suite of other
+/// criteria such as end-to-end bandwidth estimates").
+///
+/// While the driver runs a multi-channel mode, this controller measures
+/// the bytes each channel delivered over a sliding window and reweights
+/// the channel fractions proportionally (with a floor, so starved channels
+/// can still host joins and scans). The FatVAP f_i = R_i/W idea, applied
+/// at channel granularity instead of AP granularity.
+struct DynamicScheduleConfig {
+  Time window = sec(5);         ///< measurement + adjustment period
+  double min_fraction = 0.10;   ///< floor per scheduled channel
+  /// Smoothing on the per-channel byte estimate.
+  double alpha = 0.5;
+  /// Fraction change below this does not trigger a reschedule (the mode
+  /// swap costs a resynchronisation of the slot cycle).
+  double rebalance_threshold = 0.05;
+};
+
+class DynamicScheduleController {
+ public:
+  DynamicScheduleController(SpiderDriver& driver,
+                            DynamicScheduleConfig config = {});
+
+  void start();
+  void stop();
+
+  std::uint64_t rebalances() const { return rebalances_; }
+  /// Exposed for tests: one measurement/adjustment step.
+  void tick();
+
+ private:
+  SpiderDriver& driver_;
+  DynamicScheduleConfig config_;
+  std::vector<std::uint64_t> last_rx_;          ///< per interface
+  std::vector<std::pair<wire::Channel, double>> ewma_;  ///< per channel
+  std::uint64_t rebalances_ = 0;
+  std::optional<sim::PeriodicTimer> timer_;
+};
+
+}  // namespace spider::core

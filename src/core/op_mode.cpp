@@ -1,0 +1,70 @@
+#include "core/op_mode.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace spider::core {
+
+void OperationMode::normalize() {
+  std::erase_if(fractions, [](const auto& e) { return e.second <= 0.0; });
+  double total = 0.0;
+  for (const auto& [ch, f] : fractions) total += f;
+  if (total <= 0.0) return;
+  for (auto& [ch, f] : fractions) f /= total;
+}
+
+std::vector<wire::Channel> OperationMode::channels() const {
+  std::vector<wire::Channel> out;
+  out.reserve(fractions.size());
+  for (const auto& [ch, f] : fractions) out.push_back(ch);
+  return out;
+}
+
+double OperationMode::fraction_of(wire::Channel channel) const {
+  for (const auto& [ch, f] : fractions) {
+    if (ch == channel) return f;
+  }
+  return 0.0;
+}
+
+bool OperationMode::includes(wire::Channel channel) const {
+  return fraction_of(channel) > 0.0;
+}
+
+std::string OperationMode::describe() const {
+  std::string out = "D=" + format_time(period) + " {";
+  for (std::size_t i = 0; i < fractions.size(); ++i) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "ch%d:%.0f%%", fractions[i].first,
+                  fractions[i].second * 100.0);
+    out += buf;
+    if (i + 1 < fractions.size()) out += ", ";
+  }
+  return out + "}";
+}
+
+OperationMode OperationMode::single(wire::Channel channel) {
+  OperationMode m;
+  m.fractions = {{channel, 1.0}};
+  return m;
+}
+
+OperationMode OperationMode::equal_split(std::vector<wire::Channel> channels,
+                                         Time period) {
+  OperationMode m;
+  m.period = period;
+  const double f = 1.0 / static_cast<double>(channels.size());
+  for (wire::Channel ch : channels) m.fractions.emplace_back(ch, f);
+  return m;
+}
+
+OperationMode OperationMode::weighted(
+    std::vector<std::pair<wire::Channel, double>> fractions, Time period) {
+  OperationMode m;
+  m.period = period;
+  m.fractions = std::move(fractions);
+  m.normalize();
+  return m;
+}
+
+}  // namespace spider::core

@@ -1,0 +1,41 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "util/time.hpp"
+#include "wire/frame.hpp"
+
+namespace spider::core {
+
+/// An operation mode (§3.2.2): "the total amount of time to be scheduled
+/// among channels and the fraction of time spent on each channel".
+/// Fractions are normalised; a single-entry mode means the card parks on
+/// that channel with no switching at all.
+struct OperationMode {
+  Time period = msec(600);  ///< D, the scheduling period
+  std::vector<std::pair<wire::Channel, double>> fractions;
+
+  bool single_channel() const { return fractions.size() == 1; }
+
+  /// Rescales fractions to sum to 1 and drops non-positive entries.
+  void normalize();
+
+  /// Channels with non-zero schedule time.
+  std::vector<wire::Channel> channels() const;
+  double fraction_of(wire::Channel channel) const;
+  bool includes(wire::Channel channel) const;
+
+  std::string describe() const;
+
+  /// The whole period on one channel.
+  static OperationMode single(wire::Channel channel);
+  /// Equal split of `period` across `channels` (e.g. 1/3 each on 1,6,11).
+  static OperationMode equal_split(std::vector<wire::Channel> channels,
+                                   Time period);
+  /// Arbitrary weights, e.g. {{1, 0.5}, {11, 0.5}} with D = 200 ms.
+  static OperationMode weighted(
+      std::vector<std::pair<wire::Channel, double>> fractions, Time period);
+};
+
+}  // namespace spider::core

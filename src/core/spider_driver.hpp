@@ -1,0 +1,108 @@
+#pragma once
+
+#include <deque>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "core/config.hpp"
+#include "core/driver_base.hpp"
+#include "core/virtual_iface.hpp"
+#include "mac/scanner.hpp"
+#include "phy/medium.hpp"
+#include "phy/radio.hpp"
+#include "sim/simulator.hpp"
+#include "util/stats.hpp"
+
+namespace spider::core {
+
+/// Spider's wireless driver (§3.2.1): schedules the physical card among
+/// 802.11 *channels* (not APs — Design Choice 1), keeps one outgoing
+/// packet queue per channel, performs the PSM dance on every switch, and
+/// scans opportunistically in the background.
+///
+/// Switch sequence, as in the paper: (1) outgoing traffic for the old
+/// channel is already isolated in its per-channel queue; (2) a NullData
+/// frame with the PSM bit set is sent to every associated AP on the old
+/// channel, asking it to buffer; (3) the hardware reset retunes the card;
+/// (4) interfaces on the new channel are woken with a PSM-clear NullData,
+/// which also flushes the APs' buffers; (5) the new channel's queue drains.
+class SpiderDriver final : public DriverBase {
+ public:
+  SpiderDriver(sim::Simulator& simulator, phy::Medium& medium,
+               std::uint64_t mac_base, phy::Radio::PositionFn position,
+               SpiderConfig config);
+
+  /// Brings up the schedule and background scanning.
+  void start();
+
+  const SpiderConfig& config() const override { return config_; }
+  sim::Simulator& simulator() override { return sim_; }
+
+  /// Replaces the operation mode at runtime (user-space reconfiguration;
+  /// the adaptive extension uses this).
+  void set_mode(OperationMode mode);
+  const OperationMode& mode() const override { return mode_; }
+
+  mac::Scanner& scanner() override { return scanner_; }
+  phy::Radio& radio() { return radio_; }
+
+  std::vector<std::unique_ptr<VirtualInterface>>& interfaces() { return vifs_; }
+  VirtualInterface& iface(std::size_t i) override { return *vifs_[i]; }
+  std::size_t num_interfaces() const override { return vifs_.size(); }
+
+  /// True when the card currently serves `channel` (tuned and not mid
+  /// reset). MLME sends and queue drains are gated on this.
+  bool channel_active(wire::Channel channel) const;
+
+  /// Direct transmission of a management frame on `channel`; returns false
+  /// (frame not sent) when the card is elsewhere.
+  bool send_mgmt(wire::Frame frame, wire::Channel channel) override;
+
+  /// Sends a data packet on behalf of `vif`; queues it per channel when
+  /// the card is elsewhere.
+  void send_data(VirtualInterface& vif, wire::PacketPtr packet) override;
+
+  // --- statistics ----------------------------------------------------
+  std::uint64_t switches() const { return switch_count_; }
+  const OnlineStats& switch_latency_stats() const { return switch_latency_; }
+  /// Discards accumulated latency samples (benches measure steady state
+  /// after the join warm-up, as the paper's Table 1 does).
+  void reset_switch_stats() { switch_latency_ = OnlineStats{}; }
+  std::uint64_t queue_drops() const { return queue_drops_; }
+
+ private:
+  struct QueuedPacket {
+    std::size_t vif_index;
+    wire::PacketPtr packet;
+  };
+
+  void begin_slot(std::size_t slot_index);
+  void end_slot_and_switch(std::size_t next_slot);
+  void on_channel_entered(bool record_latency);
+  void drain_queue(wire::Channel channel);
+  void on_radio_frame(const wire::Frame& frame);
+  void send_ps_frame(VirtualInterface& vif, bool power_save);
+  void send_ps_poll(VirtualInterface& vif);
+  Time slot_duration(std::size_t slot_index) const;
+  void send_probe_request();
+
+  sim::Simulator& sim_;
+  SpiderConfig config_;
+  phy::Radio radio_;
+  mac::Scanner scanner_;
+  OperationMode mode_;
+  std::vector<std::unique_ptr<VirtualInterface>> vifs_;
+  std::map<wire::Channel, std::deque<QueuedPacket>> channel_queues_;
+
+  bool started_ = false;
+  std::size_t current_slot_ = 0;
+  sim::EventHandle slot_timer_;
+
+  std::uint64_t switch_count_ = 0;
+  OnlineStats switch_latency_;
+  Time switch_started_{0};
+  std::uint64_t queue_drops_ = 0;
+};
+
+}  // namespace spider::core

@@ -1,0 +1,74 @@
+#include "core/virtual_iface.hpp"
+
+
+
+namespace spider::core {
+
+const char* to_string(LinkState s) {
+  switch (s) {
+    case LinkState::kIdle: return "idle";
+    case LinkState::kAssociating: return "associating";
+    case LinkState::kDhcp: return "dhcp";
+    case LinkState::kTesting: return "testing";
+    case LinkState::kUp: return "up";
+  }
+  return "?";
+}
+
+VirtualInterface::VirtualInterface(sim::Simulator& simulator,
+                                   DriverBase& driver, std::size_t index,
+                                   wire::MacAddress mac,
+                                   const SpiderConfig& config)
+    : sim_(simulator),
+      driver_(driver),
+      index_(index),
+      mac_(mac),
+      mlme_(simulator, mac, config.mlme),
+      dhcp_(simulator, mac, config.dhcp),
+      prober_(simulator, static_cast<std::uint32_t>(index) + 1, config.ping) {
+  // Management frames go straight to the air, gated on the schedule.
+  mlme_.set_send([this](wire::Frame f) {
+    return driver_.send_mgmt(std::move(f), mlme_.channel());
+  });
+  // DHCP and ICMP ride the per-channel data queues.
+  dhcp_.set_send([this](wire::PacketPtr p) { send_packet(std::move(p)); });
+  prober_.set_send([this](wire::PacketPtr p) { send_packet(std::move(p)); });
+}
+
+void VirtualInterface::send_packet(wire::PacketPtr packet) {
+  driver_.send_data(*this, std::move(packet));
+}
+
+void VirtualInterface::on_frame(const wire::Frame& frame) {
+  switch (frame.type) {
+    case wire::FrameType::kAuthResponse:
+    case wire::FrameType::kAssocResponse:
+    case wire::FrameType::kDeauth:
+    case wire::FrameType::kDisassoc:
+      mlme_.on_frame(frame);
+      return;
+    case wire::FrameType::kData:
+      if (frame.packet) {
+        ++rx_packets_;
+        rx_bytes_ += frame.packet->size_bytes;
+        dispatch_packet(*frame.packet);
+      }
+      return;
+    default:
+      return;
+  }
+}
+
+void VirtualInterface::dispatch_packet(const wire::Packet& packet) {
+  if (packet.as<wire::DhcpMessage>()) {
+    dhcp_.on_packet(packet);
+    return;
+  }
+  if (packet.as<wire::IcmpEcho>()) {
+    prober_.on_packet(packet);
+    return;
+  }
+  if (app_handler_) app_handler_(packet);
+}
+
+}  // namespace spider::core

@@ -1,0 +1,87 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+
+#include "core/config.hpp"
+#include "core/driver_base.hpp"
+#include "mac/client_mlme.hpp"
+#include "net/dhcp_client.hpp"
+#include "net/ping.hpp"
+#include "sim/simulator.hpp"
+#include "wire/frame.hpp"
+#include "wire/packet.hpp"
+
+namespace spider::core {
+
+
+
+/// Lifecycle of one interface's connection (driven by the LinkManager).
+enum class LinkState { kIdle, kAssociating, kDhcp, kTesting, kUp };
+const char* to_string(LinkState s);
+
+/// One "Linux network interface" (§3.1, Design Choice 3): Spider exposes a
+/// separate interface per AP connection, each with its own MAC address,
+/// MLME, DHCP client and liveness prober. The interface does not own the
+/// radio — all airtime goes through the driver, which gates it on the
+/// channel schedule.
+class VirtualInterface {
+ public:
+  VirtualInterface(sim::Simulator& simulator, DriverBase& driver,
+                   std::size_t index, wire::MacAddress mac,
+                   const SpiderConfig& config);
+
+  std::size_t index() const { return index_; }
+  wire::MacAddress mac() const { return mac_; }
+  LinkState link_state() const { return state_; }
+  void set_link_state(LinkState s) { state_ = s; }
+
+  mac::ClientMlme& mlme() { return mlme_; }
+  net::DhcpClient& dhcp() { return dhcp_; }
+  net::PingProber& prober() { return prober_; }
+
+  bool up() const { return state_ == LinkState::kUp; }
+  bool idle() const { return state_ == LinkState::kIdle; }
+  wire::Bssid bssid() const { return mlme_.bssid(); }
+  wire::Channel channel() const { return mlme_.channel(); }
+
+  const std::optional<net::Lease>& lease() const { return lease_; }
+  void set_lease(std::optional<net::Lease> lease) { lease_ = std::move(lease); }
+  wire::Ipv4 ip() const { return lease_ ? lease_->ip : wire::Ipv4(); }
+
+  /// Sends an IP packet through this interface (queued per channel by the
+  /// driver when the card is elsewhere).
+  void send_packet(wire::PacketPtr packet);
+
+  /// Driver upcall for frames addressed to this interface.
+  void on_frame(const wire::Frame& frame);
+
+  /// Handler for transport-layer packets (installed by the application).
+  void set_app_handler(std::function<void(const wire::Packet&)> handler) {
+    app_handler_ = std::move(handler);
+  }
+
+  std::uint64_t rx_packets() const { return rx_packets_; }
+  std::uint64_t rx_bytes() const { return rx_bytes_; }
+
+ private:
+  void dispatch_packet(const wire::Packet& packet);
+
+  sim::Simulator& sim_;
+  DriverBase& driver_;
+  std::size_t index_;
+  wire::MacAddress mac_;
+
+  mac::ClientMlme mlme_;
+  net::DhcpClient dhcp_;
+  net::PingProber prober_;
+  LinkState state_ = LinkState::kIdle;
+  std::optional<net::Lease> lease_;
+  std::function<void(const wire::Packet&)> app_handler_;
+
+  std::uint64_t rx_packets_ = 0;
+  std::uint64_t rx_bytes_ = 0;
+};
+
+}  // namespace spider::core

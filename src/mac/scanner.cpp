@@ -1,0 +1,83 @@
+#include "mac/scanner.hpp"
+
+#include <algorithm>
+
+namespace spider::mac {
+
+Scanner::Scanner(sim::Simulator& simulator, ScannerConfig config)
+    : sim_(simulator), config_(config) {}
+
+void Scanner::set_prober(ProbeFn prober) { prober_ = std::move(prober); }
+
+void Scanner::start() {
+  if (config_.probe_interval > Time{0} && prober_) {
+    probe_timer_.emplace(sim_, config_.probe_interval, [this] { prober_(); });
+    probe_timer_->start();
+  }
+}
+
+void Scanner::stop() { probe_timer_.reset(); }
+
+void Scanner::on_frame(const wire::Frame& frame) {
+  if (frame.type != wire::FrameType::kBeacon &&
+      frame.type != wire::FrameType::kProbeResponse) {
+    return;
+  }
+  if (frame.rssi_dbm < config_.min_rssi_dbm) return;
+
+  auto [it, inserted] = cache_.try_emplace(frame.bssid);
+  ApObservation& obs = it->second;
+  if (inserted) {
+    obs.bssid = frame.bssid;
+    obs.first_seen = sim_.now();
+    obs.rssi_dbm = frame.rssi_dbm;
+  } else {
+    obs.rssi_dbm = config_.rssi_ewma_alpha * frame.rssi_dbm +
+                   (1.0 - config_.rssi_ewma_alpha) * obs.rssi_dbm;
+  }
+  obs.ssid = frame.ssid;
+  obs.channel = frame.channel;
+  obs.last_seen = sim_.now();
+  ++obs.frames_heard;
+
+  // Opportunistic garbage collection keeps the cache bounded on long runs.
+  if (cache_.size() > 256) {
+    for (auto gc = cache_.begin(); gc != cache_.end();) {
+      gc = fresh(gc->second) ? std::next(gc) : cache_.erase(gc);
+    }
+  }
+}
+
+bool Scanner::fresh(const ApObservation& obs) const {
+  return sim_.now() - obs.last_seen <= config_.expiry;
+}
+
+std::vector<ApObservation> Scanner::current() const {
+  std::vector<ApObservation> out;
+  for (const auto& [bssid, obs] : cache_) {
+    if (fresh(obs)) out.push_back(obs);
+  }
+  std::sort(out.begin(), out.end(), [](const auto& a, const auto& b) {
+    return a.rssi_dbm > b.rssi_dbm;
+  });
+  return out;
+}
+
+std::vector<ApObservation> Scanner::current_on(wire::Channel channel) const {
+  auto all = current();
+  std::erase_if(all, [channel](const auto& o) { return o.channel != channel; });
+  return all;
+}
+
+std::optional<ApObservation> Scanner::find(wire::Bssid bssid) const {
+  auto it = cache_.find(bssid);
+  if (it == cache_.end() || !fresh(it->second)) return std::nullopt;
+  return it->second;
+}
+
+bool Scanner::in_range(wire::Bssid bssid) const {
+  auto it = cache_.find(bssid);
+  return it != cache_.end() && fresh(it->second);
+}
+
+}  // namespace spider::mac

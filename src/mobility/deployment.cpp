@@ -1,0 +1,56 @@
+#include "mobility/deployment.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace spider::mob {
+
+wire::Channel sample_channel(const DeploymentConfig& config, Rng& rng) {
+  double total = 0.0;
+  for (const auto& [ch, w] : config.channel_weights) total += w;
+  double draw = rng.uniform(0.0, total);
+  for (const auto& [ch, w] : config.channel_weights) {
+    draw -= w;
+    if (draw <= 0.0) return ch;
+  }
+  return config.channel_weights.back().first;
+}
+
+std::vector<ApSite> generate_deployment(const DeploymentConfig& config,
+                                        Rng& rng) {
+  const auto count = static_cast<std::size_t>(
+      std::llround(config.road_length_m / 1000.0 * config.aps_per_km));
+  const auto cluster_count = static_cast<std::size_t>(
+      std::llround(config.road_length_m / 1000.0 * config.clusters_per_km));
+  std::vector<double> cluster_centres;
+  for (std::size_t c = 0; c < cluster_count; ++c) {
+    cluster_centres.push_back(rng.uniform(0.0, config.road_length_m));
+  }
+
+  std::vector<ApSite> sites;
+  sites.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    ApSite site;
+    double x;
+    if (cluster_centres.empty()) {
+      x = rng.uniform(0.0, config.road_length_m);
+    } else {
+      const auto c = static_cast<std::size_t>(
+          rng.uniform_int(0, static_cast<std::int64_t>(cluster_centres.size()) - 1));
+      x = std::clamp(cluster_centres[c] + rng.uniform(-config.cluster_radius_m,
+                                                      config.cluster_radius_m),
+                     0.0, config.road_length_m);
+    }
+    const double y = rng.uniform(config.lateral_min_m, config.lateral_max_m) *
+                     (rng.chance(0.5) ? 1.0 : -1.0);
+    site.position = Position{x, y};
+    site.channel = sample_channel(config, rng);
+    site.backhaul =
+        bps(rng.uniform(config.backhaul_min.bps, config.backhaul_max.bps));
+    site.internet_connected = !rng.chance(config.dead_backhaul_fraction);
+    sites.push_back(site);
+  }
+  return sites;
+}
+
+}  // namespace spider::mob

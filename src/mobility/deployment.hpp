@@ -1,0 +1,61 @@
+#pragma once
+
+#include <vector>
+
+#include "util/random.hpp"
+#include "util/units.hpp"
+#include "wire/frame.hpp"
+
+namespace spider::mob {
+
+/// Statistical description of a town's open-AP population, matching the
+/// measurements in §4.1: "almost all APs were on channels 1 (28%), 6 (33%),
+/// or 11 (34%)", sparse density (the client is associated with a single AP
+/// ~85% of the time), and residential backhauls well below the wireless
+/// rate.
+struct DeploymentConfig {
+  double road_length_m = 2000.0;
+  double aps_per_km = 6.0;
+  /// Perpendicular offset of AP buildings from the driving lane.
+  double lateral_min_m = 20.0;
+  double lateral_max_m = 75.0;
+  /// Downtown APs cluster by block rather than spreading uniformly: with
+  /// clustering on (> 0), AP x-positions concentrate around cluster
+  /// centres, so a covered block typically offers APs on several channels
+  /// at once — the situation in the paper's town, where single-channel
+  /// connectivity (35.5%) was not far below three-channel (44.6%). Zero
+  /// clusters_per_km reverts to uniform placement.
+  double clusters_per_km = 1.6;
+  double cluster_radius_m = 80.0;
+  /// Channel mix; weights need not sum to 1 (they are normalised).
+  std::vector<std::pair<wire::Channel, double>> channel_weights = {
+      {1, 0.28}, {6, 0.33}, {11, 0.34}, {3, 0.03}, {9, 0.02}};
+  /// Residential backhaul rates (uniform between bounds). Open APs of the
+  /// paper's era sat on 1-6 Mbps DSL/cable lines — well under the 11 Mbps
+  /// wireless rate, which is what makes aggregation pay.
+  BitRate backhaul_min = mbps(1);
+  BitRate backhaul_max = mbps(6);
+  /// Fraction of open APs that associate and hand out leases but have no
+  /// working Internet path (captive portals, broken uplinks). This is why
+  /// Spider's join pipeline ends with an end-to-end connectivity test and
+  /// why its utility weighs vc above vb.
+  double dead_backhaul_fraction = 0.0;
+};
+
+/// One generated AP site.
+struct ApSite {
+  Position position;
+  wire::Channel channel = 6;
+  BitRate backhaul;
+  bool internet_connected = true;
+};
+
+/// Draws a deployment along the road [0, road_length] on the x-axis. AP x
+/// positions are uniform; y alternates road side. Deterministic per Rng
+/// state.
+std::vector<ApSite> generate_deployment(const DeploymentConfig& config, Rng& rng);
+
+/// Samples a channel from the configured mix.
+wire::Channel sample_channel(const DeploymentConfig& config, Rng& rng);
+
+}  // namespace spider::mob

@@ -1,0 +1,52 @@
+#include "net/ap_network.hpp"
+
+namespace spider::net {
+
+ApNetwork::ApNetwork(sim::Simulator& simulator, mac::AccessPoint& ap,
+                     WiredNetwork& wired, wire::Ipv4 subnet_base,
+                     ApNetworkConfig config, Rng rng)
+    : sim_(simulator),
+      ap_(ap),
+      internet_connected_(config.internet_connected),
+      dhcp_(simulator, subnet_base, subnet_base.with_host(1), config.dhcp, rng),
+      uplink_(simulator, config.backhaul),
+      downlink_(simulator, config.backhaul) {
+  ap_.set_uplink([this](wire::PacketPtr p, wire::MacAddress from) {
+    on_uplink(std::move(p), from);
+  });
+  dhcp_.set_send([this](wire::PacketPtr p, wire::MacAddress to) {
+    ap_.deliver_to_client(to, std::move(p));
+  });
+  uplink_.set_sink([&wired](wire::PacketPtr p) { wired.route(std::move(p)); });
+  downlink_.set_sink([this](wire::PacketPtr p) { on_downlink(std::move(p)); });
+  wired.register_subnet(subnet_base, downlink_);
+}
+
+void ApNetwork::on_uplink(wire::PacketPtr packet, wire::MacAddress from) {
+  // DHCP terminates at the AP regardless of addressing (clients have no
+  // routable source address yet).
+  if (const auto* dhcp_msg = packet->as<wire::DhcpMessage>()) {
+    dhcp_.on_message(*dhcp_msg, from);
+    return;
+  }
+  // Gateway pings: Spider falls back to pinging the gateway when an AP
+  // filters end-to-end ICMP; the gateway itself answers these.
+  if (packet->dst == gateway_ip()) {
+    if (const auto* echo = packet->as<wire::IcmpEcho>(); echo && !echo->reply) {
+      wire::IcmpEcho reply = *echo;
+      reply.reply = true;
+      on_downlink(wire::make_icmp_packet(gateway_ip(), packet->src, reply));
+    }
+    return;
+  }
+  if (!internet_connected_) return;  // captive portal: silently eats traffic
+  uplink_.send(std::move(packet));
+}
+
+void ApNetwork::on_downlink(wire::PacketPtr packet) {
+  const auto mac = dhcp_.lookup_mac(packet->dst);
+  if (!mac) return;  // no lease for this address: drop
+  ap_.deliver_to_client(*mac, std::move(packet));
+}
+
+}  // namespace spider::net

@@ -1,0 +1,36 @@
+#include "net/link.hpp"
+
+namespace spider::net {
+
+Link::Link(sim::Simulator& simulator, LinkConfig config)
+    : sim_(simulator), config_(config) {}
+
+void Link::send(wire::PacketPtr packet) {
+  if (queue_.size() >= config_.queue_packets) {
+    ++dropped_;
+    return;
+  }
+  queue_.push_back(std::move(packet));
+  pump();
+}
+
+void Link::pump() {
+  if (busy_ || queue_.empty()) return;
+  busy_ = true;
+  wire::PacketPtr packet = std::move(queue_.front());
+  queue_.pop_front();
+  const Time serialization =
+      config_.rate.time_for_bytes(static_cast<double>(packet->size_bytes));
+  // The link is busy for the serialisation time; the packet additionally
+  // rides the propagation delay before reaching the sink.
+  sim_.schedule(serialization, [this, packet = std::move(packet)]() mutable {
+    busy_ = false;
+    sim_.schedule(config_.delay, [this, packet = std::move(packet)]() mutable {
+      ++delivered_;
+      if (sink_) sink_(std::move(packet));
+    });
+    pump();
+  });
+}
+
+}  // namespace spider::net

@@ -1,0 +1,54 @@
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+
+#include "sim/simulator.hpp"
+#include "util/units.hpp"
+#include "wire/packet.hpp"
+
+namespace spider::net {
+
+/// A unidirectional wired link with finite rate, fixed propagation delay
+/// and a drop-tail queue.
+///
+/// This is the AP's backhaul: the paper's throughput-aggregation argument
+/// rests on the backhaul rate being far below the 11 Mbps wireless rate,
+/// so the queue here is where congestion (and thus TCP's behaviour under
+/// channel absence) materialises.
+struct LinkConfig {
+  BitRate rate = mbps(1.5);
+  Time delay = msec(10);
+  std::size_t queue_packets = 50;
+};
+
+class Link {
+ public:
+  using SinkFn = std::function<void(wire::PacketPtr)>;
+
+  Link(sim::Simulator& simulator, LinkConfig config);
+
+  void set_sink(SinkFn sink) { sink_ = std::move(sink); }
+  const LinkConfig& config() const { return config_; }
+
+  /// Enqueues a packet; drops it (drop-tail) if the queue is full.
+  void send(wire::PacketPtr packet);
+
+  std::size_t queue_depth() const { return queue_.size(); }
+  std::uint64_t delivered() const { return delivered_; }
+  std::uint64_t dropped() const { return dropped_; }
+
+ private:
+  void pump();
+
+  sim::Simulator& sim_;
+  LinkConfig config_;
+  SinkFn sink_;
+  std::deque<wire::PacketPtr> queue_;
+  bool busy_ = false;
+  std::uint64_t delivered_ = 0;
+  std::uint64_t dropped_ = 0;
+};
+
+}  // namespace spider::net

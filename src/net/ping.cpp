@@ -1,0 +1,58 @@
+#include "net/ping.hpp"
+
+namespace spider::net {
+
+PingProber::PingProber(sim::Simulator& simulator, std::uint32_t prober_id,
+                       PingProberConfig config)
+    : sim_(simulator), id_(prober_id), config_(config) {}
+
+PingProber::~PingProber() { timer_.cancel(); }
+
+void PingProber::start(wire::Ipv4 source, wire::Ipv4 target) {
+  stop();
+  running_ = true;
+  saw_reply_ = false;
+  source_ = source;
+  target_ = target;
+  next_seq_ = 0;
+  last_reply_seq_ = -1;
+  tick();
+}
+
+void PingProber::stop() {
+  timer_.cancel();
+  running_ = false;
+}
+
+int PingProber::consecutive_misses() const {
+  return static_cast<int>(static_cast<std::int64_t>(next_seq_) - 1 -
+                          last_reply_seq_);
+}
+
+void PingProber::tick() {
+  if (!running_) return;
+  if (consecutive_misses() >= config_.fail_threshold) {
+    running_ = false;
+    if (callbacks_.on_dead) callbacks_.on_dead();
+    return;
+  }
+  wire::IcmpEcho echo;
+  echo.reply = false;
+  echo.id = id_;
+  echo.seq = next_seq_++;
+  if (send_) send_(wire::make_icmp_packet(source_, target_, echo));
+  timer_ = sim_.schedule(config_.interval, [this] { tick(); });
+}
+
+void PingProber::on_packet(const wire::Packet& packet) {
+  const auto* echo = packet.as<wire::IcmpEcho>();
+  if (!echo || !echo->reply || echo->id != id_) return;
+  last_reply_seq_ = std::max<std::int64_t>(last_reply_seq_, echo->seq);
+  ++replies_;
+  if (!saw_reply_) {
+    saw_reply_ = true;
+    if (callbacks_.on_first_reply) callbacks_.on_first_reply();
+  }
+}
+
+}  // namespace spider::net

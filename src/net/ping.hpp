@@ -1,0 +1,70 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "sim/simulator.hpp"
+#include "wire/packet.hpp"
+
+namespace spider::net {
+
+/// Spider's connectivity prober (§3.2.2): after a successful join the link
+/// manager "continuously uses end-to-end pings to determine whether the
+/// connection is alive. If thirty consecutive pings fail (sent at a rate of
+/// 10 pings per second), Spider assumes that the connection is dropped."
+struct PingProberConfig {
+  Time interval = msec(100);   ///< 10 pings/s
+  int fail_threshold = 30;     ///< consecutive misses before declaring death
+};
+
+class PingProber {
+ public:
+  using SendFn = std::function<void(wire::PacketPtr)>;
+
+  struct Callbacks {
+    /// First successful round-trip (used as the end-to-end join check).
+    std::function<void()> on_first_reply;
+    /// `fail_threshold` consecutive probes went unanswered.
+    std::function<void()> on_dead;
+  };
+
+  PingProber(sim::Simulator& simulator, std::uint32_t prober_id,
+             PingProberConfig config);
+  ~PingProber();
+  PingProber(const PingProber&) = delete;
+  PingProber& operator=(const PingProber&) = delete;
+
+  void set_send(SendFn send) { send_ = std::move(send); }
+  void set_callbacks(Callbacks callbacks) { callbacks_ = std::move(callbacks); }
+
+  /// Starts probing `target` from `source`.
+  void start(wire::Ipv4 source, wire::Ipv4 target);
+  void stop();
+  bool running() const { return running_; }
+
+  /// Feed ICMP packets received on the interface.
+  void on_packet(const wire::Packet& packet);
+
+  int consecutive_misses() const;
+  std::uint64_t replies_received() const { return replies_; }
+
+ private:
+  void tick();
+
+  sim::Simulator& sim_;
+  std::uint32_t id_;
+  PingProberConfig config_;
+  SendFn send_;
+  Callbacks callbacks_;
+
+  bool running_ = false;
+  bool saw_reply_ = false;
+  wire::Ipv4 source_;
+  wire::Ipv4 target_;
+  std::uint32_t next_seq_ = 0;
+  std::int64_t last_reply_seq_ = -1;
+  std::uint64_t replies_ = 0;
+  sim::EventHandle timer_;
+};
+
+}  // namespace spider::net

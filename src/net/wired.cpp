@@ -1,0 +1,46 @@
+#include "net/wired.hpp"
+
+namespace spider::net {
+
+void WiredNetwork::register_host(Host& host) { hosts_[host.ip()] = &host; }
+
+void WiredNetwork::unregister_host(const Host& host) { hosts_.erase(host.ip()); }
+
+void WiredNetwork::register_subnet(wire::Ipv4 subnet_base, Link& downlink) {
+  subnets_[subnet_base.raw() & 0xFFFFFF00u] = &downlink;
+}
+
+void WiredNetwork::route(wire::PacketPtr packet) {
+  sim_.schedule(core_latency_, [this, packet = std::move(packet)]() mutable {
+    if (auto host = hosts_.find(packet->dst); host != hosts_.end()) {
+      ++routed_;
+      host->second->receive(*packet);
+      return;
+    }
+    if (auto subnet = subnets_.find(packet->dst.raw() & 0xFFFFFF00u);
+        subnet != subnets_.end()) {
+      ++routed_;
+      subnet->second->send(std::move(packet));
+      return;
+    }
+    ++unroutable_;
+  });
+}
+
+Host::Host(WiredNetwork& network, wire::Ipv4 ip) : network_(network), ip_(ip) {
+  network_.register_host(*this);
+}
+
+Host::~Host() { network_.unregister_host(*this); }
+
+void Host::receive(const wire::Packet& packet) {
+  if (const auto* echo = packet.as<wire::IcmpEcho>(); echo && !echo->reply) {
+    wire::IcmpEcho reply = *echo;
+    reply.reply = true;
+    send(wire::make_icmp_packet(ip_, packet.src, reply));
+    return;
+  }
+  if (handler_) handler_(packet);
+}
+
+}  // namespace spider::net

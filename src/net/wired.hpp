@@ -1,0 +1,69 @@
+#pragma once
+
+#include <functional>
+#include <unordered_map>
+
+#include "net/link.hpp"
+#include "sim/simulator.hpp"
+#include "wire/packet.hpp"
+
+namespace spider::net {
+
+class Host;
+
+/// The wired core ("the Internet" behind the APs' backhauls). Bandwidth
+/// constraints live in the Link objects on either side; the core itself
+/// adds only a small fixed forwarding latency — going through the event
+/// queue also keeps zero-RTT topologies from recursing unboundedly.
+/// Destinations are either registered hosts (servers) or /24 subnets owned
+/// by an AP, reached via that AP's downlink.
+class WiredNetwork {
+ public:
+  explicit WiredNetwork(sim::Simulator& simulator, Time core_latency = usec(200))
+      : sim_(simulator), core_latency_(core_latency) {}
+
+  void register_host(Host& host);
+  void unregister_host(const Host& host);
+
+  /// Routes packets destined to `subnet_base`/24 into `downlink`.
+  void register_subnet(wire::Ipv4 subnet_base, Link& downlink);
+
+  void route(wire::PacketPtr packet);
+
+  std::uint64_t routed() const { return routed_; }
+  std::uint64_t unroutable() const { return unroutable_; }
+
+ private:
+  sim::Simulator& sim_;
+  Time core_latency_;
+  std::unordered_map<wire::Ipv4, Host*> hosts_;
+  std::unordered_map<std::uint32_t, Link*> subnets_;  // keyed by base/24
+  std::uint64_t routed_ = 0;
+  std::uint64_t unroutable_ = 0;
+};
+
+/// A wired end host (the paper's download server / ping sink). Replies to
+/// ICMP echos automatically; other traffic goes to the installed handler
+/// (the transport layer registers TCP here).
+class Host {
+ public:
+  using PacketHandler = std::function<void(const wire::Packet&)>;
+
+  Host(WiredNetwork& network, wire::Ipv4 ip);
+  ~Host();
+  Host(const Host&) = delete;
+  Host& operator=(const Host&) = delete;
+
+  wire::Ipv4 ip() const { return ip_; }
+  void set_handler(PacketHandler handler) { handler_ = std::move(handler); }
+
+  void send(wire::PacketPtr packet) { network_.route(std::move(packet)); }
+  void receive(const wire::Packet& packet);
+
+ private:
+  WiredNetwork& network_;
+  wire::Ipv4 ip_;
+  PacketHandler handler_;
+};
+
+}  // namespace spider::net

@@ -1,0 +1,61 @@
+#include "phy/medium.hpp"
+
+#include <algorithm>
+
+#include "phy/radio.hpp"
+
+namespace spider::phy {
+
+namespace {
+/// 802.11b long-preamble PLCP overhead.
+constexpr Time kPlcpOverhead = usec(192);
+}  // namespace
+
+Medium::Medium(sim::Simulator& simulator, Propagation propagation, Rng rng)
+    : sim_(simulator), propagation_(propagation), rng_(rng) {}
+
+void Medium::attach(Radio& radio) { radios_.push_back(&radio); }
+
+void Medium::detach(Radio& radio) {
+  radios_.erase(std::remove(radios_.begin(), radios_.end(), &radio), radios_.end());
+}
+
+Time Medium::airtime(std::size_t bytes, BitRate rate) {
+  return kPlcpOverhead + rate.time_for_bytes(static_cast<double>(bytes));
+}
+
+void Medium::transmit(Radio& sender, wire::Frame frame) {
+  ++frames_sent_;
+  frame.channel = sender.channel();
+  const Position tx_pos = sender.position();
+  const Time arrival = airtime(frame.size_bytes, sender.config().phy_rate);
+
+  for (Radio* rx : radios_) {
+    if (rx == &sender) continue;
+    if (rx->channel() != frame.channel) continue;  // early filter; recheck on arrival
+    const Position rx_pos = rx->position();
+    if (!propagation_.in_range(tx_pos, rx_pos)) continue;
+    const double p_loss = propagation_.loss_probability(tx_pos, rx_pos);
+
+    // Unicast frames to their addressee enjoy link-layer ARQ; everyone
+    // else (and all broadcast traffic) gets a single shot.
+    const bool arq = !frame.dst.is_broadcast() && rx->owns_address(frame.dst);
+    const int attempts_allowed = arq ? 1 + kRetryLimit : 1;
+    int attempt = 1;
+    while (attempt <= attempts_allowed && rng_.chance(p_loss)) ++attempt;
+    if (attempt > attempts_allowed) continue;  // lost despite retries
+
+    wire::Frame delivered = frame;
+    delivered.rssi_dbm = propagation_.rssi_dbm(tx_pos, rx_pos);
+    ++frames_delivered_;
+    // Each retry costs roughly one more airtime before the frame lands.
+    // The receiver must still be tuned and listening when the frame ends.
+    sim_.schedule(arrival * attempt, [rx, delivered = std::move(delivered)] {
+      if (rx->listening() && rx->channel() == delivered.channel) {
+        rx->deliver(delivered);
+      }
+    });
+  }
+}
+
+}  // namespace spider::phy

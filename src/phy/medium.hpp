@@ -1,0 +1,71 @@
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "phy/propagation.hpp"
+#include "sim/simulator.hpp"
+#include "util/random.hpp"
+#include "util/units.hpp"
+#include "wire/frame.hpp"
+
+namespace spider::phy {
+
+class Radio;
+
+/// The shared wireless medium.
+///
+/// Radios register themselves and transmit frames; the medium decides who
+/// hears what. Delivery requires (a) same channel, (b) receiver not mid
+/// channel-switch, (c) within propagation range, and (d) surviving an
+/// independent Bernoulli loss draw from the propagation model. Frames
+/// arrive after their serialisation airtime.
+///
+/// 802.11 link-layer ARQ is modelled statistically: a unicast frame is
+/// retransmitted up to `retry_limit` times, so its delivery probability to
+/// its addressee is 1 - p^(retries+1) with each extra attempt adding one
+/// airtime of latency. Broadcast frames (beacons, probe requests) get a
+/// single attempt, as on real hardware — which is exactly why the paper's
+/// join model sees a flat per-message loss h on the handshake while bulk
+/// TCP rides an almost-lossless link inside the cell.
+///
+/// Deliberate simplification: there is no CSMA/collision model. The paper's
+/// effects come from scheduling, handshake timeouts and backhaul limits, not
+/// from MAC contention (its outdoor cells are sparse); modelling loss as a
+/// distance-dependent Bernoulli process keeps runs deterministic per seed
+/// and is consistent with the paper's own analytical treatment (flat h).
+class Medium {
+ public:
+  /// Max retransmissions of a unicast frame (stock drivers use ~7; the
+  /// sender's occupancy for retries is not modelled).
+  static constexpr int kRetryLimit = 4;
+
+  Medium(sim::Simulator& simulator, Propagation propagation, Rng rng);
+
+  /// Radios self-register from their constructor/destructor.
+  void attach(Radio& radio);
+  void detach(Radio& radio);
+
+  /// Broadcasts `frame` from `sender` on the sender's current channel.
+  /// Called by Radio once the frame reaches the head of its TX queue.
+  void transmit(Radio& sender, wire::Frame frame);
+
+  const Propagation& propagation() const { return propagation_; }
+  sim::Simulator& simulator() { return sim_; }
+
+  /// Airtime of a frame of `bytes` at `rate` (PLCP preamble + payload).
+  static Time airtime(std::size_t bytes, BitRate rate);
+
+  std::uint64_t frames_sent() const { return frames_sent_; }
+  std::uint64_t frames_delivered() const { return frames_delivered_; }
+
+ private:
+  sim::Simulator& sim_;
+  Propagation propagation_;
+  Rng rng_;
+  std::vector<Radio*> radios_;
+  std::uint64_t frames_sent_ = 0;
+  std::uint64_t frames_delivered_ = 0;
+};
+
+}  // namespace spider::phy

@@ -1,0 +1,42 @@
+#pragma once
+
+#include "util/units.hpp"
+
+namespace spider::phy {
+
+/// Radio propagation model.
+///
+/// The paper does not model propagation analytically; it assumes a
+/// practical Wi-Fi range of 100 m and an aggregate frame loss rate h
+/// (10% in the model validation). We use a disc model with a loss floor
+/// that ramps toward 1 at the cell edge: inside `good_radius` the loss is
+/// `base_loss`; between `good_radius` and `range` it rises linearly to 1.
+/// This reproduces the "gray zone" that makes edge-of-cell joins flaky
+/// without requiring a full fading simulator.
+struct PropagationConfig {
+  double range_m = 100.0;      ///< beyond this nothing is received
+  double good_radius_m = 80.0; ///< loss stays at base_loss up to here
+  double base_loss = 0.10;     ///< h in the paper's model
+  double tx_power_dbm = 20.0;
+  double path_loss_exponent = 3.0;
+};
+
+class Propagation {
+ public:
+  explicit Propagation(PropagationConfig config = {});
+
+  const PropagationConfig& config() const { return config_; }
+
+  bool in_range(const Position& a, const Position& b) const;
+
+  /// Per-frame loss probability at the given separation (1.0 out of range).
+  double loss_probability(const Position& a, const Position& b) const;
+
+  /// Log-distance RSSI estimate in dBm; used for AP-selection tiebreaks.
+  double rssi_dbm(const Position& a, const Position& b) const;
+
+ private:
+  PropagationConfig config_;
+};
+
+}  // namespace spider::phy

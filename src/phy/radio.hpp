@@ -1,0 +1,126 @@
+#pragma once
+
+#include <deque>
+#include <functional>
+#include <optional>
+
+#include "phy/medium.hpp"
+#include "sim/simulator.hpp"
+#include "util/units.hpp"
+#include "wire/frame.hpp"
+
+namespace spider::phy {
+
+/// Hardware parameters of a Wi-Fi card.
+struct RadioConfig {
+  BitRate phy_rate = kWirelessRate;  ///< 11 Mbps, as in the paper
+  /// Hardware-reset latency applied on every channel change. Table 1
+  /// measures the full switch (PSM frames + reset) at ~5 ms with the reset
+  /// as the dominant term.
+  Time switch_latency = msec(4);
+};
+
+/// A single physical 802.11 card.
+///
+/// The radio is tuned to exactly one channel at a time. Transmissions are
+/// serialised through a FIFO: a frame occupies the air for its airtime
+/// before the next may start. A `tune()` request first drains frames that
+/// are already queued (Spider's switch sequence queues PSM frames to each
+/// associated AP immediately before retuning, and those must reach the old
+/// channel), then performs the hardware reset, during which the card
+/// neither transmits nor receives. Virtualisation (multiple BSS on one
+/// card) lives above this class, in the MAC and in Spider's scheduler.
+class Radio {
+ public:
+  using PositionFn = std::function<Position()>;
+  using ReceiveFn = std::function<void(const wire::Frame&)>;
+
+  Radio(Medium& medium, wire::MacAddress mac, PositionFn position,
+        RadioConfig config = {});
+  ~Radio();
+  Radio(const Radio&) = delete;
+  Radio& operator=(const Radio&) = delete;
+
+  wire::MacAddress mac() const { return mac_; }
+  wire::Channel channel() const { return channel_; }
+  Position position() const { return position_(); }
+  const RadioConfig& config() const { return config_; }
+
+  /// True when the card can hear frames on its channel.
+  bool listening() const { return !resetting_; }
+  /// True from the tune() call until the retune completes.
+  bool switching() const { return resetting_ || pending_tune_.has_value(); }
+
+  /// Retunes the card. Already-queued frames are flushed first; then the
+  /// card is deaf for `switch_latency`; `done` runs once it is usable on
+  /// the new channel. Retuning to the current channel still pays the
+  /// hardware-reset cost (matching the driver's behaviour). A second tune()
+  /// while one is pending supersedes it (the previous `done` is dropped).
+  void tune(wire::Channel channel, std::function<void()> done = nullptr);
+
+  /// Enqueues a frame for transmission on the current channel. Frames
+  /// queued after a tune() request are dropped — callers must hold traffic
+  /// until the retune completes.
+  void send(wire::Frame frame);
+
+  /// Upcall for every frame heard on the tuned channel (promiscuous: the
+  /// MAC above filters by address; the scanner wants overheard beacons).
+  void set_receiver(ReceiveFn receiver) { receiver_ = std::move(receiver); }
+
+  /// Declares which unicast destinations this card answers for. A
+  /// virtualised driver programs all of its interface MACs here; the
+  /// medium applies link-layer ARQ only to frames an addressee will ACK.
+  /// Default: only the card's own MAC.
+  void set_address_filter(std::function<bool(wire::MacAddress)> filter) {
+    address_filter_ = std::move(filter);
+  }
+  bool owns_address(wire::MacAddress addr) const {
+    return addr == mac_ || (address_filter_ && address_filter_(addr));
+  }
+
+  /// Called by the medium on delivery.
+  void deliver(const wire::Frame& frame);
+
+  std::uint64_t switches_performed() const { return switches_; }
+  std::uint64_t frames_dropped_switching() const { return dropped_switching_; }
+
+  // --- energy accounting inputs (see phy/energy.hpp) ------------------
+  /// Cumulative airtime this card spent transmitting.
+  Time tx_airtime() const { return tx_airtime_; }
+  /// Cumulative time spent in hardware resets (tuning).
+  Time switch_airtime() const { return switch_airtime_; }
+  std::uint64_t tx_bytes() const { return tx_bytes_; }
+
+ private:
+  struct PendingTune {
+    wire::Channel channel;
+    std::function<void()> done;
+  };
+
+  void pump_tx();
+  void begin_reset();
+
+  Medium& medium_;
+  wire::MacAddress mac_;
+  PositionFn position_;
+  RadioConfig config_;
+  ReceiveFn receiver_;
+  std::function<bool(wire::MacAddress)> address_filter_;
+
+  wire::Channel channel_ = 1;
+  bool resetting_ = false;
+  std::optional<PendingTune> pending_tune_;
+  std::uint64_t switches_ = 0;
+  std::uint64_t dropped_switching_ = 0;
+
+  Time tx_airtime_{0};
+  Time switch_airtime_{0};
+  std::uint64_t tx_bytes_ = 0;
+
+  std::deque<wire::Frame> tx_queue_;
+  bool tx_busy_ = false;
+  sim::EventHandle tx_event_;
+  sim::EventHandle switch_event_;
+};
+
+}  // namespace spider::phy

@@ -1,0 +1,49 @@
+#include "sim/event_queue.hpp"
+
+#include <cassert>
+#include <utility>
+
+namespace spider::sim {
+
+EventHandle EventQueue::push(Time when, Callback cb) {
+  auto flag = std::make_shared<bool>(false);
+  heap_.push(Entry{when, next_seq_++, std::move(cb), flag});
+  ++live_;
+  return EventHandle{std::move(flag)};
+}
+
+void EventQueue::drop_cancelled() const {
+  while (!heap_.empty() && *heap_.top().cancelled) {
+    heap_.pop();
+    --live_;
+  }
+}
+
+bool EventQueue::empty() const {
+  drop_cancelled();
+  return heap_.empty();
+}
+
+Time EventQueue::next_time() const {
+  drop_cancelled();
+  return heap_.empty() ? Time::max() : heap_.top().when;
+}
+
+Time EventQueue::pop_and_run() {
+  drop_cancelled();
+  assert(!heap_.empty());
+  // Move the callback out before running: the callback may push new events,
+  // which can reallocate the heap's storage.
+  Entry top = heap_.top();
+  heap_.pop();
+  --live_;
+  top.cb();
+  return top.when;
+}
+
+void EventQueue::clear() {
+  while (!heap_.empty()) heap_.pop();
+  live_ = 0;
+}
+
+}  // namespace spider::sim

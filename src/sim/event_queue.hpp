@@ -1,0 +1,78 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <queue>
+#include <vector>
+
+#include "util/time.hpp"
+
+namespace spider::sim {
+
+/// Handle for a scheduled event. Holding one allows cancellation; the
+/// handle is cheap to copy (shared ownership of a one-word flag).
+///
+/// Cancellation is lazy: the queue keeps the entry but skips it on pop,
+/// which keeps cancel() O(1) — the timer-heavy MAC/DHCP state machines
+/// cancel far more timers than ever fire.
+class EventHandle {
+ public:
+  EventHandle() = default;
+
+  void cancel() {
+    if (cancelled_) *cancelled_ = true;
+  }
+  bool valid() const { return cancelled_ != nullptr; }
+  bool cancelled() const { return cancelled_ && *cancelled_; }
+
+ private:
+  friend class EventQueue;
+  explicit EventHandle(std::shared_ptr<bool> flag) : cancelled_(std::move(flag)) {}
+  std::shared_ptr<bool> cancelled_;
+};
+
+/// Time-ordered queue of callbacks. Ties are broken by insertion order so
+/// that same-timestamp events run FIFO — this makes frame delivery and
+/// timer interleavings deterministic.
+class EventQueue {
+ public:
+  using Callback = std::function<void()>;
+
+  EventHandle push(Time when, Callback cb);
+
+  /// True if no live (non-cancelled) event remains.
+  bool empty() const;
+
+  /// Timestamp of the earliest live event; Time::max() when empty.
+  Time next_time() const;
+
+  /// Pops and runs the earliest live event, returning its timestamp.
+  /// Precondition: !empty().
+  Time pop_and_run();
+
+  void clear();
+  std::size_t live_size() const { return live_; }
+
+ private:
+  struct Entry {
+    Time when;
+    std::uint64_t seq;
+    Callback cb;
+    std::shared_ptr<bool> cancelled;
+  };
+  struct Later {
+    bool operator()(const Entry& a, const Entry& b) const {
+      if (a.when != b.when) return a.when > b.when;
+      return a.seq > b.seq;
+    }
+  };
+
+  void drop_cancelled() const;
+
+  mutable std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
+  std::uint64_t next_seq_ = 0;
+  mutable std::size_t live_ = 0;
+};
+
+}  // namespace spider::sim

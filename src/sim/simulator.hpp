@@ -1,0 +1,78 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "sim/event_queue.hpp"
+#include "util/time.hpp"
+
+namespace spider::sim {
+
+/// The simulation kernel: a clock plus an event queue.
+///
+/// Every protocol entity in the repository (radios, MAC state machines,
+/// DHCP clients, TCP connections, schedulers, mobility models) is driven
+/// exclusively by callbacks scheduled here, so a whole experiment is a
+/// single-threaded deterministic replay of one seed.
+class Simulator {
+ public:
+  Simulator() = default;
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  Time now() const { return now_; }
+
+  /// Schedules `cb` to run `delay` after the current time (>= 0).
+  EventHandle schedule(Time delay, EventQueue::Callback cb);
+
+  /// Schedules `cb` at an absolute timestamp (>= now()).
+  EventHandle schedule_at(Time when, EventQueue::Callback cb);
+
+  /// Runs events until the queue drains or `deadline` passes. The clock is
+  /// left at the later of its current value and the deadline (when given),
+  /// so back-to-back run_until calls see a monotonic clock.
+  void run_until(Time deadline);
+
+  /// Runs until the queue is empty (use only for bounded workloads).
+  void run_all();
+
+  /// Requests that the current run_* call return after the active event.
+  void stop() { stopped_ = true; }
+
+  std::uint64_t events_executed() const { return executed_; }
+  bool pending() const { return !queue_.empty(); }
+
+ private:
+  Time now_{0};
+  EventQueue queue_;
+  bool stopped_ = false;
+  std::uint64_t executed_ = 0;
+};
+
+/// A restartable periodic timer built on the simulator; used for beacons,
+/// schedule slots, ping probes, etc. Destroying the timer cancels it.
+class PeriodicTimer {
+ public:
+  PeriodicTimer(Simulator& simulator, Time period, std::function<void()> tick)
+      : sim_(simulator), period_(period), tick_(std::move(tick)) {}
+  ~PeriodicTimer() { stop(); }
+  PeriodicTimer(const PeriodicTimer&) = delete;
+  PeriodicTimer& operator=(const PeriodicTimer&) = delete;
+
+  void start();
+  void stop() { handle_.cancel(); running_ = false; }
+  bool running() const { return running_; }
+  void set_period(Time period) { period_ = period; }
+  Time period() const { return period_; }
+
+ private:
+  void arm();
+
+  Simulator& sim_;
+  Time period_;
+  std::function<void()> tick_;
+  EventHandle handle_;
+  bool running_ = false;
+};
+
+}  // namespace spider::sim

@@ -1,0 +1,152 @@
+#include "trace/experiment.hpp"
+
+#include <optional>
+
+#include "core/spider_driver.hpp"
+#include "mobility/mobility.hpp"
+
+namespace spider::trace {
+
+const char* to_string(DriverKind k) {
+  switch (k) {
+    case DriverKind::kSpider: return "spider";
+    case DriverKind::kStock: return "stock";
+    case DriverKind::kFatVap: return "fatvap";
+  }
+  return "?";
+}
+
+double ScenarioResult::dhcp_failure_fraction() const {
+  if (assoc_succeeded == 0) return 0.0;
+  return 1.0 -
+         static_cast<double>(dhcp_succeeded) / static_cast<double>(assoc_succeeded);
+}
+
+namespace {
+
+void digest_join_log(ScenarioResult& result) {
+  result.joins_attempted = result.join_log.size();
+  for (const auto& rec : result.join_log) {
+    result.assoc_succeeded += rec.assoc_delay.has_value() ? 1 : 0;
+    result.dhcp_succeeded += rec.dhcp_delay.has_value() ? 1 : 0;
+    result.e2e_succeeded +=
+        rec.outcome == core::JoinOutcome::kEndToEnd && rec.finished ? 1 : 0;
+  }
+}
+
+}  // namespace
+
+ScenarioResult run_scenario(const ScenarioConfig& config) {
+  TestbedConfig tb_config;
+  tb_config.seed = config.seed;
+  tb_config.propagation = config.propagation;
+  Testbed bed(tb_config);
+
+  // Populate the road.
+  Rng deploy_rng = bed.fork_rng();
+  const auto sites = config.fixed_sites.empty()
+                         ? mob::generate_deployment(config.deployment, deploy_rng)
+                         : config.fixed_sites;
+  for (const auto& site : sites) {
+    Testbed::ApSpec spec;
+    spec.channel = site.channel;
+    spec.position = site.position;
+    spec.backhaul = site.backhaul;
+    spec.backhaul_delay = config.backhaul_delay;
+    spec.internet_connected = site.internet_connected;
+    spec.dhcp = config.dhcp_server;
+    bed.add_ap(spec);
+  }
+
+  // The vehicle.
+  mob::BackAndForthRoad route(config.deployment.road_length_m, config.speed_mps);
+  auto position = [&route, &sim = bed.sim] { return route.position_at(sim.now()); };
+
+  ThroughputRecorder recorder(config.metrics_bin);
+  DownloadHarness harness(bed.sim, bed.server_ip(), recorder);
+  ScenarioResult result;
+
+  // Assemble the chosen driver, run, and harvest. The driver objects live
+  // on the stack of each branch; runs are fully self-contained.
+  switch (config.driver) {
+    case DriverKind::kSpider: {
+      core::SpiderDriver driver(bed.sim, bed.medium, bed.next_client_mac_block(),
+                                position, config.spider);
+      core::LinkManager manager(driver, bed.server_ip());
+      harness.attach(manager);
+      driver.start();
+      manager.start();
+      std::optional<core::AdaptiveModeController> adaptive;
+      if (config.adaptive) {
+        adaptive.emplace(driver, [speed = config.speed_mps] { return speed; },
+                         config.adaptive_config);
+        adaptive->start();
+      }
+      bed.sim.run_until(config.duration);
+      result.join_log = manager.join_log();
+      result.switches = driver.switches();
+      result.switch_latency_ms = driver.switch_latency_stats();
+      break;
+    }
+    case DriverKind::kStock: {
+      base::StockWifiDriver driver(bed.sim, bed.medium,
+                                   bed.next_client_mac_block(), position,
+                                   config.stock, bed.server_ip());
+      harness.attach(driver);
+      driver.start();
+      bed.sim.run_until(config.duration);
+      result.join_log = driver.join_log();
+      result.switches = driver.radio().switches_performed();
+      break;
+    }
+    case DriverKind::kFatVap: {
+      base::FatVapDriver driver(bed.sim, bed.medium, bed.next_client_mac_block(),
+                                position, config.spider, config.fatvap);
+      core::LinkManager manager(driver, bed.server_ip());
+      harness.attach(manager);
+      driver.start();
+      manager.start();
+      bed.sim.run_until(config.duration);
+      result.join_log = manager.join_log();
+      result.switches = driver.radio().switches_performed();
+      break;
+    }
+  }
+
+  recorder.finalize(config.duration);
+  result.avg_throughput_kBps = recorder.average_throughput_kBps();
+  result.connectivity = recorder.connectivity_fraction();
+  result.connection_durations = Cdf(recorder.connection_durations());
+  result.disruption_durations = Cdf(recorder.disruption_durations());
+  result.instantaneous_kBps = Cdf(recorder.instantaneous_kBps());
+  result.total_bytes = recorder.total_bytes();
+  digest_join_log(result);
+  return result;
+}
+
+ScenarioResult run_scenario_averaged(ScenarioConfig config, int runs) {
+  ScenarioResult pooled;
+  for (int r = 0; r < runs; ++r) {
+    config.seed += r == 0 ? 0 : 1;
+    ScenarioResult one = run_scenario(config);
+    pooled.avg_throughput_kBps += one.avg_throughput_kBps / runs;
+    pooled.connectivity += one.connectivity / runs;
+    pooled.total_bytes += one.total_bytes;
+    pooled.switches += one.switches;
+    for (double x : one.connection_durations.samples()) {
+      pooled.connection_durations.add(x);
+    }
+    for (double x : one.disruption_durations.samples()) {
+      pooled.disruption_durations.add(x);
+    }
+    for (double x : one.instantaneous_kBps.samples()) {
+      pooled.instantaneous_kBps.add(x);
+    }
+    pooled.join_log.insert(pooled.join_log.end(), one.join_log.begin(),
+                           one.join_log.end());
+  }
+  digest_join_log(pooled);
+  return pooled;
+}
+
+}  // namespace spider::trace

@@ -1,0 +1,76 @@
+#pragma once
+
+#include <vector>
+
+#include "baseline/fatvap.hpp"
+#include "baseline/stock_wifi.hpp"
+#include "core/config.hpp"
+#include "core/adaptive.hpp"
+#include "core/link_manager.hpp"
+#include "mobility/deployment.hpp"
+#include "net/dhcp_server.hpp"
+#include "trace/testbed.hpp"
+#include "util/stats.hpp"
+
+namespace spider::trace {
+
+enum class DriverKind { kSpider, kStock, kFatVap };
+const char* to_string(DriverKind k);
+
+/// A full outdoor drive: the §4.1 vehicular experiment. One client drives
+/// back and forth along a road lined with generated open APs, downloading
+/// through every live connection. Everything the evaluation section varies
+/// is a field here.
+struct ScenarioConfig {
+  std::uint64_t seed = 1;
+  Time duration = sec(1800);
+  double speed_mps = 10.0;
+
+  mob::DeploymentConfig deployment;
+  /// When non-empty, replay these sites instead of generating a deployment
+  /// (e.g. loaded from a wardriving CSV via mob::read_sites_csv_file).
+  std::vector<mob::ApSite> fixed_sites;
+  phy::PropagationConfig propagation;
+  net::DhcpServerConfig dhcp_server;
+  Time backhaul_delay = msec(10);
+
+  DriverKind driver = DriverKind::kSpider;
+  core::SpiderConfig spider;     ///< stack for Spider and FatVAP
+  base::StockConfig stock;
+  base::FatVapConfig fatvap;
+  /// Spider only: enable the §4.8 speed-adaptive mode controller (the
+  /// scenario's constant speed feeds it; the initial mode comes from
+  /// `spider.mode`).
+  bool adaptive = false;
+  core::AdaptiveConfig adaptive_config;
+
+  Time metrics_bin = sec(1);
+};
+
+/// Everything the evaluation section reports about one run.
+struct ScenarioResult {
+  double avg_throughput_kBps = 0.0;
+  double connectivity = 0.0;
+  Cdf connection_durations;
+  Cdf disruption_durations;
+  Cdf instantaneous_kBps;
+  std::vector<core::JoinRecord> join_log;
+  std::uint64_t switches = 0;
+  OnlineStats switch_latency_ms;
+  std::uint64_t total_bytes = 0;
+
+  // Join-log digests.
+  std::size_t joins_attempted = 0;
+  std::size_t assoc_succeeded = 0;
+  std::size_t dhcp_succeeded = 0;
+  std::size_t e2e_succeeded = 0;
+  double dhcp_failure_fraction() const;  ///< of attempts that associated
+};
+
+ScenarioResult run_scenario(const ScenarioConfig& config);
+
+/// Averages `runs` seeded repetitions (seed, seed+1, ...) of the scalar
+/// metrics and pools the join logs/CDF samples.
+ScenarioResult run_scenario_averaged(ScenarioConfig config, int runs);
+
+}  // namespace spider::trace

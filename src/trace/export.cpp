@@ -1,0 +1,74 @@
+#include "trace/export.hpp"
+
+#include <fstream>
+#include <ostream>
+
+namespace spider::trace {
+
+namespace {
+
+std::string ms_or_empty(const std::optional<Time>& t) {
+  return t ? std::to_string(to_millis(*t)) : std::string();
+}
+
+}  // namespace
+
+void write_timeseries_csv(std::ostream& os, const ThroughputRecorder& recorder) {
+  os << "second,bytes\n";
+  const double width = to_seconds(recorder.bin_width());
+  const auto& bins = recorder.raw_bins();
+  for (std::size_t i = 0; i < bins.size(); ++i) {
+    os << i * width << ',' << bins[i] << '\n';
+  }
+}
+
+bool write_timeseries_csv(const std::string& path,
+                          const ThroughputRecorder& recorder) {
+  std::ofstream f(path, std::ios::trunc);
+  if (!f) return false;
+  write_timeseries_csv(f, recorder);
+  return static_cast<bool>(f);
+}
+
+void write_join_log_csv(std::ostream& os,
+                        const std::vector<core::JoinRecord>& log) {
+  os << "start_s,channel,bssid,outcome,assoc_ms,dhcp_ms,e2e_ms,used_cache\n";
+  for (const auto& rec : log) {
+    os << to_seconds(rec.started) << ',' << rec.channel << ','
+       << rec.bssid.to_string() << ',' << core::to_string(rec.outcome) << ','
+       << ms_or_empty(rec.assoc_delay) << ',' << ms_or_empty(rec.dhcp_delay)
+       << ',' << ms_or_empty(rec.e2e_delay) << ','
+       << (rec.used_lease_cache ? 1 : 0) << '\n';
+  }
+}
+
+bool write_join_log_csv(const std::string& path,
+                        const std::vector<core::JoinRecord>& log) {
+  std::ofstream f(path, std::ios::trunc);
+  if (!f) return false;
+  write_join_log_csv(f, log);
+  return static_cast<bool>(f);
+}
+
+void write_cdf_csv(std::ostream& os, Cdf& cdf, const std::string& x_label) {
+  os << x_label << ",cdf\n";
+  cdf.finalize();
+  const auto& samples = cdf.samples();
+  for (std::size_t i = 0; i < samples.size(); ++i) {
+    // Skip duplicates: emit each distinct x once, with its final F(x).
+    if (i + 1 < samples.size() && samples[i + 1] == samples[i]) continue;
+    os << samples[i] << ','
+       << static_cast<double>(i + 1) / static_cast<double>(samples.size())
+       << '\n';
+  }
+}
+
+bool write_cdf_csv(const std::string& path, Cdf& cdf,
+                   const std::string& x_label) {
+  std::ofstream f(path, std::ios::trunc);
+  if (!f) return false;
+  write_cdf_csv(f, cdf, x_label);
+  return static_cast<bool>(f);
+}
+
+}  // namespace spider::trace

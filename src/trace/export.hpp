@@ -1,0 +1,33 @@
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "core/link_manager.hpp"
+#include "trace/metrics.hpp"
+#include "util/stats.hpp"
+
+namespace spider::trace {
+
+/// CSV exporters for post-processing (plotting the reproduced figures with
+/// external tooling). All writers take a stream overload (unit-testable)
+/// and a path convenience overload; files are truncated.
+
+/// `second,bytes` — the ThroughputRecorder's binned timeline.
+void write_timeseries_csv(std::ostream& os, const ThroughputRecorder& recorder);
+bool write_timeseries_csv(const std::string& path,
+                          const ThroughputRecorder& recorder);
+
+/// `start_s,channel,bssid,outcome,assoc_ms,dhcp_ms,e2e_ms,used_cache`
+void write_join_log_csv(std::ostream& os,
+                        const std::vector<core::JoinRecord>& log);
+bool write_join_log_csv(const std::string& path,
+                        const std::vector<core::JoinRecord>& log);
+
+/// `x,cdf` over every distinct sample (exact empirical CDF).
+void write_cdf_csv(std::ostream& os, Cdf& cdf, const std::string& x_label);
+bool write_cdf_csv(const std::string& path, Cdf& cdf,
+                   const std::string& x_label);
+
+}  // namespace spider::trace

@@ -1,0 +1,71 @@
+#include "trace/metrics.hpp"
+
+namespace spider::trace {
+
+void ThroughputRecorder::record(Time now, std::size_t bytes) {
+  const auto index = static_cast<std::size_t>(now.count() / bin_.count());
+  if (bins_.size() <= index) bins_.resize(index + 1, 0);
+  bins_[index] += bytes;
+  total_ += bytes;
+}
+
+void ThroughputRecorder::finalize(Time end) {
+  const auto bins_needed = static_cast<std::size_t>(
+      (end.count() + bin_.count() - 1) / bin_.count());
+  if (bins_.size() < bins_needed) bins_.resize(bins_needed, 0);
+}
+
+double ThroughputRecorder::average_throughput_kBps() const {
+  if (bins_.empty()) return 0.0;
+  const double seconds = static_cast<double>(bins_.size()) * to_seconds(bin_);
+  return static_cast<double>(total_) / seconds / 1e3;
+}
+
+double ThroughputRecorder::connectivity_fraction() const {
+  if (bins_.empty()) return 0.0;
+  std::size_t nonzero = 0;
+  for (auto b : bins_) nonzero += b > 0 ? 1 : 0;
+  return static_cast<double>(nonzero) / static_cast<double>(bins_.size());
+}
+
+std::vector<double> ThroughputRecorder::connection_durations() const {
+  std::vector<double> out;
+  std::size_t run = 0;
+  for (auto b : bins_) {
+    if (b > 0) {
+      ++run;
+    } else if (run > 0) {
+      out.push_back(static_cast<double>(run) * to_seconds(bin_));
+      run = 0;
+    }
+  }
+  if (run > 0) out.push_back(static_cast<double>(run) * to_seconds(bin_));
+  return out;
+}
+
+std::vector<double> ThroughputRecorder::disruption_durations() const {
+  std::vector<double> out;
+  std::size_t run = 0;
+  for (auto b : bins_) {
+    if (b == 0) {
+      ++run;
+    } else if (run > 0) {
+      out.push_back(static_cast<double>(run) * to_seconds(bin_));
+      run = 0;
+    }
+  }
+  if (run > 0) out.push_back(static_cast<double>(run) * to_seconds(bin_));
+  return out;
+}
+
+std::vector<double> ThroughputRecorder::instantaneous_kBps() const {
+  std::vector<double> out;
+  for (auto b : bins_) {
+    if (b > 0) {
+      out.push_back(static_cast<double>(b) / to_seconds(bin_) / 1e3);
+    }
+  }
+  return out;
+}
+
+}  // namespace spider::trace

@@ -1,0 +1,52 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/stats.hpp"
+#include "util/time.hpp"
+
+namespace spider::trace {
+
+/// Time-binned goodput collector computing the paper's four §4.3 metrics:
+///
+///  1. average throughput  — bytes delivered / experiment duration;
+///  2. average connectivity — fraction of bins with non-zero delivery;
+///  3. disruption lengths   — maximal runs of zero bins;
+///  4. instantaneous bandwidth — per-bin rate over non-zero bins.
+///
+/// Bins are 1 s by default, matching the paper's definition of
+/// connectivity as "the percentage of time that a non-zero amount of data
+/// was transferred".
+class ThroughputRecorder {
+ public:
+  explicit ThroughputRecorder(Time bin = sec(1)) : bin_(bin) {}
+
+  void record(Time now, std::size_t bytes);
+
+  /// Extends the timeline with trailing zero bins up to `end`.
+  void finalize(Time end);
+
+  std::uint64_t total_bytes() const { return total_; }
+  std::size_t bins() const { return bins_.size(); }
+  Time bin_width() const { return bin_; }
+
+  double average_throughput_kBps() const;
+  double connectivity_fraction() const;
+
+  /// Maximal runs of consecutive non-zero bins, in seconds (Fig. 11).
+  std::vector<double> connection_durations() const;
+  /// Maximal runs of consecutive zero bins, in seconds (Fig. 12).
+  std::vector<double> disruption_durations() const;
+  /// KB/s of each non-zero bin (Fig. 13).
+  std::vector<double> instantaneous_kBps() const;
+
+  const std::vector<std::uint64_t>& raw_bins() const { return bins_; }
+
+ private:
+  Time bin_;
+  std::vector<std::uint64_t> bins_;
+  std::uint64_t total_ = 0;
+};
+
+}  // namespace spider::trace

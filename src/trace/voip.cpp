@@ -1,0 +1,113 @@
+#include "trace/voip.hpp"
+
+namespace spider::trace {
+
+VoipHarness::VoipHarness(sim::Simulator& simulator, wire::Ipv4 server_ip,
+                         tcp::CbrConfig config)
+    : sim_(simulator), server_ip_(server_ip), config_(config) {}
+
+void VoipHarness::attach(core::LinkManager& manager) {
+  manager.set_callbacks({
+      .on_link_up = [this](core::VirtualInterface& vif) { link_up(vif); },
+      .on_link_down = [this](core::VirtualInterface& vif) { link_down(vif); },
+  });
+}
+
+void VoipHarness::link_up(core::VirtualInterface& vif) {
+  ActiveCall call;
+  const std::uint32_t flow = tcp::next_flow_id();
+  call.started = sim_.now();
+  call.sink = std::make_unique<tcp::CbrSink>(sim_, flow);
+
+  vif.set_app_handler([this, sink = call.sink.get()](const wire::Packet& p) {
+    sink->on_packet(p);
+    if (p.as<wire::CbrDatagram>()) {
+      const auto bin = static_cast<std::size_t>(sim_.now().count() / 1'000'000);
+      if (per_second_packets_.size() <= bin) {
+        per_second_packets_.resize(bin + 1, 0);
+      }
+      ++per_second_packets_[bin];
+    }
+  });
+
+  // Subscribe immediately and keep the subscription warm; the server
+  // streams toward the interface's current address.
+  auto subscribe = [this, &vif, flow] {
+    wire::CbrDatagram d;
+    d.flow_id = flow;
+    d.subscribe = true;
+    d.payload_bytes = 16;
+    vif.send_packet(wire::make_cbr_packet(vif.ip(), server_ip_, d));
+  };
+  subscribe();
+  call.subscribe_timer =
+      std::make_unique<sim::PeriodicTimer>(sim_, sec(2), subscribe);
+  call.subscribe_timer->start();
+
+  active_[&vif] = std::move(call);
+}
+
+void VoipHarness::finish_call(core::VirtualInterface& vif, ActiveCall& call) {
+  CallRecord rec;
+  rec.started = call.started;
+  rec.ended = sim_.now();
+  rec.packets = call.sink->received();
+  rec.delivery_ratio = call.sink->delivery_ratio();
+  rec.mean_delay_s = call.sink->delay_stats().mean();
+  rec.jitter_s = call.sink->jitter_s();
+  rec.longest_gap = call.sink->longest_gap();
+  finished_.push_back(rec);
+  vif.set_app_handler(nullptr);
+}
+
+void VoipHarness::link_down(core::VirtualInterface& vif) {
+  auto it = active_.find(&vif);
+  if (it == active_.end()) return;
+  finish_call(vif, it->second);
+  active_.erase(it);
+}
+
+VoipHarness::Summary VoipHarness::summarize(Time duration,
+                                            double voice_ok_fraction) {
+  // Close out still-active calls without tearing down the links.
+  for (auto& [vif, call] : active_) {
+    finish_call(*const_cast<core::VirtualInterface*>(vif), call);
+  }
+  active_.clear();
+
+  Summary s;
+  s.calls = finished_.size();
+  double expected_total = 0.0, delivered_total = 0.0;
+  OnlineStats delay, jitter;
+  for (const auto& rec : finished_) {
+    s.packets_received += rec.packets;
+    if (rec.delivery_ratio > 0.0) {
+      const double expected = rec.packets / rec.delivery_ratio;
+      expected_total += expected;
+      delivered_total += rec.packets;
+    }
+    if (rec.packets > 0) {
+      delay.add(rec.mean_delay_s);
+      jitter.add(rec.jitter_s);
+    }
+    s.longest_gap = std::max(s.longest_gap, rec.longest_gap);
+  }
+  s.mean_delivery_ratio =
+      expected_total > 0.0 ? delivered_total / expected_total : 0.0;
+  s.mean_delay_s = delay.mean();
+  s.mean_jitter_s = jitter.mean();
+
+  const auto seconds = static_cast<std::size_t>(duration.count() / 1'000'000);
+  per_second_packets_.resize(std::max(per_second_packets_.size(), seconds), 0);
+  const double nominal =
+      1.0 / to_seconds(config_.packet_interval);  // packets per second
+  std::size_t ok = 0;
+  for (std::size_t i = 0; i < seconds; ++i) {
+    if (per_second_packets_[i] >= voice_ok_fraction * nominal) ++ok;
+  }
+  s.voice_availability =
+      seconds == 0 ? 0.0 : static_cast<double>(ok) / static_cast<double>(seconds);
+  return s;
+}
+
+}  // namespace spider::trace

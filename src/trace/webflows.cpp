@@ -1,0 +1,115 @@
+#include "trace/webflows.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace spider::trace {
+
+WebFlowHarness::WebFlowHarness(sim::Simulator& simulator, wire::Ipv4 server_ip,
+                               WebFlowConfig config, Rng rng)
+    : sim_(simulator), server_ip_(server_ip), config_(config), rng_(rng) {}
+
+void WebFlowHarness::attach(core::LinkManager& manager) {
+  manager.set_callbacks({
+      .on_link_up = [this](core::VirtualInterface& vif) { link_up(vif); },
+      .on_link_down = [this](core::VirtualInterface& vif) { link_down(vif); },
+  });
+}
+
+std::size_t WebFlowHarness::draw_size() {
+  const double bytes =
+      std::min(config_.size_cap_bytes,
+               rng_.lognormal(std::log(config_.size_median_bytes),
+                              config_.size_sigma));
+  return static_cast<std::size_t>(std::max(1.0, bytes));
+}
+
+void WebFlowHarness::link_up(core::VirtualInterface& vif) {
+  up_.push_back(&vif);
+  maybe_start_flow();
+}
+
+void WebFlowHarness::link_down(core::VirtualInterface& vif) {
+  up_.erase(std::remove(up_.begin(), up_.end(), &vif), up_.end());
+  if (current_vif_ == &vif) {
+    // Fetch dies with the link: record the abort, remember the size so the
+    // "reload" fetches the same object.
+    log_.back().completed = false;
+    pending_size_ = log_.back().size_bytes;
+    vif.set_app_handler(nullptr);
+    current_.reset();
+    current_vif_ = nullptr;
+    maybe_start_flow();
+  }
+}
+
+void WebFlowHarness::maybe_start_flow() {
+  if (current_ || thinking_ || up_.empty()) return;
+  start_flow(*up_.front());
+}
+
+void WebFlowHarness::start_flow(core::VirtualInterface& vif) {
+  FlowRecord rec;
+  rec.size_bytes = pending_size_ ? *pending_size_ : draw_size();
+  pending_size_.reset();
+  rec.started = sim_.now();
+  log_.push_back(rec);
+
+  current_vif_ = &vif;
+  current_ = std::make_unique<tcp::DownloadClient>(
+      sim_, tcp::next_conn_id(), vif.ip(), server_ip_,
+      [&vif](wire::PacketPtr p) { vif.send_packet(std::move(p)); },
+      /*progress=*/nullptr);
+  current_->set_byte_limit(log_.back().size_bytes, [this] { flow_completed(); });
+  vif.set_app_handler(
+      [c = current_.get()](const wire::Packet& p) { c->on_packet(p); });
+  current_->start();
+}
+
+void WebFlowHarness::flow_completed() {
+  log_.back().completed = true;
+  log_.back().finished = sim_.now();
+  if (current_vif_) current_vif_->set_app_handler(nullptr);
+  current_vif_ = nullptr;
+  // Destroying the client inside its own callback stack would free the
+  // object mid-call; defer to the next event.
+  sim_.schedule(Time{0}, [this, dead = std::shared_ptr<tcp::DownloadClient>(
+                                    current_.release())]() mutable {
+    dead.reset();
+  });
+
+  thinking_ = true;
+  const Time think = sec(rng_.exponential(to_seconds(config_.think_mean)));
+  think_timer_ = sim_.schedule(think, [this] {
+    thinking_ = false;
+    maybe_start_flow();
+  });
+}
+
+WebFlowHarness::Summary WebFlowHarness::summarize() {
+  Summary s;
+  for (const auto& rec : log_) {
+    // A fetch still in flight at the end of the run is neither completed
+    // nor aborted; skip it.
+    if (!rec.completed && rec.finished == Time{0} && &rec == &log_.back() &&
+        current_) {
+      continue;
+    }
+    ++s.attempted;
+    if (rec.completed) {
+      ++s.completed;
+      s.completion_times_s.add(to_seconds(rec.finished - rec.started));
+    } else {
+      ++s.aborted;
+    }
+  }
+  s.completion_rate =
+      s.attempted == 0 ? 0.0
+                       : static_cast<double>(s.completed) / s.attempted;
+  s.completion_times_s.finalize();
+  s.median_completion_s =
+      s.completion_times_s.empty() ? 0.0 : s.completion_times_s.median();
+  return s;
+}
+
+}  // namespace spider::trace

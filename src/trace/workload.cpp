@@ -1,0 +1,28 @@
+#include "trace/workload.hpp"
+
+#include <algorithm>
+
+namespace spider::trace {
+
+UserTraces generate_mesh_user_traces(const MeshWorkloadConfig& config,
+                                     Rng& rng) {
+  UserTraces traces;
+  for (int u = 0; u < config.users; ++u) {
+    for (int f = 0; f < config.flows_per_user; ++f) {
+      const double duration = std::min(
+          config.duration_cap_s,
+          rng.lognormal(config.duration_mu, config.duration_sigma));
+      traces.connection_durations.add(duration);
+      if (f + 1 < config.flows_per_user) {
+        const double gap = std::min(config.gap_cap_s,
+                                    rng.pareto(config.gap_xm, config.gap_alpha));
+        traces.interconnection_gaps.add(gap);
+      }
+    }
+  }
+  traces.connection_durations.finalize();
+  traces.interconnection_gaps.finalize();
+  return traces;
+}
+
+}  // namespace spider::trace

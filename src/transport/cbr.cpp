@@ -1,0 +1,117 @@
+#include "transport/cbr.hpp"
+
+#include <cmath>
+
+namespace spider::tcp {
+
+std::uint32_t next_flow_id() {
+  static std::uint32_t next = 1;
+  return next++;
+}
+
+CbrSource::CbrSource(sim::Simulator& simulator, std::uint32_t flow_id,
+                     wire::Ipv4 src, wire::Ipv4 dst, SendFn send,
+                     CbrConfig config)
+    : sim_(simulator),
+      flow_id_(flow_id),
+      src_(src),
+      dst_(dst),
+      send_(std::move(send)),
+      config_(config) {}
+
+CbrSource::~CbrSource() { timer_.cancel(); }
+
+void CbrSource::start() {
+  if (running_) return;
+  running_ = true;
+  tick();
+}
+
+void CbrSource::stop() {
+  running_ = false;
+  timer_.cancel();
+}
+
+void CbrSource::tick() {
+  if (!running_) return;
+  wire::CbrDatagram d;
+  d.flow_id = flow_id_;
+  d.seq = next_seq_++;
+  d.sent_at = sim_.now();
+  d.payload_bytes = config_.payload_bytes;
+  if (send_) send_(wire::make_cbr_packet(src_, dst_, d));
+  timer_ = sim_.schedule(config_.packet_interval, [this] { tick(); });
+}
+
+CbrSink::CbrSink(sim::Simulator& simulator, std::uint32_t flow_id)
+    : sim_(simulator), flow_id_(flow_id) {}
+
+void CbrSink::on_packet(const wire::Packet& packet) {
+  const auto* d = packet.as<wire::CbrDatagram>();
+  if (!d || d->flow_id != flow_id_ || d->subscribe) return;
+
+  if (seen_.contains(d->seq)) {
+    ++duplicates_;
+    return;
+  }
+  seen_[d->seq] = true;
+  ++received_;
+  highest_seq_ = std::max<std::int64_t>(highest_seq_, d->seq);
+
+  const double transit_s = to_seconds(sim_.now() - d->sent_at);
+  delay_.add(transit_s);
+  if (!first_) {
+    // RFC 3550 interarrival jitter estimator.
+    const double delta = std::abs(transit_s - last_transit_s_);
+    jitter_s_ += (delta - jitter_s_) / 16.0;
+    longest_gap_ = std::max(longest_gap_, sim_.now() - last_arrival_);
+  }
+  last_transit_s_ = transit_s;
+  last_arrival_ = sim_.now();
+  first_ = false;
+}
+
+double CbrSink::delivery_ratio() const {
+  if (highest_seq_ < 0) return 0.0;
+  return static_cast<double>(received_) /
+         static_cast<double>(highest_seq_ + 1);
+}
+
+CbrServer::CbrServer(sim::Simulator& simulator, net::Host& host,
+                     CbrConfig config, Time subscriber_timeout)
+    : sim_(simulator),
+      host_(host),
+      config_(config),
+      subscriber_timeout_(subscriber_timeout),
+      reap_timer_(simulator, sec(5), [this] { reap(); }) {
+  reap_timer_.start();
+}
+
+bool CbrServer::on_packet(const wire::Packet& packet) {
+  const auto* d = packet.as<wire::CbrDatagram>();
+  if (!d) return false;
+  if (!d->subscribe) return true;  // data for some sink, not for us
+
+  auto it = sources_.find(d->flow_id);
+  if (it == sources_.end()) {
+    auto source = std::make_unique<CbrSource>(
+        sim_, d->flow_id, host_.ip(), packet.src,
+        [this](wire::PacketPtr p) { host_.send(std::move(p)); }, config_);
+    source->start();
+    it = sources_.emplace(d->flow_id, Entry{std::move(source), sim_.now()}).first;
+  }
+  it->second.last_heard = sim_.now();
+  return true;
+}
+
+void CbrServer::reap() {
+  for (auto it = sources_.begin(); it != sources_.end();) {
+    if (sim_.now() - it->second.last_heard > subscriber_timeout_) {
+      it = sources_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+}  // namespace spider::tcp

@@ -1,0 +1,127 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <unordered_map>
+
+#include "net/wired.hpp"
+#include "sim/simulator.hpp"
+#include "util/stats.hpp"
+#include "util/units.hpp"
+#include "wire/packet.hpp"
+
+namespace spider::tcp {
+
+/// Constant-bit-rate stream parameters. Defaults model a G.711-ish VoIP
+/// leg: 50 packets/s of 160-byte payloads = 64 kbps plus headers.
+struct CbrConfig {
+  Time packet_interval = msec(20);
+  std::uint32_t payload_bytes = 160;
+};
+
+/// Server-side CBR source: streams datagrams to one destination at a fixed
+/// cadence until stopped. No congestion control, no retransmission — loss
+/// and delay are the signal, as with real-time media.
+class CbrSource {
+ public:
+  using SendFn = std::function<void(wire::PacketPtr)>;
+
+  CbrSource(sim::Simulator& simulator, std::uint32_t flow_id, wire::Ipv4 src,
+            wire::Ipv4 dst, SendFn send, CbrConfig config = {});
+  ~CbrSource();
+  CbrSource(const CbrSource&) = delete;
+  CbrSource& operator=(const CbrSource&) = delete;
+
+  void start();
+  void stop();
+  bool running() const { return running_; }
+  std::uint32_t flow_id() const { return flow_id_; }
+  std::uint32_t packets_sent() const { return next_seq_; }
+
+ private:
+  void tick();
+
+  sim::Simulator& sim_;
+  std::uint32_t flow_id_;
+  wire::Ipv4 src_;
+  wire::Ipv4 dst_;
+  SendFn send_;
+  CbrConfig config_;
+  bool running_ = false;
+  std::uint32_t next_seq_ = 0;
+  sim::EventHandle timer_;
+};
+
+/// Client-side sink: measures what a real-time application experiences —
+/// delivery ratio, one-way delay, inter-arrival jitter (RFC 3550 style),
+/// and the longest silence. Out-of-order and duplicate datagrams are
+/// counted but not replayed.
+class CbrSink {
+ public:
+  explicit CbrSink(sim::Simulator& simulator, std::uint32_t flow_id);
+
+  void on_packet(const wire::Packet& packet);
+
+  std::uint32_t flow_id() const { return flow_id_; }
+  std::uint64_t received() const { return received_; }
+  std::uint64_t duplicates() const { return duplicates_; }
+  /// Highest sequence seen + 1 (an upper bound on what the source sent
+  /// toward us while we could hear it).
+  std::uint64_t highest_seq_seen() const { return highest_seq_ + 1; }
+  double delivery_ratio() const;
+
+  const OnlineStats& delay_stats() const { return delay_; }       ///< seconds
+  double jitter_s() const { return jitter_s_; }                   ///< RFC 3550
+  Time longest_gap() const { return longest_gap_; }
+  Time last_arrival() const { return last_arrival_; }
+
+ private:
+  sim::Simulator& sim_;
+  std::uint32_t flow_id_;
+  std::uint64_t received_ = 0;
+  std::uint64_t duplicates_ = 0;
+  std::int64_t highest_seq_ = -1;
+  std::unordered_map<std::uint32_t, bool> seen_;  // small flows only
+  OnlineStats delay_;
+  double jitter_s_ = 0.0;
+  double last_transit_s_ = 0.0;
+  Time last_arrival_{0};
+  Time longest_gap_{0};
+  bool first_ = true;
+};
+
+/// Server-side dispatcher: a subscribe datagram from a client spawns a
+/// CbrSource streaming back to it (the media-server end of the call).
+/// Sources stop when the subscription goes stale.
+class CbrServer {
+ public:
+  CbrServer(sim::Simulator& simulator, net::Host& host, CbrConfig config = {},
+            Time subscriber_timeout = sec(30));
+
+  std::size_t active_flows() const { return sources_.size(); }
+
+  /// Installed as (part of) the host handler by the owner; returns true if
+  /// the packet was CBR and consumed.
+  bool on_packet(const wire::Packet& packet);
+
+ private:
+  void reap();
+
+  struct Entry {
+    std::unique_ptr<CbrSource> source;
+    Time last_heard{0};
+  };
+
+  sim::Simulator& sim_;
+  net::Host& host_;
+  CbrConfig config_;
+  Time subscriber_timeout_;
+  std::unordered_map<std::uint32_t, Entry> sources_;
+  sim::PeriodicTimer reap_timer_;
+};
+
+/// Fresh flow-id allocator (mirrors next_conn_id for TCP).
+std::uint32_t next_flow_id();
+
+}  // namespace spider::tcp

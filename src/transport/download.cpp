@@ -1,0 +1,114 @@
+#include "transport/download.hpp"
+
+namespace spider::tcp {
+
+std::uint64_t next_conn_id() {
+  static std::uint64_t next = 1;
+  return next++;
+}
+
+DownloadServer::DownloadServer(sim::Simulator& simulator, net::Host& host,
+                               TcpConfig config, Time reap_idle_after)
+    : sim_(simulator),
+      host_(host),
+      config_(config),
+      reap_idle_after_(reap_idle_after),
+      reap_timer_(simulator, sec(30), [this] { reap(); }) {
+  host_.set_handler([this](const wire::Packet& p) { on_packet(p); });
+  reap_timer_.start();
+}
+
+void DownloadServer::on_packet(const wire::Packet& packet) {
+  const auto* segment = packet.as<wire::TcpSegment>();
+  if (!segment) return;
+
+  auto it = senders_.find(segment->conn_id);
+  if (it == senders_.end()) {
+    if (!segment->syn) return;  // stray segment for a reaped connection
+    ++total_seen_;
+    auto sender = std::make_unique<TcpSender>(
+        sim_, segment->conn_id, host_.ip(), packet.src,
+        [this](wire::PacketPtr p) { host_.send(std::move(p)); }, config_);
+    TcpSender* raw = sender.get();
+    // Register before starting: on a short path the first data segments
+    // can be ACKed within the same event dispatch.
+    senders_.emplace(segment->conn_id, Entry{std::move(sender), sim_.now()});
+    raw->start();
+    return;
+  }
+  it->second.last_activity = sim_.now();
+  if (segment->is_ack) it->second.sender->on_segment(*segment);
+}
+
+void DownloadServer::reap() {
+  for (auto it = senders_.begin(); it != senders_.end();) {
+    if (sim_.now() - it->second.last_activity > reap_idle_after_) {
+      it = senders_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+DownloadClient::DownloadClient(sim::Simulator& simulator, std::uint64_t conn_id,
+                               wire::Ipv4 self, wire::Ipv4 server, SendFn send,
+                               ProgressFn progress, Time syn_retry)
+    : sim_(simulator),
+      conn_id_(conn_id),
+      self_(self),
+      server_(server),
+      send_(std::move(send)),
+      syn_retry_(syn_retry),
+      receiver_(conn_id, self, server,
+                [this](wire::PacketPtr p) {
+                  if (send_) send_(std::move(p));
+                },
+                [progress = std::move(progress)](std::size_t bytes) {
+                  if (progress) progress(bytes);
+                }) {}
+
+DownloadClient::~DownloadClient() { syn_timer_.cancel(); }
+
+void DownloadClient::start() {
+  if (running_) return;
+  running_ = true;
+  send_syn();
+}
+
+void DownloadClient::stop() {
+  running_ = false;
+  syn_timer_.cancel();
+}
+
+void DownloadClient::send_syn() {
+  if (!running_ || saw_data_) return;
+  wire::TcpSegment syn;
+  syn.conn_id = conn_id_;
+  syn.syn = true;
+  syn.payload_bytes = 0;
+  if (send_) send_(wire::make_tcp_packet(self_, server_, syn));
+  syn_timer_ = sim_.schedule(syn_retry_, [this] { send_syn(); });
+}
+
+void DownloadClient::set_byte_limit(std::size_t bytes,
+                                    std::function<void()> on_complete) {
+  byte_limit_ = bytes;
+  on_complete_ = std::move(on_complete);
+}
+
+void DownloadClient::on_packet(const wire::Packet& packet) {
+  const auto* segment = packet.as<wire::TcpSegment>();
+  if (!segment || segment->conn_id != conn_id_) return;
+  if (!segment->is_ack && !saw_data_) {
+    saw_data_ = true;
+    syn_timer_.cancel();
+  }
+  if (!running_) return;  // completed or stopped: ignore the tail
+  receiver_.on_segment(*segment);
+  if (byte_limit_ > 0 && receiver_.bytes_delivered() >= byte_limit_) {
+    stop();
+    if (on_complete_) on_complete_();
+  }
+}
+
+}  // namespace spider::tcp

@@ -1,0 +1,104 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <unordered_map>
+
+#include "net/wired.hpp"
+#include "sim/simulator.hpp"
+#include "transport/tcp.hpp"
+
+namespace spider::tcp {
+
+/// Server side of the bulk-download workload: listens on a wired host and
+/// spawns an unbounded-stream TcpSender for every SYN it sees. Senders for
+/// clients that have gone silent are reaped periodically so a 30-60 minute
+/// drive does not accumulate dead connections.
+class DownloadServer {
+ public:
+  DownloadServer(sim::Simulator& simulator, net::Host& host,
+                 TcpConfig config = {}, Time reap_idle_after = sec(120));
+
+  std::size_t active_connections() const { return senders_.size(); }
+  std::uint64_t total_connections_seen() const { return total_seen_; }
+
+  /// Public so composed services can share one host handler: the
+  /// constructor installs itself, but an owner that multiplexes several
+  /// protocols on the host can re-install a dispatcher that forwards TCP
+  /// traffic here.
+  void on_packet(const wire::Packet& packet);
+
+ private:
+  void reap();
+
+  struct Entry {
+    std::unique_ptr<TcpSender> sender;
+    Time last_activity{0};
+  };
+
+  sim::Simulator& sim_;
+  net::Host& host_;
+  TcpConfig config_;
+  Time reap_idle_after_;
+  std::unordered_map<std::uint64_t, Entry> senders_;
+  std::uint64_t total_seen_ = 0;
+  sim::PeriodicTimer reap_timer_;
+};
+
+/// Client side of the bulk-download workload, one per Spider interface:
+/// opens a connection as soon as the link comes up (SYN retried on a
+/// timer), then counts delivered bytes. The paper's clients "download
+/// large files over HTTP" through every live AP in parallel.
+class DownloadClient {
+ public:
+  using SendFn = std::function<void(wire::PacketPtr)>;
+  /// (bytes just delivered in order)
+  using ProgressFn = std::function<void(std::size_t)>;
+
+  DownloadClient(sim::Simulator& simulator, std::uint64_t conn_id,
+                 wire::Ipv4 self, wire::Ipv4 server, SendFn send,
+                 ProgressFn progress, Time syn_retry = sec(1));
+  ~DownloadClient();
+  DownloadClient(const DownloadClient&) = delete;
+  DownloadClient& operator=(const DownloadClient&) = delete;
+
+  void start();
+  void stop();
+
+  /// Turns the unbounded download into a finite transfer: once `bytes`
+  /// have been delivered in order, the client stops and `on_complete`
+  /// fires (the web-flow workload uses this; the abandoned server side is
+  /// reaped by its idle timer, as a real socket close would be racier to
+  /// model than it is worth).
+  void set_byte_limit(std::size_t bytes, std::function<void()> on_complete);
+
+  /// Feed TCP packets arriving on the interface.
+  void on_packet(const wire::Packet& packet);
+
+  std::uint64_t conn_id() const { return conn_id_; }
+  std::uint64_t bytes_received() const { return receiver_.bytes_delivered(); }
+  bool saw_data() const { return saw_data_; }
+
+ private:
+  void send_syn();
+
+  sim::Simulator& sim_;
+  std::uint64_t conn_id_;
+  wire::Ipv4 self_;
+  wire::Ipv4 server_;
+  SendFn send_;
+  Time syn_retry_;
+  TcpReceiver receiver_;
+  bool running_ = false;
+  bool saw_data_ = false;
+  std::size_t byte_limit_ = 0;  ///< 0 = unbounded
+  std::function<void()> on_complete_;
+  sim::EventHandle syn_timer_;
+};
+
+/// Process-wide connection-id allocator (fresh id per join, as a new HTTP
+/// connection would get a fresh source port).
+std::uint64_t next_conn_id();
+
+}  // namespace spider::tcp

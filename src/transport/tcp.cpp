@@ -1,0 +1,190 @@
+#include "transport/tcp.hpp"
+
+#include <algorithm>
+
+namespace spider::tcp {
+
+TcpSender::TcpSender(sim::Simulator& simulator, std::uint64_t conn_id,
+                     wire::Ipv4 src, wire::Ipv4 dst, SendFn send,
+                     TcpConfig config)
+    : sim_(simulator),
+      conn_id_(conn_id),
+      src_(src),
+      dst_(dst),
+      send_(std::move(send)),
+      config_(config),
+      cwnd_(config.initial_cwnd),
+      base_rto_(config.initial_rto) {}
+
+TcpSender::~TcpSender() { rto_timer_.cancel(); }
+
+void TcpSender::start() {
+  if (running_) return;
+  running_ = true;
+  transmit_window();
+}
+
+void TcpSender::stop() {
+  running_ = false;
+  rto_timer_.cancel();
+  rto_armed_ = false;
+}
+
+std::uint32_t TcpSender::flight_segments() const {
+  return (snd_nxt_ - snd_una_) / static_cast<std::uint32_t>(config_.mss);
+}
+
+void TcpSender::transmit_window() {
+  if (!running_) return;
+  const double window = std::min(cwnd_, config_.max_window_segments);
+  while (static_cast<double>(flight_segments()) < window) {
+    send_segment(snd_nxt_, /*retransmission=*/false);
+    snd_nxt_ += static_cast<std::uint32_t>(config_.mss);
+  }
+  if (snd_nxt_ > snd_una_ && !rto_armed_) arm_rto();
+}
+
+void TcpSender::send_segment(std::uint32_t seq, bool retransmission) {
+  wire::TcpSegment segment;
+  segment.conn_id = conn_id_;
+  segment.seq = seq;
+  segment.payload_bytes = static_cast<std::uint32_t>(config_.mss);
+  send_(wire::make_tcp_packet(src_, dst_, segment));
+
+  // Karn's rule: only time segments that are not retransmissions, one at
+  // a time.
+  if (!retransmission && timed_seq_ < 0) {
+    timed_seq_ = seq;
+    timed_sent_at_ = sim_.now();
+  }
+}
+
+Time TcpSender::current_rto() const {
+  Time rto = base_rto_;
+  for (int i = 0; i < backoff_ && rto < config_.max_rto; ++i) rto *= 2;
+  return std::min(rto, config_.max_rto);
+}
+
+void TcpSender::arm_rto() {
+  rto_timer_.cancel();
+  rto_armed_ = true;
+  rto_timer_ = sim_.schedule(current_rto(), [this] { on_rto(); });
+}
+
+void TcpSender::on_rto() {
+  rto_armed_ = false;
+  if (!running_ || snd_una_ == snd_nxt_) return;
+  ++timeouts_;
+  // Collapse: multiplicative back-off, cwnd to one segment, go-back-N.
+  ssthresh_ = std::max(2.0, static_cast<double>(flight_segments()) / 2.0);
+  cwnd_ = 1.0;
+  dupacks_ = 0;
+  timed_seq_ = -1;
+  ++backoff_;
+  snd_nxt_ = snd_una_;
+  send_segment(snd_nxt_, /*retransmission=*/true);
+  snd_nxt_ += static_cast<std::uint32_t>(config_.mss);
+  arm_rto();
+}
+
+void TcpSender::ack_advanced(std::uint32_t ack) {
+  // RTT sample (Karn: only if the timed segment is covered and was never
+  // retransmitted — a timeout clears timed_seq_).
+  if (timed_seq_ >= 0 && ack > static_cast<std::uint64_t>(timed_seq_)) {
+    const double sample = to_seconds(sim_.now() - timed_sent_at_);
+    if (!have_rtt_) {
+      srtt_s_ = sample;
+      rttvar_s_ = sample / 2.0;
+      have_rtt_ = true;
+    } else {
+      rttvar_s_ = 0.75 * rttvar_s_ + 0.25 * std::abs(srtt_s_ - sample);
+      srtt_s_ = 0.875 * srtt_s_ + 0.125 * sample;
+    }
+    const double rto_s = std::clamp(srtt_s_ + 4.0 * rttvar_s_,
+                                    to_seconds(config_.min_rto),
+                                    to_seconds(config_.max_rto));
+    base_rto_ = sec(rto_s);
+    timed_seq_ = -1;
+  }
+
+  const std::uint32_t newly_acked = ack - snd_una_;
+  snd_una_ = ack;
+  dupacks_ = 0;
+  backoff_ = 0;  // forward progress clears exponential backoff
+
+  // Reno growth, per-ACK: slow start below ssthresh, else 1/cwnd.
+  const double acked_segments =
+      static_cast<double>(newly_acked) / static_cast<double>(config_.mss);
+  if (cwnd_ < ssthresh_) {
+    cwnd_ += acked_segments;
+  } else {
+    cwnd_ += acked_segments / std::max(1.0, cwnd_);
+  }
+
+  if (snd_una_ == snd_nxt_) {
+    rto_timer_.cancel();
+    rto_armed_ = false;
+  } else {
+    arm_rto();  // restart for the remaining flight
+  }
+  transmit_window();
+}
+
+void TcpSender::on_segment(const wire::TcpSegment& segment) {
+  if (!segment.is_ack || segment.conn_id != conn_id_) return;
+  if (segment.ack > snd_una_) {
+    ack_advanced(segment.ack);
+    return;
+  }
+  if (segment.ack == snd_una_ && snd_nxt_ > snd_una_) {
+    if (++dupacks_ == config_.dupack_threshold) {
+      // Fast retransmit; simplified Reno (no window inflation).
+      ++fast_retx_;
+      ssthresh_ = std::max(2.0, static_cast<double>(flight_segments()) / 2.0);
+      cwnd_ = ssthresh_;
+      timed_seq_ = -1;
+      send_segment(snd_una_, /*retransmission=*/true);
+      arm_rto();
+    }
+  }
+}
+
+TcpReceiver::TcpReceiver(std::uint64_t conn_id, wire::Ipv4 src, wire::Ipv4 dst,
+                         SendFn send, DeliverFn deliver)
+    : conn_id_(conn_id),
+      src_(src),
+      dst_(dst),
+      send_(std::move(send)),
+      deliver_(std::move(deliver)) {}
+
+void TcpReceiver::on_segment(const wire::TcpSegment& segment) {
+  if (segment.is_ack || segment.conn_id != conn_id_) return;
+
+  if (segment.seq == rcv_nxt_) {
+    std::size_t delivered = segment.payload_bytes;
+    rcv_nxt_ += segment.payload_bytes;
+    // Drain any buffered continuation.
+    for (auto it = out_of_order_.begin();
+         it != out_of_order_.end() && it->first <= rcv_nxt_;) {
+      const std::uint32_t end = it->first + it->second;
+      if (end > rcv_nxt_) {
+        delivered += end - rcv_nxt_;
+        rcv_nxt_ = end;
+      }
+      it = out_of_order_.erase(it);
+    }
+    if (deliver_ && delivered > 0) deliver_(delivered);
+  } else if (segment.seq > rcv_nxt_) {
+    out_of_order_.emplace(segment.seq, segment.payload_bytes);
+  }
+  // else: duplicate of already-delivered data; just re-ACK.
+
+  wire::TcpSegment ack;
+  ack.conn_id = conn_id_;
+  ack.is_ack = true;
+  ack.ack = rcv_nxt_;
+  ack.payload_bytes = 0;
+  send_(wire::make_tcp_packet(src_, dst_, ack));
+}
+
+}  // namespace spider::tcp

@@ -1,0 +1,131 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+
+#include "sim/simulator.hpp"
+#include "util/time.hpp"
+#include "util/units.hpp"
+#include "wire/packet.hpp"
+
+namespace spider::tcp {
+
+/// TCP parameters. Defaults approximate a Linux sender of the paper's era:
+/// 200 ms minimum RTO, exponential backoff to 60 s, Reno congestion
+/// control with fast retransmit on three duplicate ACKs.
+struct TcpConfig {
+  std::size_t mss = wire::kTcpMss;
+  Time min_rto = msec(200);
+  Time max_rto = sec(60);
+  Time initial_rto = sec(1);
+  double initial_cwnd = 2.0;      ///< segments
+  double max_window_segments = 44.0;  ///< receiver window (~64 KB)
+  int dupack_threshold = 3;
+};
+
+/// Server-side bulk sender: streams an unbounded byte sequence to the
+/// client as fast as congestion control allows. This models the paper's
+/// "downloading large files over HTTP" workload.
+///
+/// Implemented mechanisms, because the experiments depend on them:
+///  - slow start / congestion avoidance (Reno)
+///  - RTO per RFC 6298 (SRTT/RTTVAR, Karn's rule, exponential backoff)
+///  - fast retransmit on 3 duplicate ACKs
+/// A mobile client that leaves the channel longer than the RTO forces a
+/// timeout: cwnd collapses to 1 and the backoff doubles — the non-monotonic
+/// throughput of Fig. 8 is exactly this effect.
+class TcpSender {
+ public:
+  using SendFn = std::function<void(wire::PacketPtr)>;
+
+  TcpSender(sim::Simulator& simulator, std::uint64_t conn_id, wire::Ipv4 src,
+            wire::Ipv4 dst, SendFn send, TcpConfig config = {});
+  ~TcpSender();
+  TcpSender(const TcpSender&) = delete;
+  TcpSender& operator=(const TcpSender&) = delete;
+
+  void start();
+  void stop();
+
+  /// Feed ACK segments from the receiver.
+  void on_segment(const wire::TcpSegment& segment);
+
+  std::uint64_t conn_id() const { return conn_id_; }
+  std::uint64_t bytes_acked() const { return snd_una_; }
+  double cwnd_segments() const { return cwnd_; }
+  std::uint64_t timeouts() const { return timeouts_; }
+  std::uint64_t fast_retransmits() const { return fast_retx_; }
+  Time current_rto() const;
+
+ private:
+  void transmit_window();
+  void send_segment(std::uint32_t seq, bool retransmission);
+  void arm_rto();
+  void on_rto();
+  void ack_advanced(std::uint32_t ack);
+  std::uint32_t flight_segments() const;
+
+  sim::Simulator& sim_;
+  std::uint64_t conn_id_;
+  wire::Ipv4 src_;
+  wire::Ipv4 dst_;
+  SendFn send_;
+  TcpConfig config_;
+
+  bool running_ = false;
+  std::uint32_t snd_una_ = 0;
+  std::uint32_t snd_nxt_ = 0;
+  double cwnd_ = 2.0;
+  double ssthresh_ = 1e9;
+  int dupacks_ = 0;
+
+  // RFC 6298 state. The effective RTO is base_rto_ << backoff_; the
+  // backoff clears on any ACK that advances snd_una (as Linux does), so a
+  // single post-recovery loss cannot stall the flow for a full backed-off
+  // interval.
+  bool have_rtt_ = false;
+  double srtt_s_ = 0.0;
+  double rttvar_s_ = 0.0;
+  Time base_rto_;
+  int backoff_ = 0;
+  // Karn: time exactly one un-retransmitted segment at a time.
+  std::int64_t timed_seq_ = -1;
+  Time timed_sent_at_{0};
+
+  std::uint64_t timeouts_ = 0;
+  std::uint64_t fast_retx_ = 0;
+  bool rto_armed_ = false;
+  sim::EventHandle rto_timer_;
+};
+
+/// Client-side receiver: delivers in-order bytes, generates immediate
+/// cumulative ACKs (whose duplicates drive the sender's fast retransmit),
+/// and reports goodput to the metrics layer.
+class TcpReceiver {
+ public:
+  using SendFn = std::function<void(wire::PacketPtr)>;
+  /// (newly delivered in-order bytes) — called on every advance.
+  using DeliverFn = std::function<void(std::size_t)>;
+
+  TcpReceiver(std::uint64_t conn_id, wire::Ipv4 src, wire::Ipv4 dst,
+              SendFn send, DeliverFn deliver);
+
+  /// Feed data segments from the sender.
+  void on_segment(const wire::TcpSegment& segment);
+
+  std::uint64_t conn_id() const { return conn_id_; }
+  std::uint64_t bytes_delivered() const { return rcv_nxt_; }
+
+ private:
+  std::uint64_t conn_id_;
+  wire::Ipv4 src_;  ///< our address (ACK source)
+  wire::Ipv4 dst_;
+  SendFn send_;
+  DeliverFn deliver_;
+
+  std::uint32_t rcv_nxt_ = 0;
+  std::map<std::uint32_t, std::uint32_t> out_of_order_;  // seq -> len
+};
+
+}  // namespace spider::tcp

@@ -1,0 +1,45 @@
+#include "util/log.hpp"
+
+#include <cstdio>
+#include <mutex>
+
+namespace spider {
+namespace {
+
+LogLevel g_level = LogLevel::kOff;
+Log::Sink g_sink;
+std::mutex g_mutex;
+
+const char* level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::kTrace: return "TRACE";
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo: return "INFO";
+    case LogLevel::kWarn: return "WARN";
+    case LogLevel::kError: return "ERROR";
+    case LogLevel::kOff: return "OFF";
+  }
+  return "?";
+}
+
+}  // namespace
+
+LogLevel Log::level() { return g_level; }
+void Log::set_level(LogLevel level) { g_level = level; }
+void Log::set_sink(Sink sink) {
+  std::lock_guard<std::mutex> lock(g_mutex);
+  g_sink = std::move(sink);
+}
+
+void Log::write(LogLevel level, Time now, const std::string& component,
+                const std::string& message) {
+  std::lock_guard<std::mutex> lock(g_mutex);
+  if (g_sink) {
+    g_sink(level, "[" + format_time(now) + "] " + component + ": " + message);
+    return;
+  }
+  std::fprintf(stderr, "%-5s [%10.6f] %-12s %s\n", level_name(level),
+               to_seconds(now), component.c_str(), message.c_str());
+}
+
+}  // namespace spider

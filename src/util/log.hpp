@@ -1,0 +1,36 @@
+#pragma once
+
+#include <functional>
+#include <string>
+
+#include "util/time.hpp"
+
+namespace spider {
+
+enum class LogLevel { kTrace, kDebug, kInfo, kWarn, kError, kOff };
+
+/// Minimal leveled logger. The simulator is deterministic and usually runs
+/// silent; tests and examples raise the level to watch protocol exchanges.
+/// A custom sink can capture lines (used by tests asserting on events).
+class Log {
+ public:
+  using Sink = std::function<void(LogLevel, const std::string&)>;
+
+  static LogLevel level();
+  static void set_level(LogLevel level);
+  static void set_sink(Sink sink);  // null restores stderr sink
+
+  static void write(LogLevel level, Time now, const std::string& component,
+                    const std::string& message);
+
+  static bool enabled(LogLevel level) { return level >= Log::level(); }
+};
+
+#define SPIDER_LOG(level, now, component, msg)                        \
+  do {                                                                \
+    if (::spider::Log::enabled(level)) {                              \
+      ::spider::Log::write((level), (now), (component), (msg));       \
+    }                                                                 \
+  } while (0)
+
+}  // namespace spider

@@ -1,0 +1,66 @@
+#pragma once
+
+#include <cstdint>
+#include <random>
+
+namespace spider {
+
+/// Deterministic random source used everywhere in the simulator.
+///
+/// Each component that needs randomness takes an `Rng&`; experiments seed a
+/// single root generator so that every run is exactly reproducible. The
+/// wrapper exposes only the distributions the codebase needs, keeping call
+/// sites short and making it obvious what stochastic inputs exist.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) : engine_(seed) {}
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi) {
+    return std::uniform_real_distribution<double>(lo, hi)(engine_);
+  }
+
+  /// Uniform integer in [lo, hi] (inclusive).
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi) {
+    return std::uniform_int_distribution<std::int64_t>(lo, hi)(engine_);
+  }
+
+  /// Bernoulli trial: true with probability `p` (clamped to [0,1]).
+  bool chance(double p) {
+    if (p <= 0.0) return false;
+    if (p >= 1.0) return true;
+    return std::bernoulli_distribution(p)(engine_);
+  }
+
+  /// Exponential with mean `mean` (> 0).
+  double exponential(double mean) {
+    return std::exponential_distribution<double>(1.0 / mean)(engine_);
+  }
+
+  /// Normal with the given mean and standard deviation.
+  double normal(double mean, double stddev) {
+    return std::normal_distribution<double>(mean, stddev)(engine_);
+  }
+
+  /// Log-normal parameterised by the underlying normal's mu/sigma.
+  double lognormal(double mu, double sigma) {
+    return std::lognormal_distribution<double>(mu, sigma)(engine_);
+  }
+
+  /// Pareto with scale `xm` and shape `alpha` (heavy-tailed gaps/durations).
+  double pareto(double xm, double alpha) {
+    const double u = uniform(0.0, 1.0);
+    return xm / std::pow(1.0 - u, 1.0 / alpha);
+  }
+
+  /// Derives an independent child generator; used to give each subsystem
+  /// its own stream so adding draws in one place does not perturb others.
+  Rng fork() { return Rng(engine_()); }
+
+  std::mt19937_64& engine() { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+};
+
+}  // namespace spider

@@ -1,0 +1,68 @@
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace spider {
+
+/// Streaming mean / variance accumulator (Welford). Used for the
+/// mean ± stddev rows the paper's tables report.
+class OnlineStats {
+ public:
+  void add(double x);
+
+  std::size_t count() const { return n_; }
+  double mean() const { return n_ == 0 ? 0.0 : mean_; }
+  /// Sample standard deviation (n-1 denominator); 0 for fewer than 2 points.
+  double stddev() const;
+  double min() const { return n_ == 0 ? 0.0 : min_; }
+  double max() const { return n_ == 0 ? 0.0 : max_; }
+  double sum() const { return sum_; }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+  double sum_ = 0.0;
+};
+
+/// Empirical CDF over a collected sample set. The paper presents most
+/// results as CDFs (Figs. 5, 6, 11-17); benches build one of these and then
+/// print `fraction_at_or_below` over a grid of x values.
+class Cdf {
+ public:
+  Cdf() = default;
+  explicit Cdf(std::vector<double> samples);
+
+  void add(double x);
+  /// Sorts pending samples; called automatically by the query functions.
+  void finalize();
+
+  std::size_t size() const { return samples_.size(); }
+  bool empty() const { return samples_.empty(); }
+
+  /// F(x): fraction of samples <= x.
+  double fraction_at_or_below(double x);
+  /// Inverse CDF; q in [0,1]. q=0.5 is the median.
+  double quantile(double q);
+  double median() { return quantile(0.5); }
+  double mean() const;
+
+  /// Evenly spaced (x, F(x)) points across [min, max] for printing a curve.
+  std::vector<std::pair<double, double>> curve(std::size_t points);
+
+  const std::vector<double>& samples() const { return samples_; }
+
+ private:
+  std::vector<double> samples_;
+  bool sorted_ = true;
+};
+
+/// Two-sample Kolmogorov-Smirnov distance between empirical CDFs; used by
+/// tests to check that generated distributions match their targets and by
+/// the usability analysis (Figs. 16/17) to quantify shape agreement.
+double ks_distance(Cdf& a, Cdf& b);
+
+}  // namespace spider

@@ -1,0 +1,50 @@
+#pragma once
+
+#include <cstdint>
+
+#include "util/time.hpp"
+
+namespace spider {
+
+/// Link data rate in bits per second. Stored as double so that fractional
+/// effective rates (after loss/backoff) compose naturally.
+struct BitRate {
+  double bps = 0.0;
+
+  constexpr double mbps() const { return bps / 1e6; }
+  constexpr double kbps() const { return bps / 1e3; }
+
+  /// Bytes transferred at this rate over `t`.
+  constexpr double bytes_in(Time t) const { return bps / 8.0 * to_seconds(t); }
+
+  /// Serialization time for `bytes` at this rate.
+  constexpr Time time_for_bytes(double bytes) const {
+    return bps <= 0.0 ? Time::max() : sec(bytes * 8.0 / bps);
+  }
+
+  constexpr auto operator<=>(const BitRate&) const = default;
+};
+
+constexpr BitRate bps(double v) { return BitRate{v}; }
+constexpr BitRate kbps(double v) { return BitRate{v * 1e3}; }
+constexpr BitRate mbps(double v) { return BitRate{v * 1e6}; }
+
+/// 802.11b application-layer rate used throughout the paper ("Bw = 11Mbps").
+inline constexpr BitRate kWirelessRate = mbps(11.0);
+
+/// Kilobytes-per-second helper for reporting (the paper reports KB/s).
+constexpr double to_kBps(BitRate r) { return r.bps / 8.0 / 1e3; }
+
+/// Geometric position on a 2-D plane, in meters. The mobility models and
+/// the propagation model share this type.
+struct Position {
+  double x = 0.0;
+  double y = 0.0;
+
+  constexpr auto operator<=>(const Position&) const = default;
+};
+
+/// Euclidean distance between two positions, in meters.
+double distance(const Position& a, const Position& b);
+
+}  // namespace spider

@@ -1,0 +1,26 @@
+#include "wire/address.hpp"
+
+#include <cstdio>
+
+namespace spider::wire {
+
+std::string MacAddress::to_string() const {
+  char buf[18];
+  std::snprintf(buf, sizeof(buf), "%02x:%02x:%02x:%02x:%02x:%02x",
+                static_cast<unsigned>((raw_ >> 40) & 0xFF),
+                static_cast<unsigned>((raw_ >> 32) & 0xFF),
+                static_cast<unsigned>((raw_ >> 24) & 0xFF),
+                static_cast<unsigned>((raw_ >> 16) & 0xFF),
+                static_cast<unsigned>((raw_ >> 8) & 0xFF),
+                static_cast<unsigned>(raw_ & 0xFF));
+  return buf;
+}
+
+std::string Ipv4::to_string() const {
+  char buf[16];
+  std::snprintf(buf, sizeof(buf), "%u.%u.%u.%u", (raw_ >> 24) & 0xFF,
+                (raw_ >> 16) & 0xFF, (raw_ >> 8) & 0xFF, raw_ & 0xFF);
+  return buf;
+}
+
+}  // namespace spider::wire

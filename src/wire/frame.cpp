@@ -1,0 +1,34 @@
+#include "wire/frame.hpp"
+
+namespace spider::wire {
+
+const char* to_string(FrameType t) {
+  switch (t) {
+    case FrameType::kBeacon: return "Beacon";
+    case FrameType::kProbeRequest: return "ProbeReq";
+    case FrameType::kProbeResponse: return "ProbeResp";
+    case FrameType::kAuthRequest: return "Auth";
+    case FrameType::kAuthResponse: return "AuthResp";
+    case FrameType::kAssocRequest: return "AssocReq";
+    case FrameType::kAssocResponse: return "AssocResp";
+    case FrameType::kDisassoc: return "Disassoc";
+    case FrameType::kDeauth: return "Deauth";
+    case FrameType::kData: return "Data";
+    case FrameType::kNullData: return "NullData";
+    case FrameType::kPsPoll: return "PsPoll";
+  }
+  return "?";
+}
+
+Frame make_data_frame(MacAddress src, MacAddress dst, Bssid bssid, PacketPtr packet) {
+  Frame f;
+  f.type = FrameType::kData;
+  f.src = src;
+  f.dst = dst;
+  f.bssid = bssid;
+  f.size_bytes = kDataHeaderBytes + (packet ? packet->size_bytes : 0);
+  f.packet = std::move(packet);
+  return f;
+}
+
+}  // namespace spider::wire

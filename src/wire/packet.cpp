@@ -1,0 +1,53 @@
+#include "wire/packet.hpp"
+
+namespace spider::wire {
+
+const char* to_string(DhcpMessage::Type t) {
+  switch (t) {
+    case DhcpMessage::Type::kDiscover: return "DISCOVER";
+    case DhcpMessage::Type::kOffer: return "OFFER";
+    case DhcpMessage::Type::kRequest: return "REQUEST";
+    case DhcpMessage::Type::kAck: return "ACK";
+    case DhcpMessage::Type::kNak: return "NAK";
+    case DhcpMessage::Type::kRelease: return "RELEASE";
+  }
+  return "?";
+}
+
+PacketPtr make_dhcp_packet(Ipv4 src, Ipv4 dst, DhcpMessage msg) {
+  auto p = std::make_shared<Packet>();
+  p->src = src;
+  p->dst = dst;
+  p->payload = msg;
+  p->size_bytes = kIpHeaderBytes + kUdpHeaderBytes + kDhcpBodyBytes;
+  return p;
+}
+
+PacketPtr make_icmp_packet(Ipv4 src, Ipv4 dst, IcmpEcho echo) {
+  auto p = std::make_shared<Packet>();
+  p->src = src;
+  p->dst = dst;
+  p->payload = echo;
+  p->size_bytes = kIpHeaderBytes + kIcmpHeaderBytes + 56;  // standard ping
+  return p;
+}
+
+PacketPtr make_tcp_packet(Ipv4 src, Ipv4 dst, TcpSegment segment) {
+  auto p = std::make_shared<Packet>();
+  p->src = src;
+  p->dst = dst;
+  p->size_bytes = kIpHeaderBytes + kTcpHeaderBytes + segment.payload_bytes;
+  p->payload = segment;
+  return p;
+}
+
+PacketPtr make_cbr_packet(Ipv4 src, Ipv4 dst, CbrDatagram datagram) {
+  auto p = std::make_shared<Packet>();
+  p->src = src;
+  p->dst = dst;
+  p->size_bytes = kIpHeaderBytes + kUdpHeaderBytes + datagram.payload_bytes;
+  p->payload = datagram;
+  return p;
+}
+
+}  // namespace spider::wire

@@ -1,0 +1,102 @@
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <variant>
+
+#include "util/time.hpp"
+#include "wire/address.hpp"
+
+namespace spider::wire {
+
+/// ---- Layer-3+ payloads ------------------------------------------------
+///
+/// The simulator does not serialise bytes; packets carry typed payloads and
+/// an explicit wire size used for transmission-time accounting. Each payload
+/// struct mirrors only the protocol fields the reproduced behaviour depends
+/// on.
+
+/// DHCP message (RFC 2131 subset). The four-way DISCOVER/OFFER/REQUEST/ACK
+/// exchange plus NAK is modelled; options beyond lease/server-id are not.
+struct DhcpMessage {
+  enum class Type { kDiscover, kOffer, kRequest, kAck, kNak, kRelease };
+
+  Type type = Type::kDiscover;
+  std::uint32_t xid = 0;           ///< transaction id chosen by the client
+  MacAddress client_mac;
+  Ipv4 offered_ip;                 ///< OFFER/REQUEST/ACK: the lease address
+  Ipv4 server_id;                  ///< identifies the offering server
+  Ipv4 gateway;                    ///< default route handed to the client
+  Time lease_duration{0};
+};
+
+const char* to_string(DhcpMessage::Type t);
+
+/// ICMP echo request/reply used by Spider's link-liveness prober.
+struct IcmpEcho {
+  bool reply = false;
+  std::uint32_t id = 0;   ///< prober instance
+  std::uint32_t seq = 0;
+};
+
+/// TCP segment. Sequence/ack numbers count bytes as in real TCP; the
+/// payload itself is synthetic (only its length exists).
+struct TcpSegment {
+  std::uint64_t conn_id = 0;  ///< demultiplexing key (src/dst ports folded in)
+  std::uint32_t seq = 0;
+  std::uint32_t ack = 0;
+  bool syn = false;
+  bool fin = false;
+  bool is_ack = false;
+  std::uint32_t payload_bytes = 0;
+};
+
+/// Opaque filler traffic (used by a few tests and workload generators).
+struct RawBytes {
+  std::size_t size = 0;
+};
+
+/// Constant-bit-rate datagram (VoIP-like traffic over UDP). Sequence
+/// numbers detect loss; the send timestamp measures one-way delay/jitter.
+struct CbrDatagram {
+  std::uint32_t flow_id = 0;
+  std::uint32_t seq = 0;
+  Time sent_at{0};
+  std::uint32_t payload_bytes = 0;
+  bool subscribe = false;  ///< client->server: request the stream
+};
+
+using PacketPayload =
+    std::variant<RawBytes, DhcpMessage, IcmpEcho, TcpSegment, CbrDatagram>;
+
+/// An IP packet. `size_bytes` is the on-the-wire size including headers and
+/// is what links and radios charge for.
+struct Packet {
+  Ipv4 src;
+  Ipv4 dst;
+  PacketPayload payload;
+  std::size_t size_bytes = 0;
+
+  template <typename T>
+  const T* as() const {
+    return std::get_if<T>(&payload);
+  }
+};
+
+using PacketPtr = std::shared_ptr<const Packet>;
+
+/// Canonical header sizes used when composing packets.
+inline constexpr std::size_t kIpHeaderBytes = 20;
+inline constexpr std::size_t kUdpHeaderBytes = 8;
+inline constexpr std::size_t kTcpHeaderBytes = 20;
+inline constexpr std::size_t kIcmpHeaderBytes = 8;
+inline constexpr std::size_t kDhcpBodyBytes = 300;  ///< typical BOOTP frame
+inline constexpr std::size_t kTcpMss = 1460;
+
+PacketPtr make_dhcp_packet(Ipv4 src, Ipv4 dst, DhcpMessage msg);
+PacketPtr make_icmp_packet(Ipv4 src, Ipv4 dst, IcmpEcho echo);
+PacketPtr make_tcp_packet(Ipv4 src, Ipv4 dst, TcpSegment segment);
+PacketPtr make_cbr_packet(Ipv4 src, Ipv4 dst, CbrDatagram datagram);
+
+}  // namespace spider::wire

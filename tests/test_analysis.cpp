@@ -1,0 +1,313 @@
+#include <gtest/gtest.h>
+
+#include "analysis/join_model.hpp"
+#include "analysis/schedule_synthesis.hpp"
+#include "analysis/selection_opt.hpp"
+#include "analysis/throughput_opt.hpp"
+#include "util/random.hpp"
+
+namespace spider::model {
+namespace {
+
+JoinModelParams fig2_params(double beta_max = 5.0) {
+  JoinModelParams p;
+  p.D = 0.5;
+  p.t = 4.0;
+  p.beta_min = 0.5;
+  p.beta_max = beta_max;
+  p.w = 0.007;
+  p.c = 0.1;
+  p.h = 0.1;
+  return p;
+}
+
+TEST(JoinModel, ZeroFractionNeverJoins) {
+  EXPECT_DOUBLE_EQ(p_join_at(fig2_params(), 0.0), 0.0);
+}
+
+TEST(JoinModel, FullTimeNearlyAlwaysJoins) {
+  // βmax = 5 s with t = 4 s in range: even at fi = 1, some joins respond
+  // too late, but the probability is high.
+  EXPECT_GT(p_join_at(fig2_params(5.0), 1.0), 0.8);
+}
+
+TEST(JoinModel, MonotoneInFraction) {
+  const auto p = fig2_params();
+  double prev = -1.0;
+  for (double fi = 0.0; fi <= 1.0; fi += 0.1) {
+    const double v = p_join_at(p, fi);
+    EXPECT_GE(v, prev - 1e-9) << "fi=" << fi;
+    EXPECT_GE(v, 0.0);
+    EXPECT_LE(v, 1.0);
+    prev = v;
+  }
+}
+
+TEST(JoinModel, LargerBetaMaxLowersSuccess) {
+  // Fig. 3's message: slow APs are much harder to join on a fraction.
+  for (double fi : {0.10, 0.25, 0.40, 0.50}) {
+    const double fast = p_join_at(fig2_params(2.0), fi);
+    const double slow = p_join_at(fig2_params(10.0), fi);
+    EXPECT_GT(fast, slow) << "fi=" << fi;
+  }
+}
+
+TEST(JoinModel, MoreTimeInRangeHelps) {
+  auto p = fig2_params();
+  p.fi = 0.3;
+  p.t = 2.0;
+  const double short_stay = p_join(p);
+  p.t = 8.0;
+  const double long_stay = p_join(p);
+  EXPECT_GT(long_stay, short_stay);
+}
+
+TEST(JoinModel, HigherLossLowersSuccess) {
+  auto p = fig2_params();
+  p.fi = 0.4;
+  p.h = 0.0;
+  const double lossless = p_join(p);
+  p.h = 0.4;
+  const double lossy = p_join(p);
+  EXPECT_GT(lossless, lossy);
+}
+
+TEST(JoinModel, SegmentsPerRound) {
+  auto p = fig2_params();
+  p.fi = 0.5;  // 250 ms on channel, minus 7 ms switch, over 100 ms spacing
+  EXPECT_EQ(segments_per_round(p), 3);
+  p.fi = 0.01;  // 5 ms window < switch overhead: no request fits
+  EXPECT_EQ(segments_per_round(p), 0);
+  EXPECT_DOUBLE_EQ(p_join(p), 0.0);
+}
+
+TEST(JoinModel, QSegmentBounds) {
+  const auto p = fig2_params();
+  for (int m = 1; m <= 4; ++m) {
+    for (int n = m; n <= 8; ++n) {
+      for (int k = 1; k <= 3; ++k) {
+        const double q = q_segment(p, m, n, k);
+        EXPECT_GE(q, 0.0);
+        EXPECT_LE(q, 1.0);
+      }
+    }
+  }
+}
+
+TEST(JoinModel, SimulationMatchesClosedForm) {
+  // The Fig. 2 validation: Monte-Carlo within a few points of Eq. 7.
+  Rng rng(1234);
+  for (double beta_max : {5.0, 10.0}) {
+    for (double fi : {0.2, 0.4, 0.6, 0.8, 1.0}) {
+      auto p = fig2_params(beta_max);
+      p.fi = fi;
+      const double analytic = p_join(p);
+      const double simulated = simulate_join(p, 4000, rng);
+      EXPECT_NEAR(simulated, analytic, 0.06)
+          << "beta_max=" << beta_max << " fi=" << fi;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Throughput optimisation (Eqs. 8-10)
+
+TEST(ThroughputOpt, ExpectedJoinFractionMonotone) {
+  JoinModelParams p = fig2_params(10.0);
+  const double slow = expected_join_fraction(p, 0.1, 20.0);
+  const double fast = expected_join_fraction(p, 0.9, 20.0);
+  EXPECT_GT(slow, fast);
+  EXPECT_GE(slow, 0.0);
+  EXPECT_LE(slow, 1.0);
+}
+
+TEST(ThroughputOpt, SingleJoinedChannelTakesItsCap) {
+  OptProblem prob;
+  prob.T = 20.0;
+  prob.channels = {ChannelOffer{.joined = bps(0.6 * prob.wireless.bps),
+                                .available = BitRate{}}};
+  const auto sol = maximize_throughput(prob);
+  EXPECT_NEAR(sol.fractions[0], 0.6, 0.011);
+  EXPECT_NEAR(sol.total.bps, 0.6 * prob.wireless.bps, 0.02 * prob.wireless.bps);
+}
+
+TEST(ThroughputOpt, FastNodePrefersJoinedChannel) {
+  // At 20 m/s (T = 10 s) the joinable channel is barely worth anything.
+  auto points = fig4_sweep(0.75, 0.25, {20.0});
+  ASSERT_EQ(points.size(), 1u);
+  EXPECT_GT(points[0].ch1.bps, 4.0 * points[0].ch2.bps);
+}
+
+TEST(ThroughputOpt, SlowNodeUsesBothChannels) {
+  auto points = fig4_sweep(0.25, 0.75, {2.5});
+  ASSERT_EQ(points.size(), 1u);
+  EXPECT_GT(points[0].ch2.bps, 0.0);
+  // With 75% of bandwidth on the joinable channel, a slow node extracts
+  // more there than on the joined channel's 25%.
+  EXPECT_GT(points[0].ch2.bps, points[0].ch1.bps);
+}
+
+TEST(ThroughputOpt, JoinableChannelValueDecaysWithSpeed) {
+  // The Fig. 4 shape: as speed rises (time in range shrinks), the optimal
+  // share of the joinable channel collapses toward the single-channel
+  // regime. (The paper's exact E[X] definition is ambiguous — see
+  // DESIGN.md — so we assert the shape, not the absolute crossover.)
+  auto points = fig4_sweep(0.50, 0.50, {2.5, 5.0, 10.0, 20.0});
+  EXPECT_GT(points.front().ch2.bps, points.back().ch2.bps);
+  EXPECT_LT(points.back().ch2.bps, 0.6 * points.front().ch2.bps);
+  // The already-joined channel keeps its full cap at every speed.
+  for (const auto& p : points) {
+    EXPECT_NEAR(p.ch1.bps, 0.50 * 11e6, 0.03 * 11e6);
+  }
+}
+
+TEST(ThroughputOpt, RespectsPeriodBudget) {
+  OptProblem prob;
+  prob.T = 40.0;
+  prob.channels = {
+      ChannelOffer{.joined = bps(11e6), .available = BitRate{}},
+      ChannelOffer{.joined = bps(11e6), .available = BitRate{}},
+  };
+  const auto sol = maximize_throughput(prob);
+  const double total_fraction = sol.fractions[0] + sol.fractions[1];
+  EXPECT_LE(total_fraction, 1.0);
+  EXPECT_GT(total_fraction, 0.9);  // overhead is small but non-zero
+}
+
+// ---------------------------------------------------------------------------
+// Appendix A: AP-subset selection
+
+std::vector<ApCandidate> random_candidates(std::size_t n, Rng& rng) {
+  std::vector<ApCandidate> v;
+  for (std::size_t i = 0; i < n; ++i) {
+    v.push_back(ApCandidate{.time_in_range = rng.uniform(2.0, 20.0),
+                            .bandwidth = rng.uniform(0.5, 5.0),
+                            .overhead = rng.uniform(0.5, 3.0)});
+  }
+  return v;
+}
+
+TEST(Selection, ExhaustiveFindsKnownOptimum) {
+  std::vector<ApCandidate> cands = {
+      {.time_in_range = 10, .bandwidth = 1.0, .overhead = 1},   // v=10 c=11
+      {.time_in_range = 5, .bandwidth = 3.0, .overhead = 1},    // v=15 c=6
+      {.time_in_range = 8, .bandwidth = 2.0, .overhead = 2},    // v=16 c=10
+  };
+  const auto best = select_exhaustive(cands, 16.0);
+  // Best subset within budget 16: {1, 2} value 31, cost 16.
+  EXPECT_DOUBLE_EQ(best.value, 31.0);
+  EXPECT_EQ(best.chosen, (std::vector<std::size_t>{1, 2}));
+}
+
+TEST(Selection, DpMatchesExhaustive) {
+  Rng rng(77);
+  for (int trial = 0; trial < 20; ++trial) {
+    auto cands = random_candidates(10, rng);
+    const double budget = 25.0;
+    const auto exact = select_exhaustive(cands, budget);
+    const auto dp = select_knapsack_dp(cands, budget, 0.01);
+    EXPECT_NEAR(dp.value, exact.value, exact.value * 0.02 + 1e-9)
+        << "trial " << trial;
+    EXPECT_LE(dp.cost, budget + 0.1);
+  }
+}
+
+TEST(Selection, GreedyIsFeasibleAndDecent) {
+  Rng rng(78);
+  double ratio_sum = 0.0;
+  const int trials = 30;
+  for (int trial = 0; trial < trials; ++trial) {
+    auto cands = random_candidates(12, rng);
+    const double budget = 30.0;
+    const auto exact = select_exhaustive(cands, budget);
+    const auto greedy = select_greedy(cands, budget);
+    EXPECT_LE(greedy.cost, budget);
+    EXPECT_LE(greedy.value, exact.value + 1e-9);
+    if (exact.value > 0) ratio_sum += greedy.value / exact.value;
+  }
+  // Greedy should capture most of the optimum on average.
+  EXPECT_GT(ratio_sum / trials, 0.85);
+}
+
+TEST(Selection, ExhaustiveWorkGrowsExponentially) {
+  Rng rng(79);
+  auto c10 = random_candidates(10, rng);
+  auto c16 = random_candidates(16, rng);
+  const auto r10 = select_exhaustive(c10, 20.0);
+  const auto r16 = select_exhaustive(c16, 20.0);
+  EXPECT_EQ(r10.nodes_explored, 1024u);
+  EXPECT_EQ(r16.nodes_explored, 65536u);
+  const auto g16 = select_greedy(c16, 20.0);
+  EXPECT_LE(g16.nodes_explored, 16u);
+}
+
+TEST(Selection, EmptyCandidates) {
+  const auto r = select_exhaustive({}, 10.0);
+  EXPECT_TRUE(r.chosen.empty());
+  EXPECT_DOUBLE_EQ(r.value, 0.0);
+  const auto g = select_greedy({}, 10.0);
+  EXPECT_TRUE(g.chosen.empty());
+}
+
+TEST(Selection, ZeroBudgetSelectsNothing) {
+  Rng rng(80);
+  auto cands = random_candidates(5, rng);
+  EXPECT_TRUE(select_exhaustive(cands, 0.0).chosen.empty());
+  EXPECT_TRUE(select_greedy(cands, 0.0).chosen.empty());
+  EXPECT_TRUE(select_knapsack_dp(cands, 0.0).chosen.empty());
+}
+
+// ---------------------------------------------------------------------------
+// Schedule synthesis (model -> executable fractions)
+
+TEST(Synthesis, EmptyInputEmptyOutput) {
+  EXPECT_TRUE(suggest_fractions({}, SynthesisParams{}).empty());
+}
+
+TEST(Synthesis, SingleChannelTakesEverything) {
+  SynthesisParams params;
+  auto fractions = suggest_fractions({{6, 4e6}}, params);
+  ASSERT_EQ(fractions.size(), 1u);
+  EXPECT_EQ(fractions[0].first, 6);
+  EXPECT_DOUBLE_EQ(fractions[0].second, 1.0);
+}
+
+TEST(Synthesis, FractionsSumToOne) {
+  SynthesisParams params;
+  params.speed_mps = 3.0;  // slow: multiple channels can be worth it
+  auto fractions = suggest_fractions({{1, 6e6}, {6, 3e6}, {11, 1e6}}, params);
+  ASSERT_FALSE(fractions.empty());
+  double total = 0;
+  for (const auto& [ch, f] : fractions) {
+    EXPECT_GE(f, params.min_useful_fraction * 0.99);
+    total += f;
+  }
+  EXPECT_NEAR(total, 1.0, 1e-9);
+}
+
+TEST(Synthesis, FatChannelGetsTheLargestShare) {
+  SynthesisParams params;
+  params.speed_mps = 5.0;
+  auto fractions = suggest_fractions({{1, 8e6}, {11, 1e6}}, params);
+  ASSERT_FALSE(fractions.empty());
+  double f1 = 0, f11 = 0;
+  for (const auto& [ch, f] : fractions) {
+    if (ch == 1) f1 = f;
+    if (ch == 11) f11 = f;
+  }
+  EXPECT_GT(f1, f11);
+  EXPECT_GT(f1, 0.5);
+}
+
+TEST(Synthesis, HighSpeedCollapsesToFewerChannels) {
+  SynthesisParams slow, fast;
+  slow.speed_mps = 2.0;
+  fast.speed_mps = 25.0;
+  const std::vector<ChannelBandwidth> offers = {{1, 5e6}, {6, 4e6}, {11, 3e6}};
+  const auto at_slow = suggest_fractions(offers, slow);
+  const auto at_fast = suggest_fractions(offers, fast);
+  EXPECT_LE(at_fast.size(), at_slow.size());
+}
+
+}  // namespace
+}  // namespace spider::model

@@ -1,0 +1,317 @@
+// Tests for the application-layer extensions: CBR (VoIP-like) traffic,
+// the web-flow workload, and CSV export.
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+
+#include "core/link_manager.hpp"
+#include "core/spider_driver.hpp"
+#include "trace/export.hpp"
+#include "trace/testbed.hpp"
+#include "trace/voip.hpp"
+#include "trace/webflows.hpp"
+#include "transport/cbr.hpp"
+
+namespace spider {
+namespace {
+
+// ---------------------------------------------------------------------------
+// CbrSource / CbrSink over a perfect in-memory pipe.
+
+TEST(Cbr, SourcePacesAtConfiguredRate) {
+  sim::Simulator sim;
+  int sent = 0;
+  tcp::CbrSource src(sim, 1, wire::Ipv4(1, 1, 1, 1), wire::Ipv4(2, 2, 2, 2),
+                     [&](wire::PacketPtr) { ++sent; },
+                     tcp::CbrConfig{.packet_interval = msec(20)});
+  src.start();
+  sim.run_until(sec(2));
+  EXPECT_NEAR(sent, 100, 2);  // 50/s for 2 s
+  src.stop();
+  sim.run_until(sec(4));
+  EXPECT_NEAR(sent, 100, 2);
+}
+
+TEST(Cbr, SinkMeasuresPerfectStream) {
+  sim::Simulator sim;
+  tcp::CbrSink sink(sim, 1);
+  tcp::CbrSource src(
+      sim, 1, wire::Ipv4(1, 1, 1, 1), wire::Ipv4(2, 2, 2, 2),
+      [&](wire::PacketPtr p) {
+        sim.schedule(msec(30), [&sink, p] { sink.on_packet(*p); });
+      });
+  src.start();
+  sim.run_until(sec(5));
+  EXPECT_GT(sink.received(), 240u);
+  EXPECT_DOUBLE_EQ(sink.delivery_ratio(), 1.0);
+  EXPECT_NEAR(sink.delay_stats().mean(), 0.030, 1e-6);
+  EXPECT_NEAR(sink.jitter_s(), 0.0, 1e-9);  // perfectly regular
+  EXPECT_LE(sink.longest_gap(), msec(21));
+}
+
+TEST(Cbr, SinkCountsLossAndGaps) {
+  sim::Simulator sim;
+  tcp::CbrSink sink(sim, 1);
+  int n = 0;
+  tcp::CbrSource src(
+      sim, 1, wire::Ipv4(1, 1, 1, 1), wire::Ipv4(2, 2, 2, 2),
+      [&](wire::PacketPtr p) {
+        // Drop a burst: packets 50..99 vanish (a 1-second outage).
+        const int i = n++;
+        if (i >= 50 && i < 100) return;
+        sink.on_packet(*p);
+      });
+  src.start();
+  sim.run_until(sec(4));
+  EXPECT_NEAR(sink.delivery_ratio(), 0.75, 0.02);
+  EXPECT_GE(sink.longest_gap(), sec(1));
+}
+
+TEST(Cbr, SinkIgnoresDuplicatesAndForeignFlows) {
+  sim::Simulator sim;
+  tcp::CbrSink sink(sim, 7);
+  wire::CbrDatagram d;
+  d.flow_id = 7;
+  d.seq = 0;
+  d.payload_bytes = 160;
+  auto p = wire::make_cbr_packet(wire::Ipv4(1, 1, 1, 1), wire::Ipv4(2, 2, 2, 2), d);
+  sink.on_packet(*p);
+  sink.on_packet(*p);
+  EXPECT_EQ(sink.received(), 1u);
+  EXPECT_EQ(sink.duplicates(), 1u);
+
+  d.flow_id = 8;
+  sink.on_packet(*wire::make_cbr_packet(wire::Ipv4(1, 1, 1, 1),
+                                        wire::Ipv4(2, 2, 2, 2), d));
+  EXPECT_EQ(sink.received(), 1u);
+}
+
+TEST(Cbr, ServerSpawnsAndReapsSources) {
+  sim::Simulator sim;
+  net::WiredNetwork wired(sim);
+  net::Host server(wired, wire::Ipv4(1, 1, 1, 1));
+  net::Host client(wired, wire::Ipv4(2, 2, 2, 2));
+  tcp::CbrServer cbr(sim, server, tcp::CbrConfig{}, /*subscriber_timeout=*/sec(5));
+  server.set_handler([&](const wire::Packet& p) { cbr.on_packet(p); });
+  int received = 0;
+  client.set_handler([&](const wire::Packet& p) {
+    if (p.as<wire::CbrDatagram>()) ++received;
+  });
+
+  wire::CbrDatagram sub;
+  sub.flow_id = 42;
+  sub.subscribe = true;
+  client.send(wire::make_cbr_packet(client.ip(), server.ip(), sub));
+  sim.run_until(sec(2));
+  EXPECT_EQ(cbr.active_flows(), 1u);
+  EXPECT_GT(received, 80);
+
+  // No further subscriptions: the source must be reaped.
+  sim.run_until(sec(20));
+  EXPECT_EQ(cbr.active_flows(), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Full-stack harness fixtures (Spider + APs).
+
+struct AppWorld {
+  trace::Testbed bed;
+  std::unique_ptr<core::SpiderDriver> driver;
+  std::unique_ptr<core::LinkManager> manager;
+
+  explicit AppWorld(std::uint64_t seed = 5) : bed(make_config(seed)) {
+    trace::Testbed::ApSpec spec;
+    spec.channel = 6;
+    spec.position = {20, 0};
+    spec.backhaul = mbps(3);
+    spec.dhcp.offer_delay_median = msec(150);
+    spec.dhcp.offer_delay_max = msec(400);
+    bed.add_ap(spec);
+
+    core::SpiderConfig cfg;
+    cfg.num_interfaces = 1;
+    cfg.mode = core::OperationMode::single(6);
+    cfg.dhcp = {.retx_timeout = msec(500), .max_sends = 4};
+    driver = std::make_unique<core::SpiderDriver>(
+        bed.sim, bed.medium, bed.next_client_mac_block(),
+        [] { return Position{0, 0}; }, cfg);
+    manager = std::make_unique<core::LinkManager>(*driver, bed.server_ip());
+  }
+
+  static trace::TestbedConfig make_config(std::uint64_t seed) {
+    trace::TestbedConfig tc;
+    tc.seed = seed;
+    tc.propagation.base_loss = 0.02;
+    tc.propagation.good_radius_m = 90;
+    return tc;
+  }
+
+  void start() {
+    driver->start();
+    manager->start();
+  }
+};
+
+TEST(Voip, CallRunsOverSpiderLink) {
+  AppWorld w;
+  tcp::CbrServer cbr(w.bed.sim, w.bed.server);
+  w.bed.server.set_handler([&](const wire::Packet& p) {
+    if (!cbr.on_packet(p)) w.bed.downloads.on_packet(p);
+  });
+  trace::VoipHarness voip(w.bed.sim, w.bed.server_ip());
+  voip.attach(*w.manager);
+  w.start();
+  w.bed.sim.run_until(sec(30));
+
+  auto summary = voip.summarize(sec(30));
+  EXPECT_EQ(summary.calls, 1u);
+  EXPECT_GT(summary.packets_received, 1000u);  // ~50/s once up
+  EXPECT_GT(summary.mean_delivery_ratio, 0.95);
+  EXPECT_GT(summary.voice_availability, 0.8);
+  EXPECT_LT(summary.mean_delay_s, 0.2);
+}
+
+TEST(Voip, OutageShowsInAvailability) {
+  auto pos = std::make_shared<Position>(Position{0, 0});
+  trace::TestbedConfig tc = AppWorld::make_config(6);
+  trace::Testbed bed(tc);
+  trace::Testbed::ApSpec spec;
+  spec.channel = 6;
+  spec.position = {20, 0};
+  spec.dhcp.offer_delay_median = msec(150);
+  spec.dhcp.offer_delay_max = msec(400);
+  bed.add_ap(spec);
+  core::SpiderConfig cfg;
+  cfg.num_interfaces = 1;
+  cfg.mode = core::OperationMode::single(6);
+  cfg.dhcp = {.retx_timeout = msec(500), .max_sends = 4};
+  core::SpiderDriver driver(bed.sim, bed.medium, bed.next_client_mac_block(),
+                            [pos] { return *pos; }, cfg);
+  core::LinkManager manager(driver, bed.server_ip());
+  tcp::CbrServer cbr(bed.sim, bed.server);
+  bed.server.set_handler([&](const wire::Packet& p) {
+    if (!cbr.on_packet(p)) bed.downloads.on_packet(p);
+  });
+  trace::VoipHarness voip(bed.sim, bed.server_ip());
+  voip.attach(manager);
+  driver.start();
+  manager.start();
+
+  bed.sim.run_until(sec(20));
+  *pos = Position{5000, 0};  // 20 s outage
+  bed.sim.run_until(sec(40));
+  *pos = Position{0, 0};
+  bed.sim.run_until(sec(60));
+
+  auto summary = voip.summarize(sec(60));
+  EXPECT_GE(summary.calls, 2u);  // the outage split the call
+  EXPECT_LT(summary.voice_availability, 0.8);
+  EXPECT_GT(summary.voice_availability, 0.3);
+}
+
+TEST(WebFlows, CompletesFetchesWithThinkTime) {
+  AppWorld w(8);
+  trace::WebFlowConfig wf;
+  wf.size_median_bytes = 20e3;
+  wf.think_mean = msec(500);
+  trace::WebFlowHarness web(w.bed.sim, w.bed.server_ip(), wf, Rng(3));
+  web.attach(*w.manager);
+  w.start();
+  w.bed.sim.run_until(sec(60));
+
+  auto summary = web.summarize();
+  EXPECT_GT(summary.attempted, 10u);
+  EXPECT_GT(summary.completion_rate, 0.95);
+  EXPECT_GT(summary.median_completion_s, 0.0);
+  EXPECT_LT(summary.median_completion_s, 10.0);
+}
+
+TEST(WebFlows, LinkDeathAbortsAndRetries) {
+  auto pos = std::make_shared<Position>(Position{0, 0});
+  trace::TestbedConfig tc = AppWorld::make_config(9);
+  trace::Testbed bed(tc);
+  trace::Testbed::ApSpec spec;
+  spec.channel = 6;
+  spec.position = {20, 0};
+  spec.backhaul = kbps(256);  // slow: fetches span the outage
+  spec.dhcp.offer_delay_median = msec(150);
+  spec.dhcp.offer_delay_max = msec(400);
+  bed.add_ap(spec);
+  core::SpiderConfig cfg;
+  cfg.num_interfaces = 1;
+  cfg.mode = core::OperationMode::single(6);
+  cfg.dhcp = {.retx_timeout = msec(500), .max_sends = 4};
+  core::SpiderDriver driver(bed.sim, bed.medium, bed.next_client_mac_block(),
+                            [pos] { return *pos; }, cfg);
+  core::LinkManager manager(driver, bed.server_ip());
+  trace::WebFlowConfig wf;
+  wf.size_median_bytes = 400e3;  // big objects on a slow pipe
+  wf.size_sigma = 0.1;
+  trace::WebFlowHarness web(bed.sim, bed.server_ip(), wf, Rng(4));
+  web.attach(manager);
+  driver.start();
+  manager.start();
+
+  bed.sim.run_until(sec(10));
+  *pos = Position{5000, 0};
+  bed.sim.run_until(sec(30));
+  *pos = Position{0, 0};
+  bed.sim.run_until(sec(60));
+
+  auto summary = web.summarize();
+  EXPECT_GE(summary.aborted, 1u);
+}
+
+// ---------------------------------------------------------------------------
+// CSV export.
+
+TEST(Export, TimeseriesCsv) {
+  trace::ThroughputRecorder rec;
+  rec.record(msec(500), 100);
+  rec.record(sec(2), 300);
+  rec.finalize(sec(3));
+  std::ostringstream os;
+  trace::write_timeseries_csv(os, rec);
+  EXPECT_EQ(os.str(), "second,bytes\n0,100\n1,0\n2,300\n");
+}
+
+TEST(Export, JoinLogCsv) {
+  std::vector<core::JoinRecord> log(1);
+  log[0].bssid = wire::Bssid(0xA1);
+  log[0].channel = 6;
+  log[0].started = sec(2);
+  log[0].assoc_delay = msec(150);
+  log[0].outcome = core::JoinOutcome::kAssocOnly;
+  log[0].finished = true;
+  std::ostringstream os;
+  trace::write_join_log_csv(os, log);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("start_s,channel,bssid"), std::string::npos);
+  EXPECT_NE(out.find("2,6,00:00:00:00:00:a1,assoc-only,150"), std::string::npos);
+  // Unreached milestones stay empty, not zero.
+  EXPECT_NE(out.find(",,"), std::string::npos);
+}
+
+TEST(Export, CdfCsvDeduplicates) {
+  Cdf cdf({1.0, 2.0, 2.0, 3.0});
+  std::ostringstream os;
+  trace::write_cdf_csv(os, cdf, "x");
+  EXPECT_EQ(os.str(), "x,cdf\n1,0.25\n2,0.75\n3,1\n");
+}
+
+TEST(Export, PathOverloadsWriteFiles) {
+  trace::ThroughputRecorder rec;
+  rec.record(sec(0), 1);
+  rec.finalize(sec(1));
+  const std::string path = ::testing::TempDir() + "/spider_ts.csv";
+  ASSERT_TRUE(trace::write_timeseries_csv(path, rec));
+  std::ifstream f(path);
+  std::string header;
+  std::getline(f, header);
+  EXPECT_EQ(header, "second,bytes");
+}
+
+}  // namespace
+}  // namespace spider

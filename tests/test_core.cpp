@@ -1,0 +1,442 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "core/adaptive.hpp"
+#include "core/ap_selector.hpp"
+#include "core/link_manager.hpp"
+#include "core/op_mode.hpp"
+#include "core/spider_driver.hpp"
+#include "trace/testbed.hpp"
+
+namespace spider::core {
+namespace {
+
+using trace::Testbed;
+using trace::TestbedConfig;
+
+// ---------------------------------------------------------------------------
+// OperationMode
+
+TEST(OperationMode, SingleChannel) {
+  auto m = OperationMode::single(6);
+  EXPECT_TRUE(m.single_channel());
+  EXPECT_TRUE(m.includes(6));
+  EXPECT_FALSE(m.includes(1));
+  EXPECT_DOUBLE_EQ(m.fraction_of(6), 1.0);
+}
+
+TEST(OperationMode, EqualSplit) {
+  auto m = OperationMode::equal_split({1, 6, 11}, msec(600));
+  EXPECT_FALSE(m.single_channel());
+  EXPECT_NEAR(m.fraction_of(1), 1.0 / 3.0, 1e-9);
+  EXPECT_NEAR(m.fraction_of(11), 1.0 / 3.0, 1e-9);
+  EXPECT_EQ(m.period, msec(600));
+  EXPECT_EQ(m.channels(), (std::vector<wire::Channel>{1, 6, 11}));
+}
+
+TEST(OperationMode, WeightedNormalises) {
+  auto m = OperationMode::weighted({{1, 2.0}, {11, 2.0}}, msec(200));
+  EXPECT_DOUBLE_EQ(m.fraction_of(1), 0.5);
+  EXPECT_DOUBLE_EQ(m.fraction_of(11), 0.5);
+}
+
+TEST(OperationMode, NormalizeDropsNonPositive) {
+  OperationMode m;
+  m.fractions = {{1, 0.5}, {6, 0.0}, {11, -0.3}};
+  m.normalize();
+  ASSERT_EQ(m.fractions.size(), 1u);
+  EXPECT_DOUBLE_EQ(m.fraction_of(1), 1.0);
+}
+
+TEST(OperationMode, Describe) {
+  auto m = OperationMode::weighted({{1, 0.5}, {11, 0.5}}, msec(200));
+  const auto s = m.describe();
+  EXPECT_NE(s.find("ch1:50%"), std::string::npos);
+  EXPECT_NE(s.find("ch11:50%"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// ApSelector
+
+mac::ApObservation obs_of(std::uint64_t bssid, wire::Channel ch, double rssi) {
+  mac::ApObservation o;
+  o.bssid = wire::Bssid(bssid);
+  o.channel = ch;
+  o.rssi_dbm = rssi;
+  return o;
+}
+
+TEST(ApSelector, UnknownApsBootstrapAtMax) {
+  ApSelector sel(SelectorConfig{});
+  EXPECT_DOUBLE_EQ(sel.utility(wire::Bssid(1)), 1.0);
+}
+
+TEST(ApSelector, OutcomesMoveUtility) {
+  SelectorConfig cfg;
+  cfg.recency_weight = 0.5;
+  ApSelector sel(cfg);
+  sel.record_outcome(wire::Bssid(1), JoinOutcome::kEndToEnd);
+  EXPECT_DOUBLE_EQ(sel.utility(wire::Bssid(1)), 1.0);
+  sel.record_outcome(wire::Bssid(1), JoinOutcome::kAssocFailed);
+  EXPECT_DOUBLE_EQ(sel.utility(wire::Bssid(1)), 0.5);
+  sel.record_outcome(wire::Bssid(1), JoinOutcome::kAssocFailed);
+  EXPECT_DOUBLE_EQ(sel.utility(wire::Bssid(1)), 0.25);
+}
+
+TEST(ApSelector, RecentOutcomesWeighMore) {
+  SelectorConfig cfg;
+  cfg.recency_weight = 0.6;
+  ApSelector sel(cfg);
+  sel.record_outcome(wire::Bssid(1), JoinOutcome::kAssocFailed);  // u = 0
+  sel.record_outcome(wire::Bssid(1), JoinOutcome::kEndToEnd);     // recent good
+  EXPECT_GT(sel.utility(wire::Bssid(1)), 0.5);
+}
+
+TEST(ApSelector, SelectsHighestUtility) {
+  SelectorConfig cfg;
+  ApSelector sel(cfg);
+  sel.record_outcome(wire::Bssid(1), JoinOutcome::kAssocFailed);
+  const auto choice = sel.select(
+      {obs_of(1, 6, -40), obs_of(2, 6, -70)}, {}, Time{0});
+  ASSERT_TRUE(choice.has_value());
+  // AP 2 is unknown (bootstrap 1.0) and beats AP 1's degraded utility even
+  // though AP 1 is much stronger.
+  EXPECT_EQ(choice->bssid, wire::Bssid(2));
+}
+
+TEST(ApSelector, RssiBreaksTies) {
+  ApSelector sel(SelectorConfig{});
+  const auto choice = sel.select(
+      {obs_of(1, 6, -70), obs_of(2, 6, -40)}, {}, Time{0});
+  ASSERT_TRUE(choice.has_value());
+  EXPECT_EQ(choice->bssid, wire::Bssid(2));
+}
+
+TEST(ApSelector, SkipsInUse) {
+  ApSelector sel(SelectorConfig{});
+  std::unordered_set<wire::Bssid> used{wire::Bssid(2)};
+  const auto choice = sel.select(
+      {obs_of(1, 6, -70), obs_of(2, 6, -40)}, used, Time{0});
+  ASSERT_TRUE(choice.has_value());
+  EXPECT_EQ(choice->bssid, wire::Bssid(1));
+}
+
+TEST(ApSelector, BlacklistExpires) {
+  SelectorConfig cfg;
+  cfg.blacklist_duration = sec(10);
+  ApSelector sel(cfg);
+  sel.blacklist(wire::Bssid(1), Time{0});
+  EXPECT_TRUE(sel.blacklisted(wire::Bssid(1), sec(5)));
+  EXPECT_FALSE(sel.blacklisted(wire::Bssid(1), sec(10) + usec(1)));
+  EXPECT_FALSE(sel.select({obs_of(1, 6, -40)}, {}, sec(5)).has_value());
+  EXPECT_TRUE(sel.select({obs_of(1, 6, -40)}, {}, sec(15)).has_value());
+}
+
+// ---------------------------------------------------------------------------
+// Full-stack fixtures
+
+phy::PropagationConfig clean_air() {
+  phy::PropagationConfig pc;
+  pc.base_loss = 0.02;
+  pc.good_radius_m = 90;
+  pc.range_m = 100;
+  return pc;
+}
+
+net::DhcpServerConfig fast_dhcp() {
+  net::DhcpServerConfig d;
+  d.offer_delay_min = msec(50);
+  d.offer_delay_median = msec(150);
+  d.offer_delay_max = msec(300);
+  return d;
+}
+
+SpiderConfig small_spider(OperationMode mode, std::size_t ifaces = 3) {
+  SpiderConfig c;
+  c.num_interfaces = ifaces;
+  c.mode = std::move(mode);
+  c.dhcp = {.retx_timeout = msec(500), .max_sends = 4};
+  return c;
+}
+
+struct SpiderStack {
+  Testbed bed;
+  std::unique_ptr<SpiderDriver> driver;
+  std::unique_ptr<LinkManager> manager;
+
+  explicit SpiderStack(SpiderConfig config, Position client_pos = {0, 0},
+                       std::uint64_t seed = 3)
+      : bed([&] {
+          TestbedConfig tc;
+          tc.seed = seed;
+          tc.propagation = clean_air();
+          return tc;
+        }()) {
+    driver = std::make_unique<SpiderDriver>(
+        bed.sim, bed.medium, bed.next_client_mac_block(),
+        [client_pos] { return client_pos; }, std::move(config));
+    manager = std::make_unique<LinkManager>(*driver, bed.server_ip());
+  }
+
+  void start() {
+    driver->start();
+    manager->start();
+  }
+
+  Testbed::ApBundle& add_ap(wire::Channel ch, Position pos) {
+    Testbed::ApSpec spec;
+    spec.channel = ch;
+    spec.position = pos;
+    spec.dhcp = fast_dhcp();
+    return bed.add_ap(spec);
+  }
+};
+
+TEST(SpiderStack, JoinsSingleApEndToEnd) {
+  SpiderStack s(small_spider(OperationMode::single(6)));
+  auto& ap = s.add_ap(6, {20, 0});
+  int ups = 0;
+  s.manager->set_callbacks(
+      {.on_link_up = [&](VirtualInterface&) { ++ups; }});
+  s.start();
+  s.bed.sim.run_until(sec(10));
+
+  EXPECT_EQ(ups, 1);
+  EXPECT_EQ(s.manager->links_up(), 1u);
+  ASSERT_FALSE(s.manager->join_log().empty());
+  const auto& rec = s.manager->join_log().front();
+  EXPECT_EQ(rec.bssid, ap.ap->bssid());
+  EXPECT_TRUE(rec.finished);
+  EXPECT_EQ(rec.outcome, JoinOutcome::kEndToEnd);
+  ASSERT_TRUE(rec.assoc_delay.has_value());
+  ASSERT_TRUE(rec.dhcp_delay.has_value());
+  ASSERT_TRUE(rec.e2e_delay.has_value());
+  EXPECT_LT(*rec.assoc_delay, sec(1));
+  EXPECT_GE(*rec.dhcp_delay, *rec.assoc_delay);
+  EXPECT_GE(*rec.e2e_delay, *rec.dhcp_delay);
+
+  // The interface got a routable address from the AP's subnet.
+  const auto& vif = s.driver->iface(0);
+  EXPECT_TRUE(vif.up());
+  EXPECT_FALSE(vif.ip().is_null());
+  EXPECT_TRUE(ap.network->dhcp().lookup_mac(vif.ip()).has_value());
+}
+
+TEST(SpiderStack, ConcurrentApsOnOneChannel) {
+  // The paper's core claim: multiple APs on a single channel can be held
+  // simultaneously with zero switching overhead.
+  SpiderStack s(small_spider(OperationMode::single(6)));
+  s.add_ap(6, {20, 0});
+  s.add_ap(6, {-20, 0});
+  s.add_ap(6, {0, 30});
+  s.start();
+  s.bed.sim.run_until(sec(15));
+  EXPECT_EQ(s.manager->links_up(), 3u);
+  EXPECT_EQ(s.driver->switches(), 0u);  // never left channel 6
+}
+
+TEST(SpiderStack, NoTwoInterfacesShareAnAp) {
+  SpiderStack s(small_spider(OperationMode::single(6), /*ifaces=*/4));
+  s.add_ap(6, {20, 0});
+  s.add_ap(6, {-20, 0});
+  s.start();
+  s.bed.sim.run_until(sec(15));
+  EXPECT_EQ(s.manager->links_up(), 2u);
+  std::unordered_set<wire::Bssid> bound;
+  for (std::size_t i = 0; i < s.driver->num_interfaces(); ++i) {
+    const auto& vif = s.driver->iface(i);
+    if (vif.up()) {
+      EXPECT_TRUE(bound.insert(vif.bssid()).second)
+          << "two interfaces bound to " << vif.bssid().to_string();
+    }
+  }
+}
+
+TEST(SpiderStack, MultiChannelModeJoinsAcrossChannels) {
+  SpiderStack s(small_spider(
+      OperationMode::equal_split({1, 6, 11}, msec(600)), /*ifaces=*/3));
+  s.add_ap(1, {20, 0});
+  s.add_ap(6, {-20, 0});
+  s.add_ap(11, {0, 30});
+  s.start();
+  s.bed.sim.run_until(sec(30));
+  EXPECT_EQ(s.manager->links_up(), 3u);
+  EXPECT_GT(s.driver->switches(), 10u);
+  EXPECT_GT(s.driver->switch_latency_stats().count(), 10u);
+  // ~4 ms of reset plus PSM/wake overhead per switch.
+  EXPECT_GT(s.driver->switch_latency_stats().mean(), 4.0);
+  EXPECT_LT(s.driver->switch_latency_stats().mean(), 12.0);
+}
+
+TEST(SpiderStack, SchedulerIgnoresUnscheduledChannels) {
+  SpiderStack s(small_spider(OperationMode::single(6)));
+  s.add_ap(1, {20, 0});  // AP exists but on an unscheduled channel
+  s.start();
+  s.bed.sim.run_until(sec(10));
+  EXPECT_EQ(s.manager->links_up(), 0u);
+  EXPECT_TRUE(s.manager->join_log().empty());
+}
+
+TEST(SpiderStack, LeaseCacheSpeedsUpRejoin) {
+  // Drive out of range so the link dies, then return: the rejoin must use
+  // the cached lease (INIT-REBOOT), making its DHCP phase much faster.
+  auto pos = std::make_shared<Position>(Position{20, 0});
+  TestbedConfig tc;
+  tc.seed = 3;
+  tc.propagation = clean_air();
+  Testbed bed(tc);
+  Testbed::ApSpec spec;
+  spec.channel = 6;
+  spec.position = {0, 0};
+  spec.dhcp = fast_dhcp();
+  spec.dhcp.offer_delay_min = sec(1);  // make the slow path clearly slow
+  spec.dhcp.offer_delay_median = msec(1500);
+  spec.dhcp.offer_delay_max = sec(2);
+  bed.add_ap(spec);
+
+  SpiderConfig cfg = small_spider(OperationMode::single(6), 1);
+  cfg.dhcp = {.retx_timeout = sec(1), .max_sends = 4};
+  cfg.selector.blacklist_duration = msec(500);
+  SpiderDriver driver(bed.sim, bed.medium, bed.next_client_mac_block(),
+                      [pos] { return *pos; }, cfg);
+  LinkManager manager(driver, bed.server_ip());
+  driver.start();
+  manager.start();
+  bed.sim.run_until(sec(12));
+  ASSERT_EQ(manager.links_up(), 1u);
+  ASSERT_GE(manager.join_log().size(), 1u);
+  const Time first_dhcp_phase = *manager.join_log()[0].dhcp_delay -
+                                *manager.join_log()[0].assoc_delay;
+
+  *pos = Position{5000, 0};
+  bed.sim.run_until(sec(25));
+  ASSERT_EQ(manager.links_up(), 0u);
+
+  *pos = Position{20, 0};
+  bed.sim.run_until(sec(45));
+  ASSERT_EQ(manager.links_up(), 1u);
+
+  const core::JoinRecord* rejoin = nullptr;
+  for (const auto& rec : manager.join_log()) {
+    if (rec.finished && rec.outcome == JoinOutcome::kEndToEnd &&
+        rec.started > sec(20)) {
+      rejoin = &rec;
+    }
+  }
+  ASSERT_NE(rejoin, nullptr);
+  EXPECT_TRUE(rejoin->used_lease_cache);
+  const Time rejoin_dhcp_phase = *rejoin->dhcp_delay - *rejoin->assoc_delay;
+  EXPECT_LT(rejoin_dhcp_phase, first_dhcp_phase);
+}
+
+TEST(SpiderStack, LinkDeathAfterApVanishes) {
+  // Client position is mutable: after the join, teleport out of range and
+  // verify the prober declares the link dead and the interface resets.
+  auto pos = std::make_shared<Position>(Position{20, 0});
+  TestbedConfig tc;
+  tc.seed = 3;
+  tc.propagation = clean_air();
+  Testbed bed(tc);
+  Testbed::ApSpec spec;
+  spec.channel = 6;
+  spec.position = {0, 0};
+  spec.dhcp = fast_dhcp();
+  bed.add_ap(spec);
+
+  SpiderDriver driver(bed.sim, bed.medium, bed.next_client_mac_block(),
+                      [pos] { return *pos; },
+                      small_spider(OperationMode::single(6), 1));
+  LinkManager manager(driver, bed.server_ip());
+  int downs = 0;
+  manager.set_callbacks(
+      {.on_link_down = [&](VirtualInterface&) { ++downs; }});
+  driver.start();
+  manager.start();
+  bed.sim.run_until(sec(10));
+  ASSERT_EQ(manager.links_up(), 1u);
+
+  *pos = Position{5000, 0};  // drove away
+  bed.sim.run_until(sec(20));
+  EXPECT_EQ(manager.links_up(), 0u);
+  EXPECT_EQ(downs, 1);
+  EXPECT_TRUE(driver.iface(0).idle());
+}
+
+TEST(SpiderStack, QueuedPacketsSurviveOffChannelPeriods) {
+  // Two channels; the DHCP exchange on channel 11 must complete even
+  // though the card spends half its time on channel 1.
+  SpiderStack s(small_spider(
+      OperationMode::weighted({{1, 0.5}, {11, 0.5}}, msec(400)), 2));
+  s.add_ap(11, {20, 0});
+  s.start();
+  s.bed.sim.run_until(sec(20));
+  EXPECT_EQ(s.manager->links_up(), 1u);
+}
+
+TEST(SpiderStack, SetModeMidRunRetunes) {
+  SpiderStack s(small_spider(OperationMode::single(1)));
+  s.add_ap(6, {20, 0});
+  s.start();
+  s.bed.sim.run_until(sec(5));
+  EXPECT_EQ(s.manager->links_up(), 0u);
+
+  s.driver->set_mode(OperationMode::single(6));
+  s.bed.sim.run_until(sec(15));
+  EXPECT_EQ(s.manager->links_up(), 1u);
+}
+
+TEST(SpiderStack, OpportunisticScanSeesNeighbours) {
+  SpiderStack s(small_spider(OperationMode::single(6)));
+  s.add_ap(6, {20, 0});
+  s.add_ap(6, {40, 0});
+  s.add_ap(1, {10, 0});  // invisible: never tuned to channel 1
+  s.start();
+  s.bed.sim.run_until(sec(3));
+  EXPECT_EQ(s.driver->scanner().current_on(6).size(), 2u);
+  EXPECT_EQ(s.driver->scanner().current_on(1).size(), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Adaptive mode controller (§4.8 extension)
+
+TEST(Adaptive, SwitchesModesWithSpeed) {
+  SpiderStack s(small_spider(OperationMode::equal_split({1, 6, 11}, msec(600))));
+  s.add_ap(6, {20, 0});
+  double speed = 2.0;
+  AdaptiveConfig ac;
+  ac.min_mode_hold = sec(1);
+  AdaptiveModeController ctl(*s.driver, [&] { return speed; }, ac);
+  s.start();
+  ctl.start();
+  s.bed.sim.run_until(sec(5));
+  EXPECT_FALSE(ctl.in_single_channel_mode());
+
+  speed = 15.0;
+  s.bed.sim.run_until(sec(10));
+  EXPECT_TRUE(ctl.in_single_channel_mode());
+  // The single channel chosen is the busiest one seen (channel 6).
+  EXPECT_TRUE(s.driver->mode().includes(6));
+  EXPECT_TRUE(s.driver->mode().single_channel());
+
+  speed = 3.0;
+  s.bed.sim.run_until(sec(20));
+  EXPECT_FALSE(ctl.in_single_channel_mode());
+  EXPECT_EQ(ctl.mode_switches(), 2u);
+}
+
+TEST(Adaptive, HysteresisPreventsFlapping) {
+  SpiderStack s(small_spider(OperationMode::equal_split({1, 6, 11}, msec(600))));
+  s.add_ap(6, {20, 0});
+  double speed = 10.0;  // exactly at the threshold: inside the dead band
+  AdaptiveConfig ac;
+  ac.min_mode_hold = sec(1);
+  AdaptiveModeController ctl(*s.driver, [&] { return speed; }, ac);
+  s.start();
+  ctl.start();
+  s.bed.sim.run_until(sec(20));
+  EXPECT_EQ(ctl.mode_switches(), 0u);
+}
+
+}  // namespace
+}  // namespace spider::core

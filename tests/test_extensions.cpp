@@ -1,0 +1,224 @@
+// Tests for the post-paper extensions: energy accounting, goodput-weighted
+// dynamic scheduling, and deployment CSV persistence.
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "core/dynamic_schedule.hpp"
+#include "core/link_manager.hpp"
+#include "core/spider_driver.hpp"
+#include "mobility/deployment_io.hpp"
+#include "phy/energy.hpp"
+#include "trace/testbed.hpp"
+
+namespace spider {
+namespace {
+
+trace::TestbedConfig quiet_air(std::uint64_t seed) {
+  trace::TestbedConfig tc;
+  tc.seed = seed;
+  tc.propagation.base_loss = 0.02;
+  tc.propagation.good_radius_m = 90;
+  return tc;
+}
+
+net::DhcpServerConfig quick_dhcp() {
+  net::DhcpServerConfig d;
+  d.offer_delay_min = msec(50);
+  d.offer_delay_median = msec(150);
+  d.offer_delay_max = msec(400);
+  return d;
+}
+
+// ---------------------------------------------------------------------------
+// Energy model
+
+TEST(Energy, IdleCardDrawsIdlePower) {
+  sim::Simulator sim;
+  phy::Medium medium(sim, phy::Propagation(phy::PropagationConfig{}), Rng(1));
+  phy::Radio r(medium, wire::MacAddress(1), [] { return Position{}; });
+  sim.run_until(sec(10));
+  phy::EnergyModel model;
+  EXPECT_NEAR(model.joules(r, sim.now()), 10.0 * model.idle_rx_watts, 1e-6);
+}
+
+TEST(Energy, TransmissionAndSwitchingCostExtra) {
+  sim::Simulator sim;
+  phy::Medium medium(sim, phy::Propagation(phy::PropagationConfig{}), Rng(1));
+  phy::Radio r(medium, wire::MacAddress(1), [] { return Position{}; });
+  r.tune(6);
+  sim.run_until(msec(100));
+  wire::Frame f;
+  f.type = wire::FrameType::kData;
+  f.dst = wire::MacAddress(2);
+  f.size_bytes = 1500;
+  for (int i = 0; i < 100; ++i) r.send(f);
+  sim.run_until(sec(10));
+
+  phy::EnergyModel model;
+  const double idle_only = 10.0 * model.idle_rx_watts;
+  EXPECT_GT(model.joules(r, sim.now()), idle_only);
+  EXPECT_GT(to_seconds(r.tx_airtime()), 0.1);
+  EXPECT_EQ(r.switch_airtime(), r.config().switch_latency);  // one tune
+  EXPECT_EQ(r.tx_bytes(), 150'000u);
+}
+
+TEST(Energy, JoulesPerMbFavoursHigherGoodput) {
+  sim::Simulator sim;
+  phy::Medium medium(sim, phy::Propagation(phy::PropagationConfig{}), Rng(1));
+  phy::Radio r(medium, wire::MacAddress(1), [] { return Position{}; });
+  sim.run_until(sec(10));
+  phy::EnergyModel model;
+  EXPECT_GT(model.joules_per_mb(r, sim.now(), 1'000'000),
+            model.joules_per_mb(r, sim.now(), 10'000'000));
+  EXPECT_DOUBLE_EQ(model.joules_per_mb(r, sim.now(), 0), 0.0);
+}
+
+TEST(Energy, SwitchingScheduleBurnsMoreResetTime) {
+  // Two identical drivers, one parked and one on a frantic schedule: the
+  // switcher accumulates reset time the parked card never pays.
+  trace::Testbed bed(quiet_air(61));
+  core::SpiderConfig parked_cfg;
+  parked_cfg.num_interfaces = 1;
+  parked_cfg.mode = core::OperationMode::single(6);
+  core::SpiderDriver parked(bed.sim, bed.medium, bed.next_client_mac_block(),
+                            [] { return Position{0, 0}; }, parked_cfg);
+  core::SpiderConfig hopper_cfg = parked_cfg;
+  hopper_cfg.mode = core::OperationMode::equal_split({1, 6, 11}, msec(150));
+  core::SpiderDriver hopper(bed.sim, bed.medium, bed.next_client_mac_block(),
+                            [] { return Position{0, 0}; }, hopper_cfg);
+  parked.start();
+  hopper.start();
+  bed.sim.run_until(sec(30));
+
+  phy::EnergyModel model;
+  EXPECT_GT(to_seconds(hopper.radio().switch_airtime()), 1.0);
+  EXPECT_GT(model.joules(hopper.radio(), bed.sim.now()),
+            model.joules(parked.radio(), bed.sim.now()));
+}
+
+// ---------------------------------------------------------------------------
+// Dynamic (goodput-weighted) schedule
+
+TEST(DynamicSchedule, SingleChannelModeUntouched) {
+  trace::Testbed bed(quiet_air(62));
+  core::SpiderConfig cfg;
+  cfg.mode = core::OperationMode::single(6);
+  core::SpiderDriver driver(bed.sim, bed.medium, bed.next_client_mac_block(),
+                            [] { return Position{0, 0}; }, cfg);
+  core::DynamicScheduleController dyn(driver);
+  driver.start();
+  dyn.start();
+  bed.sim.run_until(sec(30));
+  EXPECT_EQ(dyn.rebalances(), 0u);
+  EXPECT_TRUE(driver.mode().single_channel());
+}
+
+TEST(DynamicSchedule, ShiftsTimeTowardProductiveChannel) {
+  trace::Testbed bed(quiet_air(63));
+  // A fat AP on channel 1, nothing on channel 11.
+  trace::Testbed::ApSpec spec;
+  spec.channel = 1;
+  spec.position = {20, 0};
+  spec.backhaul = mbps(5);
+  spec.dhcp = quick_dhcp();
+  bed.add_ap(spec);
+
+  core::SpiderConfig cfg;
+  cfg.num_interfaces = 2;
+  cfg.mode = core::OperationMode::equal_split({1, 11}, msec(400));
+  cfg.dhcp = {.retx_timeout = msec(500), .max_sends = 4};
+  core::SpiderDriver driver(bed.sim, bed.medium, bed.next_client_mac_block(),
+                            [] { return Position{0, 0}; }, cfg);
+  core::LinkManager manager(driver, bed.server_ip());
+  trace::ThroughputRecorder rec;
+  trace::DownloadHarness harness(bed.sim, bed.server_ip(), rec);
+  harness.attach(manager);
+  core::DynamicScheduleController dyn(driver);
+  driver.start();
+  manager.start();
+  dyn.start();
+  bed.sim.run_until(sec(60));
+
+  EXPECT_GE(dyn.rebalances(), 1u);
+  EXPECT_GT(driver.mode().fraction_of(1), 0.7);
+  // The floor keeps channel 11 alive for scans/joins.
+  EXPECT_GE(driver.mode().fraction_of(11), 0.08);
+}
+
+TEST(DynamicSchedule, NoRebalanceWithoutTrafficImbalance) {
+  trace::Testbed bed(quiet_air(64));
+  core::SpiderConfig cfg;
+  cfg.mode = core::OperationMode::equal_split({1, 11}, msec(400));
+  core::SpiderDriver driver(bed.sim, bed.medium, bed.next_client_mac_block(),
+                            [] { return Position{0, 0}; }, cfg);
+  core::DynamicScheduleController dyn(driver);
+  driver.start();
+  dyn.start();
+  bed.sim.run_until(sec(30));  // nothing joined: zero bytes everywhere
+  EXPECT_EQ(dyn.rebalances(), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Deployment CSV round trip
+
+TEST(DeploymentIo, RoundTrip) {
+  mob::DeploymentConfig cfg;
+  cfg.dead_backhaul_fraction = 0.3;
+  Rng rng(9);
+  const auto sites = mob::generate_deployment(cfg, rng);
+  ASSERT_FALSE(sites.empty());
+
+  std::ostringstream os;
+  mob::write_sites_csv(os, sites);
+  std::istringstream is(os.str());
+  const auto parsed = mob::read_sites_csv(is);
+
+  ASSERT_EQ(parsed.size(), sites.size());
+  for (std::size_t i = 0; i < sites.size(); ++i) {
+    EXPECT_NEAR(parsed[i].position.x, sites[i].position.x, 1e-6);
+    EXPECT_NEAR(parsed[i].position.y, sites[i].position.y, 1e-6);
+    EXPECT_EQ(parsed[i].channel, sites[i].channel);
+    EXPECT_NEAR(parsed[i].backhaul.bps, sites[i].backhaul.bps, 1.0);
+    EXPECT_EQ(parsed[i].internet_connected, sites[i].internet_connected);
+  }
+}
+
+TEST(DeploymentIo, HeaderOptional) {
+  std::istringstream with_header("x,y,channel,backhaul_bps,connected\n1,2,6,1e6,1\n");
+  std::istringstream without("1,2,6,1e6,1\n");
+  EXPECT_EQ(mob::read_sites_csv(with_header).size(), 1u);
+  EXPECT_EQ(mob::read_sites_csv(without).size(), 1u);
+}
+
+TEST(DeploymentIo, MalformedRowsThrow) {
+  std::istringstream missing_col("1,2,6,1e6\n");
+  EXPECT_THROW(mob::read_sites_csv(missing_col), std::runtime_error);
+  std::istringstream junk("a,b,c,d,e\n");
+  EXPECT_THROW(mob::read_sites_csv(junk), std::runtime_error);
+}
+
+TEST(DeploymentIo, MissingFileThrows) {
+  EXPECT_THROW(mob::read_sites_csv_file("/nonexistent/sites.csv"),
+               std::runtime_error);
+}
+
+TEST(DeploymentIo, FileRoundTrip) {
+  std::vector<mob::ApSite> sites(2);
+  sites[0].position = {10, -5};
+  sites[0].channel = 1;
+  sites[0].backhaul = mbps(2);
+  sites[1].position = {99, 30};
+  sites[1].channel = 11;
+  sites[1].backhaul = kbps(768);
+  sites[1].internet_connected = false;
+  const std::string path = ::testing::TempDir() + "/spider_sites.csv";
+  ASSERT_TRUE(mob::write_sites_csv(path, sites));
+  const auto parsed = mob::read_sites_csv_file(path);
+  ASSERT_EQ(parsed.size(), 2u);
+  EXPECT_FALSE(parsed[1].internet_connected);
+}
+
+}  // namespace
+}  // namespace spider

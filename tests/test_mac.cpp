@@ -1,0 +1,464 @@
+#include <gtest/gtest.h>
+
+#include <optional>
+
+#include "mac/ap.hpp"
+#include "mac/client_mlme.hpp"
+#include "mac/scanner.hpp"
+#include "phy/medium.hpp"
+#include "phy/radio.hpp"
+#include "sim/simulator.hpp"
+
+namespace spider::mac {
+namespace {
+
+phy::PropagationConfig lossless() {
+  phy::PropagationConfig c;
+  c.base_loss = 0.0;
+  c.good_radius_m = 100.0;
+  c.range_m = 100.0;
+  return c;
+}
+
+/// A client harness: one radio plus one MLME, wired the way a driver would.
+struct Client {
+  phy::Radio radio;
+  ClientMlme mlme;
+
+  Client(sim::Simulator& sim, phy::Medium& medium, wire::MacAddress mac,
+         Position pos, MlmeConfig mc = {})
+      : radio(medium, mac, [pos] { return pos; }), mlme(sim, mac, mc) {
+    radio.set_receiver([this](const wire::Frame& f) {
+      if (f.dst == radio.mac() || f.dst.is_broadcast()) mlme.on_frame(f);
+    });
+    mlme.set_send([this](wire::Frame f) {
+      if (radio.switching() || radio.channel() != mlme.channel()) return false;
+      radio.send(std::move(f));
+      return true;
+    });
+  }
+};
+
+struct MacWorld : ::testing::Test {
+  sim::Simulator sim;
+  phy::Medium medium{sim, phy::Propagation(lossless()), Rng(11)};
+
+  std::unique_ptr<AccessPoint> make_ap(wire::Channel ch, Position pos = {0, 0},
+                                       ApConfig cfg = {}) {
+    cfg.channel = ch;
+    auto ap = std::make_unique<AccessPoint>(sim, medium, wire::MacAddress(0xA0),
+                                            pos, cfg, Rng(21));
+    ap->start();
+    return ap;
+  }
+};
+
+TEST_F(MacWorld, ApBeaconsPeriodically) {
+  auto ap = make_ap(6);
+  phy::Radio listener(medium, wire::MacAddress(2), [] { return Position{30, 0}; });
+  int beacons = 0;
+  listener.set_receiver([&](const wire::Frame& f) {
+    if (f.type == wire::FrameType::kBeacon) ++beacons;
+  });
+  listener.tune(6);
+  sim.run_until(sec(1));
+  EXPECT_NEAR(beacons, 10, 1);
+}
+
+TEST_F(MacWorld, ProbeRequestGetsResponse) {
+  auto ap = make_ap(6);
+  phy::Radio client(medium, wire::MacAddress(2), [] { return Position{30, 0}; });
+  std::optional<wire::Frame> response;
+  client.set_receiver([&](const wire::Frame& f) {
+    if (f.type == wire::FrameType::kProbeResponse) response = f;
+  });
+  client.tune(6);
+  sim.run_until(msec(50));
+  wire::Frame probe;
+  probe.type = wire::FrameType::kProbeRequest;
+  probe.dst = wire::MacAddress::broadcast();
+  probe.size_bytes = wire::kMgmtFrameBytes;
+  client.send(probe);
+  sim.run_until(msec(200));
+  ASSERT_TRUE(response.has_value());
+  EXPECT_EQ(response->bssid, ap->bssid());
+  EXPECT_EQ(response->ssid, ap->config().ssid);
+}
+
+TEST_F(MacWorld, FullAssociationHandshake) {
+  auto ap = make_ap(6);
+  Client c(sim, medium, wire::MacAddress(2), {30, 0});
+  bool associated = false;
+  c.mlme.set_callbacks({.on_associated = [&](std::uint16_t aid) {
+    associated = true;
+    EXPECT_GT(aid, 0);
+  }});
+  c.radio.tune(6);
+  sim.run_until(msec(20));
+  c.mlme.start_join(ap->bssid(), 6);
+  sim.run_until(sec(1));
+  EXPECT_TRUE(associated);
+  EXPECT_TRUE(c.mlme.associated());
+  EXPECT_TRUE(ap->is_associated(c.radio.mac()));
+  EXPECT_EQ(ap->associated_count(), 1u);
+}
+
+TEST_F(MacWorld, AssociationFailsOutOfRange) {
+  auto ap = make_ap(6);
+  Client c(sim, medium, wire::MacAddress(2), {400, 0},
+           MlmeConfig{.ll_timeout = msec(100), .max_retries = 2});
+  std::optional<JoinPhase> failure;
+  c.mlme.set_callbacks({.on_failed = [&](JoinPhase p) { failure = p; }});
+  c.radio.tune(6);
+  sim.run_until(msec(20));
+  c.mlme.start_join(ap->bssid(), 6);
+  sim.run_until(sec(5));
+  ASSERT_TRUE(failure.has_value());
+  EXPECT_EQ(*failure, JoinPhase::kAssociation);
+  EXPECT_FALSE(c.mlme.associated());
+}
+
+TEST_F(MacWorld, JoinWaitsWhileOffChannelWithoutConsumingRetries) {
+  auto ap = make_ap(6);
+  Client c(sim, medium, wire::MacAddress(2), {30, 0},
+           MlmeConfig{.ll_timeout = msec(100), .max_retries = 1});
+  bool associated = false;
+  c.mlme.set_callbacks({.on_associated = [&](std::uint16_t) { associated = true; }});
+  // Radio parked on channel 1; the join to a channel-6 AP must idle-poll.
+  c.radio.tune(1);
+  sim.run_until(msec(20));
+  c.mlme.start_join(ap->bssid(), 6);
+  sim.run_until(sec(2));
+  EXPECT_FALSE(associated);  // still polling, not failed
+  c.radio.tune(6);
+  sim.run_until(sec(3));
+  EXPECT_TRUE(associated);
+}
+
+TEST_F(MacWorld, DisassociateNotifiesAp) {
+  auto ap = make_ap(6);
+  Client c(sim, medium, wire::MacAddress(2), {30, 0});
+  c.radio.tune(6);
+  sim.run_until(msec(20));
+  c.mlme.start_join(ap->bssid(), 6);
+  sim.run_until(sec(1));
+  ASSERT_TRUE(ap->is_associated(c.radio.mac()));
+  c.mlme.disassociate();
+  sim.run_until(sec(2));
+  EXPECT_FALSE(ap->is_associated(c.radio.mac()));
+  EXPECT_EQ(c.mlme.state(), ClientMlme::State::kIdle);
+}
+
+TEST_F(MacWorld, InactiveClientPurged) {
+  ApConfig cfg;
+  cfg.inactivity_timeout = sec(2);
+  auto ap = make_ap(6, {0, 0}, cfg);
+  Client c(sim, medium, wire::MacAddress(2), {30, 0});
+  c.radio.tune(6);
+  sim.run_until(msec(20));
+  c.mlme.start_join(ap->bssid(), 6);
+  sim.run_until(sec(1));
+  ASSERT_TRUE(ap->is_associated(c.radio.mac()));
+  sim.run_until(sec(10));  // client goes silent
+  EXPECT_FALSE(ap->is_associated(c.radio.mac()));
+}
+
+TEST_F(MacWorld, UplinkDataReachesHandler) {
+  auto ap = make_ap(6);
+  wire::PacketPtr seen;
+  ap->set_uplink([&](wire::PacketPtr p, wire::MacAddress) { seen = std::move(p); });
+  Client c(sim, medium, wire::MacAddress(2), {30, 0});
+  c.radio.tune(6);
+  sim.run_until(msec(20));
+  c.mlme.start_join(ap->bssid(), 6);
+  sim.run_until(sec(1));
+  ASSERT_TRUE(c.mlme.associated());
+
+  auto pkt = wire::make_icmp_packet(wire::Ipv4(10, 0, 0, 2),
+                                    wire::Ipv4(10, 0, 0, 1), wire::IcmpEcho{});
+  c.radio.send(wire::make_data_frame(c.radio.mac(), ap->bssid(), ap->bssid(), pkt));
+  sim.run_until(sec(2));
+  ASSERT_NE(seen, nullptr);
+  EXPECT_NE(seen->as<wire::IcmpEcho>(), nullptr);
+}
+
+TEST_F(MacWorld, PsmBuffersWhileClientSaves) {
+  auto ap = make_ap(6);
+  Client c(sim, medium, wire::MacAddress(2), {30, 0});
+  int downlink = 0;
+  c.radio.set_receiver([&](const wire::Frame& f) {
+    if (f.dst == c.radio.mac() || f.dst.is_broadcast()) c.mlme.on_frame(f);
+    if (f.type == wire::FrameType::kData && f.dst == c.radio.mac()) ++downlink;
+  });
+  c.radio.tune(6);
+  sim.run_until(msec(20));
+  c.mlme.start_join(ap->bssid(), 6);
+  sim.run_until(sec(1));
+  ASSERT_TRUE(c.mlme.associated());
+
+  // Client announces power-save.
+  wire::Frame psm;
+  psm.type = wire::FrameType::kNullData;
+  psm.src = c.radio.mac();
+  psm.dst = ap->bssid();
+  psm.bssid = ap->bssid();
+  psm.power_mgmt = true;
+  psm.size_bytes = wire::kNullFrameBytes;
+  c.radio.send(psm);
+  sim.run_until(sec(1) + msec(100));
+
+  auto pkt = wire::make_icmp_packet(wire::Ipv4(10, 0, 0, 1),
+                                    wire::Ipv4(10, 0, 0, 2), wire::IcmpEcho{});
+  EXPECT_TRUE(ap->deliver_to_client(c.radio.mac(), pkt));
+  EXPECT_TRUE(ap->deliver_to_client(c.radio.mac(), pkt));
+  sim.run_until(sec(2));
+  EXPECT_EQ(downlink, 0);  // buffered, not transmitted
+  EXPECT_EQ(ap->psm_buffered(c.radio.mac()), 2u);
+
+  // PS-Poll retrieves buffered frames one at a time (802.11 semantics).
+  wire::Frame poll;
+  poll.type = wire::FrameType::kPsPoll;
+  poll.src = c.radio.mac();
+  poll.dst = ap->bssid();
+  poll.bssid = ap->bssid();
+  poll.size_bytes = wire::kPsPollFrameBytes;
+  c.radio.send(poll);
+  sim.run_until(sec(2) + msec(500));
+  EXPECT_EQ(downlink, 1);
+  EXPECT_EQ(ap->psm_buffered(c.radio.mac()), 1u);
+  c.radio.send(poll);
+  sim.run_until(sec(3));
+  EXPECT_EQ(downlink, 2);
+  EXPECT_EQ(ap->psm_buffered(c.radio.mac()), 0u);
+}
+
+TEST_F(MacWorld, PsmBufferOverflowDrops) {
+  ApConfig cfg;
+  cfg.psm_buffer_frames = 3;
+  auto ap = make_ap(6, {0, 0}, cfg);
+  Client c(sim, medium, wire::MacAddress(2), {30, 0});
+  c.radio.tune(6);
+  sim.run_until(msec(20));
+  c.mlme.start_join(ap->bssid(), 6);
+  sim.run_until(sec(1));
+
+  wire::Frame psm;
+  psm.type = wire::FrameType::kNullData;
+  psm.src = c.radio.mac();
+  psm.dst = ap->bssid();
+  psm.bssid = ap->bssid();
+  psm.power_mgmt = true;
+  psm.size_bytes = wire::kNullFrameBytes;
+  c.radio.send(psm);
+  sim.run_until(sec(1) + msec(100));
+
+  auto pkt = wire::make_icmp_packet(wire::Ipv4(10, 0, 0, 1),
+                                    wire::Ipv4(10, 0, 0, 2), wire::IcmpEcho{});
+  for (int i = 0; i < 5; ++i) ap->deliver_to_client(c.radio.mac(), pkt);
+  EXPECT_EQ(ap->psm_buffered(c.radio.mac()), 3u);
+  EXPECT_EQ(ap->psm_drops(), 2u);
+}
+
+TEST_F(MacWorld, DeliverToUnassociatedClientFails) {
+  auto ap = make_ap(6);
+  auto pkt = wire::make_icmp_packet(wire::Ipv4(10, 0, 0, 1),
+                                    wire::Ipv4(10, 0, 0, 2), wire::IcmpEcho{});
+  EXPECT_FALSE(ap->deliver_to_client(wire::MacAddress(99), pkt));
+}
+
+TEST_F(MacWorld, DataFrameExitsPowerSave) {
+  auto ap = make_ap(6);
+  Client c(sim, medium, wire::MacAddress(2), {30, 0});
+  int downlink = 0;
+  c.radio.set_receiver([&](const wire::Frame& f) {
+    if (f.dst == c.radio.mac() || f.dst.is_broadcast()) c.mlme.on_frame(f);
+    if (f.type == wire::FrameType::kData && f.dst == c.radio.mac()) ++downlink;
+  });
+  c.radio.tune(6);
+  sim.run_until(msec(20));
+  c.mlme.start_join(ap->bssid(), 6);
+  sim.run_until(sec(1));
+
+  wire::Frame psm;
+  psm.type = wire::FrameType::kNullData;
+  psm.src = c.radio.mac();
+  psm.dst = ap->bssid();
+  psm.bssid = ap->bssid();
+  psm.power_mgmt = true;
+  psm.size_bytes = wire::kNullFrameBytes;
+  c.radio.send(psm);
+  sim.run_until(sec(1) + msec(50));
+
+  auto pkt = wire::make_icmp_packet(wire::Ipv4(10, 0, 0, 1),
+                                    wire::Ipv4(10, 0, 0, 2), wire::IcmpEcho{});
+  ap->deliver_to_client(c.radio.mac(), pkt);
+  EXPECT_EQ(ap->psm_buffered(c.radio.mac()), 1u);
+
+  // A data frame with the PSM bit clear resumes delivery and flushes.
+  auto up = wire::make_icmp_packet(wire::Ipv4(10, 0, 0, 2),
+                                   wire::Ipv4(10, 0, 0, 1), wire::IcmpEcho{});
+  c.radio.send(wire::make_data_frame(c.radio.mac(), ap->bssid(), ap->bssid(), up));
+  sim.run_until(sec(2));
+  EXPECT_EQ(downlink, 1);
+  EXPECT_EQ(ap->psm_buffered(c.radio.mac()), 0u);
+}
+
+TEST_F(MacWorld, ApDeniesAssociationWhenFull) {
+  ApConfig cfg;
+  cfg.max_clients = 1;
+  auto ap = make_ap(6, {0, 0}, cfg);
+  Client first(sim, medium, wire::MacAddress(2), {30, 0});
+  first.radio.tune(6);
+  sim.run_until(msec(20));
+  first.mlme.start_join(ap->bssid(), 6);
+  sim.run_until(sec(1));
+  ASSERT_TRUE(first.mlme.associated());
+
+  Client second(sim, medium, wire::MacAddress(3), {20, 0});
+  std::optional<JoinPhase> failure;
+  second.mlme.set_callbacks({.on_failed = [&](JoinPhase p) { failure = p; }});
+  second.radio.tune(6);
+  sim.run_until(sec(1) + msec(20));
+  second.mlme.start_join(ap->bssid(), 6);
+  sim.run_until(sec(3));
+  ASSERT_TRUE(failure.has_value());
+  EXPECT_EQ(*failure, JoinPhase::kAssociation);
+  EXPECT_EQ(ap->assoc_denials(), 1u);
+  EXPECT_EQ(ap->associated_count(), 1u);
+}
+
+TEST_F(MacWorld, ApCapacityFreesOnDisassoc) {
+  ApConfig cfg;
+  cfg.max_clients = 1;
+  auto ap = make_ap(6, {0, 0}, cfg);
+  Client first(sim, medium, wire::MacAddress(2), {30, 0});
+  first.radio.tune(6);
+  sim.run_until(msec(20));
+  first.mlme.start_join(ap->bssid(), 6);
+  sim.run_until(sec(1));
+  ASSERT_TRUE(first.mlme.associated());
+  first.mlme.disassociate();
+  sim.run_until(sec(2));
+
+  Client second(sim, medium, wire::MacAddress(3), {20, 0});
+  bool ok = false;
+  second.mlme.set_callbacks({.on_associated = [&](std::uint16_t) { ok = true; }});
+  second.radio.tune(6);
+  sim.run_until(sec(2) + msec(20));
+  second.mlme.start_join(ap->bssid(), 6);
+  sim.run_until(sec(4));
+  EXPECT_TRUE(ok);
+}
+
+TEST_F(MacWorld, ScannerCollectsBeacons) {
+  auto ap6 = make_ap(6, {0, 0});
+  phy::Radio radio(medium, wire::MacAddress(2), [] { return Position{30, 0}; });
+  Scanner scanner(sim, ScannerConfig{});
+  radio.set_receiver([&](const wire::Frame& f) { scanner.on_frame(f); });
+  radio.tune(6);
+  sim.run_until(sec(1));
+  auto seen = scanner.current();
+  ASSERT_EQ(seen.size(), 1u);
+  EXPECT_EQ(seen[0].bssid, ap6->bssid());
+  EXPECT_EQ(seen[0].channel, 6);
+  EXPECT_GT(seen[0].frames_heard, 5);
+  EXPECT_TRUE(scanner.in_range(ap6->bssid()));
+}
+
+TEST_F(MacWorld, ScannerObservationsExpire) {
+  auto ap = make_ap(6);
+  phy::Radio radio(medium, wire::MacAddress(2), [] { return Position{30, 0}; });
+  Scanner scanner(sim, ScannerConfig{.expiry = sec(1)});
+  radio.set_receiver([&](const wire::Frame& f) { scanner.on_frame(f); });
+  radio.tune(6);
+  sim.run_until(sec(1));
+  ASSERT_TRUE(scanner.in_range(ap->bssid()));
+  radio.tune(11);  // stop hearing the AP
+  sim.run_until(sec(5));
+  EXPECT_FALSE(scanner.in_range(ap->bssid()));
+  EXPECT_TRUE(scanner.current().empty());
+}
+
+TEST_F(MacWorld, ScannerFiltersWeakSignals) {
+  auto ap = make_ap(6, {0, 0});
+  phy::PropagationConfig far_cfg = lossless();
+  far_cfg.range_m = 1000;
+  far_cfg.good_radius_m = 1000;
+  phy::Medium far_medium(sim, phy::Propagation(far_cfg), Rng(5));
+  // RSSI threshold test uses the default medium; a client at 95m hears
+  // frames near the sensitivity floor.
+  phy::Radio radio(medium, wire::MacAddress(2), [] { return Position{95, 0}; });
+  Scanner strict(sim, ScannerConfig{.min_rssi_dbm = -10.0});  // absurdly strict
+  radio.set_receiver([&](const wire::Frame& f) { strict.on_frame(f); });
+  radio.tune(6);
+  sim.run_until(sec(1));
+  EXPECT_TRUE(strict.current().empty());
+}
+
+TEST_F(MacWorld, ScannerActiveProbing) {
+  auto ap = make_ap(6);
+  phy::Radio radio(medium, wire::MacAddress(2), [] { return Position{30, 0}; });
+  Scanner scanner(sim, ScannerConfig{.probe_interval = msec(200)});
+  int probes = 0;
+  scanner.set_prober([&] {
+    ++probes;
+    wire::Frame probe;
+    probe.type = wire::FrameType::kProbeRequest;
+    probe.src = radio.mac();
+    probe.dst = wire::MacAddress::broadcast();
+    probe.size_bytes = wire::kMgmtFrameBytes;
+    radio.send(probe);
+  });
+  radio.set_receiver([&](const wire::Frame& f) { scanner.on_frame(f); });
+  radio.tune(6);
+  scanner.start();
+  sim.run_until(sec(1));
+  EXPECT_NEAR(probes, 5, 1);
+  // Probe responses also populate the cache.
+  EXPECT_TRUE(scanner.in_range(ap->bssid()));
+  scanner.stop();
+  const int at_stop = probes;
+  sim.run_until(sec(2));
+  EXPECT_EQ(probes, at_stop);
+}
+
+TEST_F(MacWorld, ScannerRanksByRssi) {
+  auto near_ap = make_ap(6, {10, 0});
+  ApConfig cfg2;
+  cfg2.channel = 6;
+  auto far_ap = std::make_unique<AccessPoint>(sim, medium, wire::MacAddress(0xB0),
+                                              Position{70, 0}, cfg2, Rng(22));
+  far_ap->start();
+  phy::Radio radio(medium, wire::MacAddress(2), [] { return Position{0, 0}; });
+  Scanner scanner(sim, ScannerConfig{});
+  radio.set_receiver([&](const wire::Frame& f) { scanner.on_frame(f); });
+  radio.tune(6);
+  sim.run_until(sec(1));
+  auto seen = scanner.current();
+  ASSERT_EQ(seen.size(), 2u);
+  EXPECT_EQ(seen[0].bssid, near_ap->bssid());
+  EXPECT_GT(seen[0].rssi_dbm, seen[1].rssi_dbm);
+}
+
+TEST_F(MacWorld, ScannerChannelFilter) {
+  auto ap6 = make_ap(6, {10, 0});
+  ApConfig cfg1;
+  cfg1.channel = 1;
+  auto ap1 = std::make_unique<AccessPoint>(sim, medium, wire::MacAddress(0xB1),
+                                           Position{20, 0}, cfg1, Rng(23));
+  ap1->start();
+  phy::Radio radio(medium, wire::MacAddress(2), [] { return Position{0, 0}; });
+  Scanner scanner(sim, ScannerConfig{.expiry = sec(10)});
+  radio.set_receiver([&](const wire::Frame& f) { scanner.on_frame(f); });
+  radio.tune(6);
+  sim.run_until(sec(1));
+  radio.tune(1);
+  sim.run_until(sec(2));
+  EXPECT_EQ(scanner.current_on(6).size(), 1u);
+  EXPECT_EQ(scanner.current_on(1).size(), 1u);
+  EXPECT_EQ(scanner.current_on(11).size(), 0u);
+  EXPECT_EQ(scanner.current().size(), 2u);
+}
+
+}  // namespace
+}  // namespace spider::mac

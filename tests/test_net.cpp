@@ -1,0 +1,624 @@
+#include <gtest/gtest.h>
+
+#include "mac/ap.hpp"
+#include "net/ap_network.hpp"
+#include "net/dhcp_client.hpp"
+#include "net/dhcp_server.hpp"
+#include "net/link.hpp"
+#include "net/ping.hpp"
+#include "net/wired.hpp"
+#include "phy/medium.hpp"
+#include "sim/simulator.hpp"
+
+namespace spider::net {
+namespace {
+
+TEST(Link, DeliversAfterSerializationAndDelay) {
+  sim::Simulator sim;
+  Link link(sim, LinkConfig{.rate = mbps(8), .delay = msec(10)});
+  Time arrival{0};
+  link.set_sink([&](wire::PacketPtr) { arrival = sim.now(); });
+  auto p = wire::make_tcp_packet(wire::Ipv4(1, 0, 0, 1), wire::Ipv4(1, 0, 0, 2),
+                                 wire::TcpSegment{.payload_bytes = 960});
+  // 1000 bytes at 8 Mbps = 1 ms serialisation + 10 ms propagation.
+  link.send(p);
+  sim.run_until(sec(1));
+  EXPECT_EQ(arrival, msec(11));
+  EXPECT_EQ(link.delivered(), 1u);
+}
+
+TEST(Link, SerialisesBackToBack) {
+  sim::Simulator sim;
+  Link link(sim, LinkConfig{.rate = mbps(8), .delay = Time{0}});
+  std::vector<Time> arrivals;
+  link.set_sink([&](wire::PacketPtr) { arrivals.push_back(sim.now()); });
+  auto p = wire::make_tcp_packet(wire::Ipv4(1, 0, 0, 1), wire::Ipv4(1, 0, 0, 2),
+                                 wire::TcpSegment{.payload_bytes = 960});
+  link.send(p);
+  link.send(p);
+  sim.run_until(sec(1));
+  ASSERT_EQ(arrivals.size(), 2u);
+  EXPECT_EQ(arrivals[1] - arrivals[0], msec(1));
+}
+
+TEST(Link, DropTailWhenFull) {
+  sim::Simulator sim;
+  Link link(sim, LinkConfig{.rate = kbps(64), .delay = Time{0}, .queue_packets = 3});
+  int delivered = 0;
+  link.set_sink([&](wire::PacketPtr) { ++delivered; });
+  auto p = wire::make_tcp_packet(wire::Ipv4(1, 0, 0, 1), wire::Ipv4(1, 0, 0, 2),
+                                 wire::TcpSegment{.payload_bytes = 1000});
+  for (int i = 0; i < 10; ++i) link.send(p);
+  sim.run_until(sec(10));
+  // One in flight immediately + 3 queued; the rest dropped.
+  EXPECT_EQ(delivered, 4);
+  EXPECT_EQ(link.dropped(), 6u);
+}
+
+TEST(Link, ThroughputMatchesRate) {
+  sim::Simulator sim;
+  Link link(sim, LinkConfig{.rate = mbps(1), .delay = msec(5), .queue_packets = 10000});
+  std::uint64_t bytes = 0;
+  link.set_sink([&](wire::PacketPtr p) { bytes += p->size_bytes; });
+  auto p = wire::make_tcp_packet(wire::Ipv4(1, 0, 0, 1), wire::Ipv4(1, 0, 0, 2),
+                                 wire::TcpSegment{.payload_bytes = 1460});
+  for (int i = 0; i < 1000; ++i) link.send(p);
+  sim.run_until(sec(4));
+  // 1 Mbps for 4 s = 500 KB.
+  EXPECT_NEAR(static_cast<double>(bytes), 500e3, 10e3);
+}
+
+TEST(WiredNetwork, RoutesToHost) {
+  sim::Simulator sim;
+  WiredNetwork wired(sim);
+  Host host(wired, wire::Ipv4(1, 1, 1, 1));
+  int received = 0;
+  host.set_handler([&](const wire::Packet&) { ++received; });
+  wired.route(wire::make_tcp_packet(wire::Ipv4(9, 9, 9, 9), host.ip(),
+                                    wire::TcpSegment{}));
+  EXPECT_EQ(received, 0);  // core latency: nothing before the event runs
+  sim.run_until(msec(10));
+  EXPECT_EQ(received, 1);
+  EXPECT_EQ(wired.routed(), 1u);
+}
+
+TEST(WiredNetwork, UnroutableCounted) {
+  sim::Simulator sim;
+  WiredNetwork wired(sim);
+  wired.route(wire::make_tcp_packet(wire::Ipv4(9, 9, 9, 9),
+                                    wire::Ipv4(8, 8, 8, 8), wire::TcpSegment{}));
+  sim.run_until(msec(10));
+  EXPECT_EQ(wired.unroutable(), 1u);
+}
+
+TEST(WiredNetwork, HostAutoRepliesToPing) {
+  sim::Simulator sim;
+  WiredNetwork wired(sim);
+  Host server(wired, wire::Ipv4(1, 1, 1, 1));
+  Host client(wired, wire::Ipv4(2, 2, 2, 2));
+  std::optional<wire::IcmpEcho> reply;
+  client.set_handler([&](const wire::Packet& p) {
+    if (const auto* e = p.as<wire::IcmpEcho>()) reply = *e;
+  });
+  client.send(wire::make_icmp_packet(client.ip(), server.ip(),
+                                     wire::IcmpEcho{.id = 3, .seq = 9}));
+  sim.run_until(msec(10));
+  ASSERT_TRUE(reply.has_value());
+  EXPECT_TRUE(reply->reply);
+  EXPECT_EQ(reply->id, 3u);
+  EXPECT_EQ(reply->seq, 9u);
+}
+
+TEST(WiredNetwork, HostUnregistersOnDestruction) {
+  sim::Simulator sim;
+  WiredNetwork wired(sim);
+  {
+    Host host(wired, wire::Ipv4(1, 1, 1, 1));
+  }
+  wired.route(wire::make_tcp_packet(wire::Ipv4(9, 9, 9, 9),
+                                    wire::Ipv4(1, 1, 1, 1), wire::TcpSegment{}));
+  sim.run_until(msec(10));
+  EXPECT_EQ(wired.unroutable(), 1u);
+}
+
+// ---------------------------------------------------------------------------
+// DHCP server unit tests (no radio involved: direct message injection).
+
+struct DhcpServerTest : ::testing::Test {
+  sim::Simulator sim;
+  DhcpServerConfig cfg;
+  std::vector<std::pair<wire::DhcpMessage, wire::MacAddress>> sent;
+
+  std::unique_ptr<DhcpServer> make_server() {
+    auto server = std::make_unique<DhcpServer>(
+        sim, wire::Ipv4(10, 0, 0, 0), wire::Ipv4(10, 0, 0, 1), cfg, Rng(5));
+    server->set_send([this](wire::PacketPtr p, wire::MacAddress to) {
+      sent.emplace_back(*p->as<wire::DhcpMessage>(), to);
+    });
+    return server;
+  }
+};
+
+TEST_F(DhcpServerTest, OfferAfterDiscover) {
+  cfg.offer_delay_min = msec(100);
+  cfg.offer_delay_max = msec(200);
+  auto server = make_server();
+  wire::DhcpMessage discover;
+  discover.type = wire::DhcpMessage::Type::kDiscover;
+  discover.xid = 42;
+  discover.client_mac = wire::MacAddress(0xC1);
+  server->on_message(discover, discover.client_mac);
+  sim.run_until(msec(50));
+  EXPECT_TRUE(sent.empty());  // still inside the offer delay
+  sim.run_until(sec(1));
+  ASSERT_EQ(sent.size(), 1u);
+  EXPECT_EQ(sent[0].first.type, wire::DhcpMessage::Type::kOffer);
+  EXPECT_EQ(sent[0].first.xid, 42u);
+  EXPECT_EQ(sent[0].second, discover.client_mac);
+  EXPECT_TRUE(sent[0].first.offered_ip.same_subnet24(wire::Ipv4(10, 0, 0, 0)));
+}
+
+TEST_F(DhcpServerTest, AckAfterRequest) {
+  cfg.offer_delay_min = msec(10);
+  cfg.offer_delay_max = msec(20);
+  auto server = make_server();
+  const wire::MacAddress mac(0xC1);
+  wire::DhcpMessage discover{.type = wire::DhcpMessage::Type::kDiscover,
+                             .xid = 1, .client_mac = mac};
+  server->on_message(discover, mac);
+  sim.run_until(sec(1));
+  ASSERT_EQ(sent.size(), 1u);
+  const auto offered = sent[0].first.offered_ip;
+
+  wire::DhcpMessage request{.type = wire::DhcpMessage::Type::kRequest,
+                            .xid = 1, .client_mac = mac};
+  request.offered_ip = offered;
+  server->on_message(request, mac);
+  sim.run_until(sec(2));
+  ASSERT_EQ(sent.size(), 2u);
+  EXPECT_EQ(sent[1].first.type, wire::DhcpMessage::Type::kAck);
+  EXPECT_EQ(sent[1].first.offered_ip, offered);
+  EXPECT_EQ(server->lookup_mac(offered), mac);
+  EXPECT_EQ(server->lookup_ip(mac), offered);
+}
+
+TEST_F(DhcpServerTest, NakForUnknownRequest) {
+  auto server = make_server();
+  wire::DhcpMessage request{.type = wire::DhcpMessage::Type::kRequest,
+                            .xid = 1, .client_mac = wire::MacAddress(0xC1)};
+  request.offered_ip = wire::Ipv4(10, 0, 0, 99);
+  server->on_message(request, request.client_mac);
+  sim.run_until(sec(1));
+  ASSERT_EQ(sent.size(), 1u);
+  EXPECT_EQ(sent[0].first.type, wire::DhcpMessage::Type::kNak);
+}
+
+TEST_F(DhcpServerTest, RediscoverIsNotFasterButReRequestIs) {
+  // A repeated DISCOVER pays the full (slow) offer latency — the server's
+  // allocation memory does not make it answer faster. The fast path is
+  // INIT-REBOOT: a direct REQUEST against the remembered lease.
+  cfg.offer_delay_min = sec(2);
+  cfg.offer_delay_max = sec(3);
+  cfg.ack_delay_min = msec(20);
+  cfg.ack_delay_max = msec(60);
+  auto server = make_server();
+  const wire::MacAddress mac(0xC1);
+  wire::DhcpMessage discover{.type = wire::DhcpMessage::Type::kDiscover,
+                             .xid = 1, .client_mac = mac};
+  server->on_message(discover, mac);
+  sim.run_until(sec(5));
+  ASSERT_EQ(sent.size(), 1u);
+  const auto offered = sent[0].first.offered_ip;
+  sent.clear();
+
+  discover.xid = 2;
+  server->on_message(discover, mac);
+  sim.run_until(sim.now() + sec(1));
+  EXPECT_TRUE(sent.empty());  // still waiting: >= 2 s like any client
+  sim.run_until(sim.now() + sec(5));
+  ASSERT_EQ(sent.size(), 1u);
+  sent.clear();
+
+  wire::DhcpMessage request{.type = wire::DhcpMessage::Type::kRequest,
+                            .xid = 3, .client_mac = mac};
+  request.offered_ip = offered;
+  server->on_message(request, mac);
+  sim.run_until(sim.now() + msec(100));
+  ASSERT_EQ(sent.size(), 1u);  // ACK within the fast ack window
+  EXPECT_EQ(sent[0].first.type, wire::DhcpMessage::Type::kAck);
+}
+
+TEST_F(DhcpServerTest, SameClientKeepsSameAddress) {
+  cfg.offer_delay_min = msec(1);
+  cfg.offer_delay_max = msec(2);
+  auto server = make_server();
+  const wire::MacAddress mac(0xC1);
+  wire::DhcpMessage d1{.type = wire::DhcpMessage::Type::kDiscover,
+                       .xid = 1, .client_mac = mac};
+  server->on_message(d1, mac);
+  sim.run_until(sec(1));
+  wire::DhcpMessage d2 = d1;
+  d2.xid = 2;
+  server->on_message(d2, mac);
+  sim.run_until(sec(2));
+  ASSERT_EQ(sent.size(), 2u);
+  EXPECT_EQ(sent[0].first.offered_ip, sent[1].first.offered_ip);
+  EXPECT_EQ(server->leases_outstanding(), 1u);
+}
+
+TEST_F(DhcpServerTest, DistinctClientsDistinctAddresses) {
+  cfg.offer_delay_min = msec(1);
+  cfg.offer_delay_max = msec(2);
+  auto server = make_server();
+  for (int i = 0; i < 5; ++i) {
+    wire::DhcpMessage d{.type = wire::DhcpMessage::Type::kDiscover,
+                        .xid = static_cast<std::uint32_t>(i),
+                        .client_mac = wire::MacAddress(0xC1 + i)};
+    server->on_message(d, d.client_mac);
+  }
+  sim.run_until(sec(1));
+  ASSERT_EQ(sent.size(), 5u);
+  for (std::size_t i = 0; i < sent.size(); ++i) {
+    for (std::size_t j = i + 1; j < sent.size(); ++j) {
+      EXPECT_NE(sent[i].first.offered_ip, sent[j].first.offered_ip);
+    }
+  }
+}
+
+TEST_F(DhcpServerTest, PoolExhaustionIsSilent) {
+  cfg.offer_delay_min = msec(1);
+  cfg.offer_delay_max = msec(2);
+  cfg.first_host = 10;
+  cfg.last_host = 12;  // pool of 3
+  auto server = make_server();
+  for (int i = 0; i < 5; ++i) {
+    wire::DhcpMessage d{.type = wire::DhcpMessage::Type::kDiscover,
+                        .xid = static_cast<std::uint32_t>(i),
+                        .client_mac = wire::MacAddress(0xC1 + i)};
+    server->on_message(d, d.client_mac);
+  }
+  sim.run_until(sec(1));
+  EXPECT_EQ(sent.size(), 3u);
+}
+
+// ---------------------------------------------------------------------------
+// DHCP client state machine (loopback server harness).
+
+struct DhcpClientTest : ::testing::Test {
+  sim::Simulator sim;
+  DhcpClientConfig cfg{.retx_timeout = msec(200), .max_sends = 3};
+  std::vector<wire::DhcpMessage> tx;
+  std::optional<Lease> bound;
+  int failures = 0;
+
+  std::unique_ptr<DhcpClient> make_client() {
+    auto client = std::make_unique<DhcpClient>(sim, wire::MacAddress(0xC1), cfg);
+    client->set_send([this](wire::PacketPtr p) {
+      tx.push_back(*p->as<wire::DhcpMessage>());
+    });
+    client->set_callbacks({
+        .on_bound = [this](const Lease& l) { bound = l; },
+        .on_failed = [this] { ++failures; },
+    });
+    return client;
+  }
+
+  wire::Packet make_response(wire::DhcpMessage msg) {
+    return *wire::make_dhcp_packet(wire::Ipv4(10, 0, 0, 1),
+                                   wire::Ipv4(255, 255, 255, 255), msg);
+  }
+};
+
+TEST_F(DhcpClientTest, FullExchangeBinds) {
+  auto client = make_client();
+  client->start();
+  ASSERT_EQ(tx.size(), 1u);
+  EXPECT_EQ(tx[0].type, wire::DhcpMessage::Type::kDiscover);
+
+  wire::DhcpMessage offer{.type = wire::DhcpMessage::Type::kOffer,
+                          .xid = tx[0].xid,
+                          .client_mac = wire::MacAddress(0xC1)};
+  offer.offered_ip = wire::Ipv4(10, 0, 0, 10);
+  offer.server_id = wire::Ipv4(10, 0, 0, 1);
+  offer.gateway = wire::Ipv4(10, 0, 0, 1);
+  offer.lease_duration = sec(3600);
+  client->on_packet(make_response(offer));
+  ASSERT_EQ(tx.size(), 2u);
+  EXPECT_EQ(tx[1].type, wire::DhcpMessage::Type::kRequest);
+
+  wire::DhcpMessage ack = offer;
+  ack.type = wire::DhcpMessage::Type::kAck;
+  client->on_packet(make_response(ack));
+  ASSERT_TRUE(bound.has_value());
+  EXPECT_EQ(bound->ip, offer.offered_ip);
+  EXPECT_EQ(bound->gateway, offer.gateway);
+  EXPECT_TRUE(client->bound());
+}
+
+TEST_F(DhcpClientTest, RetransmitsDiscoverThenFails) {
+  auto client = make_client();
+  client->start();
+  sim.run_until(sec(5));
+  EXPECT_EQ(tx.size(), 3u);  // max_sends transmissions
+  EXPECT_EQ(failures, 1);
+  EXPECT_EQ(client->state(), DhcpClient::State::kFailed);
+  // Attempt window = max_sends * retx_timeout = 600 ms.
+}
+
+TEST_F(DhcpClientTest, IgnoresWrongXid) {
+  auto client = make_client();
+  client->start();
+  wire::DhcpMessage offer{.type = wire::DhcpMessage::Type::kOffer,
+                          .xid = tx[0].xid + 77,
+                          .client_mac = wire::MacAddress(0xC1)};
+  client->on_packet(make_response(offer));
+  EXPECT_EQ(tx.size(), 1u);  // no REQUEST sent
+}
+
+TEST_F(DhcpClientTest, IgnoresWrongClientMac) {
+  auto client = make_client();
+  client->start();
+  wire::DhcpMessage offer{.type = wire::DhcpMessage::Type::kOffer,
+                          .xid = tx[0].xid,
+                          .client_mac = wire::MacAddress(0xDD)};
+  client->on_packet(make_response(offer));
+  EXPECT_EQ(tx.size(), 1u);
+}
+
+TEST_F(DhcpClientTest, CachedLeaseSkipsDiscover) {
+  auto client = make_client();
+  Lease cached{wire::Ipv4(10, 0, 0, 10), wire::Ipv4(10, 0, 0, 1),
+               wire::Ipv4(10, 0, 0, 1), sec(100)};
+  client->start(cached);
+  ASSERT_EQ(tx.size(), 1u);
+  EXPECT_EQ(tx[0].type, wire::DhcpMessage::Type::kRequest);
+  EXPECT_EQ(tx[0].offered_ip, cached.ip);
+}
+
+TEST_F(DhcpClientTest, ExpiredCachedLeaseFallsBackToDiscover) {
+  auto client = make_client();
+  sim.schedule(sec(10), [&] {
+    Lease cached{wire::Ipv4(10, 0, 0, 10), wire::Ipv4(10, 0, 0, 1),
+                 wire::Ipv4(10, 0, 0, 1), sec(5)};  // already expired
+    client->start(cached);
+  });
+  sim.run_until(sec(10) + msec(1));
+  ASSERT_EQ(tx.size(), 1u);
+  EXPECT_EQ(tx[0].type, wire::DhcpMessage::Type::kDiscover);
+}
+
+TEST_F(DhcpClientTest, NakOnCachedLeaseRestartsDiscover) {
+  auto client = make_client();
+  Lease cached{wire::Ipv4(10, 0, 0, 10), wire::Ipv4(10, 0, 0, 1),
+               wire::Ipv4(10, 0, 0, 1), sec(100)};
+  client->start(cached);
+  wire::DhcpMessage nak{.type = wire::DhcpMessage::Type::kNak,
+                        .xid = tx[0].xid,
+                        .client_mac = wire::MacAddress(0xC1)};
+  client->on_packet(make_response(nak));
+  ASSERT_EQ(tx.size(), 2u);
+  EXPECT_EQ(tx[1].type, wire::DhcpMessage::Type::kDiscover);
+  EXPECT_EQ(failures, 0);
+}
+
+TEST_F(DhcpClientTest, AbortStopsTimers) {
+  auto client = make_client();
+  client->start();
+  client->abort();
+  sim.run_until(sec(5));
+  EXPECT_EQ(tx.size(), 1u);
+  EXPECT_EQ(failures, 0);
+  EXPECT_EQ(client->state(), DhcpClient::State::kIdle);
+}
+
+TEST_F(DhcpClientTest, RenewsAtHalfLease) {
+  auto client = make_client();
+  client->start();
+  wire::DhcpMessage offer{.type = wire::DhcpMessage::Type::kOffer,
+                          .xid = tx[0].xid,
+                          .client_mac = wire::MacAddress(0xC1)};
+  offer.offered_ip = wire::Ipv4(10, 0, 0, 10);
+  offer.server_id = wire::Ipv4(10, 0, 0, 1);
+  offer.gateway = wire::Ipv4(10, 0, 0, 1);
+  offer.lease_duration = sec(20);
+  client->on_packet(make_response(offer));
+  wire::DhcpMessage ack = offer;
+  ack.type = wire::DhcpMessage::Type::kAck;
+  client->on_packet(make_response(ack));
+  ASSERT_TRUE(client->bound());
+  const auto sent_before = tx.size();
+
+  // T1 at half the lease: a renewal REQUEST goes out around t=10 s.
+  sim.run_until(sec(11));
+  ASSERT_GT(tx.size(), sent_before);
+  EXPECT_EQ(tx.back().type, wire::DhcpMessage::Type::kRequest);
+  EXPECT_EQ(tx.back().offered_ip, offer.offered_ip);
+
+  // Server extends: the client stays bound past the original expiry.
+  ack.lease_duration = sec(20);
+  client->on_packet(make_response(ack));
+  sim.run_until(sec(25));
+  EXPECT_TRUE(client->bound());
+}
+
+TEST_F(DhcpClientTest, LeaseExpiresWithoutRenewalAck) {
+  auto client = make_client();
+  bool lost = false;
+  client->set_callbacks({
+      .on_bound = [this](const Lease& l) { bound = l; },
+      .on_failed = [this] { ++failures; },
+      .on_lease_lost = [&] { lost = true; },
+  });
+  client->start();
+  wire::DhcpMessage offer{.type = wire::DhcpMessage::Type::kOffer,
+                          .xid = tx[0].xid,
+                          .client_mac = wire::MacAddress(0xC1)};
+  offer.offered_ip = wire::Ipv4(10, 0, 0, 10);
+  offer.server_id = wire::Ipv4(10, 0, 0, 1);
+  offer.lease_duration = sec(5);
+  client->on_packet(make_response(offer));
+  wire::DhcpMessage ack = offer;
+  ack.type = wire::DhcpMessage::Type::kAck;
+  client->on_packet(make_response(ack));
+  ASSERT_TRUE(client->bound());
+
+  // Server never answers renewals: the lease dies at expiry.
+  sim.run_until(sec(10));
+  EXPECT_TRUE(lost);
+  EXPECT_FALSE(client->bound());
+}
+
+TEST_F(DhcpClientTest, ReleaseSendsReleaseMessage) {
+  auto client = make_client();
+  client->start();
+  wire::DhcpMessage offer{.type = wire::DhcpMessage::Type::kOffer,
+                          .xid = tx[0].xid,
+                          .client_mac = wire::MacAddress(0xC1)};
+  offer.offered_ip = wire::Ipv4(10, 0, 0, 10);
+  offer.server_id = wire::Ipv4(10, 0, 0, 1);
+  offer.lease_duration = sec(3600);
+  client->on_packet(make_response(offer));
+  wire::DhcpMessage ack = offer;
+  ack.type = wire::DhcpMessage::Type::kAck;
+  client->on_packet(make_response(ack));
+  ASSERT_TRUE(client->bound());
+
+  client->release();
+  EXPECT_EQ(tx.back().type, wire::DhcpMessage::Type::kRelease);
+  EXPECT_EQ(tx.back().offered_ip, offer.offered_ip);
+  EXPECT_EQ(client->state(), DhcpClient::State::kIdle);
+}
+
+TEST_F(DhcpClientTest, ReleaseWithoutLeaseIsSilent) {
+  auto client = make_client();
+  client->release();
+  EXPECT_TRUE(tx.empty());
+}
+
+TEST_F(DhcpServerTest, ReleaseFreesTheAddress) {
+  cfg.offer_delay_min = msec(1);
+  cfg.offer_delay_max = msec(2);
+  auto server = make_server();
+  const wire::MacAddress mac(0xC1);
+  wire::DhcpMessage discover{.type = wire::DhcpMessage::Type::kDiscover,
+                             .xid = 1, .client_mac = mac};
+  server->on_message(discover, mac);
+  sim.run_until(sec(1));
+  ASSERT_EQ(server->leases_outstanding(), 1u);
+  const auto ip = sent[0].first.offered_ip;
+
+  wire::DhcpMessage release{.type = wire::DhcpMessage::Type::kRelease,
+                            .xid = 1, .client_mac = mac};
+  release.offered_ip = ip;
+  server->on_message(release, mac);
+  EXPECT_EQ(server->leases_outstanding(), 0u);
+  EXPECT_EQ(server->releases_received(), 1u);
+  EXPECT_FALSE(server->lookup_mac(ip).has_value());
+}
+
+TEST(LeaseCache, StoresAndExpires) {
+  LeaseCache cache;
+  const wire::Bssid ap(0xA1);
+  cache.store(ap, Lease{wire::Ipv4(10, 0, 0, 10), wire::Ipv4(10, 0, 0, 1),
+                        wire::Ipv4(10, 0, 0, 1), sec(100)});
+  EXPECT_TRUE(cache.find(ap, sec(50)).has_value());
+  EXPECT_FALSE(cache.find(ap, sec(100)).has_value());
+  EXPECT_FALSE(cache.find(wire::Bssid(0xA2), sec(1)).has_value());
+  cache.invalidate(ap);
+  EXPECT_FALSE(cache.find(ap, sec(1)).has_value());
+}
+
+// ---------------------------------------------------------------------------
+// Ping prober.
+
+struct PingTest : ::testing::Test {
+  sim::Simulator sim;
+  PingProberConfig cfg;
+  std::vector<wire::IcmpEcho> tx;
+  bool first_reply = false;
+  bool dead = false;
+
+  std::unique_ptr<PingProber> make_prober() {
+    auto prober = std::make_unique<PingProber>(sim, 7, cfg);
+    prober->set_send([this](wire::PacketPtr p) {
+      tx.push_back(*p->as<wire::IcmpEcho>());
+    });
+    prober->set_callbacks({
+        .on_first_reply = [this] { first_reply = true; },
+        .on_dead = [this] { dead = true; },
+    });
+    return prober;
+  }
+};
+
+TEST_F(PingTest, SendsAtConfiguredRate) {
+  auto prober = make_prober();
+  prober->start(wire::Ipv4(10, 0, 0, 2), wire::Ipv4(1, 1, 1, 1));
+  sim.run_until(msec(1050));
+  EXPECT_NEAR(static_cast<double>(tx.size()), 11.0, 1.0);  // 10/s + initial
+}
+
+TEST_F(PingTest, DeclaresDeadAfterThresholdMisses) {
+  auto prober = make_prober();
+  prober->start(wire::Ipv4(10, 0, 0, 2), wire::Ipv4(1, 1, 1, 1));
+  // 30 misses at 10/s: dead at ~3.1 s.
+  sim.run_until(sec(2));
+  EXPECT_FALSE(dead);
+  sim.run_until(sec(4));
+  EXPECT_TRUE(dead);
+  EXPECT_FALSE(prober->running());
+}
+
+TEST_F(PingTest, RepliesKeepItAlive) {
+  auto prober = make_prober();
+  prober->start(wire::Ipv4(10, 0, 0, 2), wire::Ipv4(1, 1, 1, 1));
+  // Echo every probe back immediately.
+  sim::PeriodicTimer responder(sim, msec(100), [&] {
+    if (tx.empty()) return;
+    wire::IcmpEcho reply = tx.back();
+    reply.reply = true;
+    prober->on_packet(*wire::make_icmp_packet(wire::Ipv4(1, 1, 1, 1),
+                                              wire::Ipv4(10, 0, 0, 2), reply));
+  });
+  responder.start();
+  sim.run_until(sec(10));
+  EXPECT_FALSE(dead);
+  EXPECT_TRUE(first_reply);
+  EXPECT_GT(prober->replies_received(), 90u);
+}
+
+TEST_F(PingTest, FirstReplyFiresOnce) {
+  auto prober = make_prober();
+  prober->start(wire::Ipv4(10, 0, 0, 2), wire::Ipv4(1, 1, 1, 1));
+  wire::IcmpEcho reply{.reply = true, .id = 7, .seq = 0};
+  auto pkt = wire::make_icmp_packet(wire::Ipv4(1, 1, 1, 1),
+                                    wire::Ipv4(10, 0, 0, 2), reply);
+  prober->on_packet(*pkt);
+  EXPECT_TRUE(first_reply);
+  first_reply = false;
+  reply.seq = 1;
+  prober->on_packet(*wire::make_icmp_packet(wire::Ipv4(1, 1, 1, 1),
+                                            wire::Ipv4(10, 0, 0, 2), reply));
+  EXPECT_FALSE(first_reply);  // only the first reply triggers the callback
+}
+
+TEST_F(PingTest, IgnoresForeignProberIds) {
+  auto prober = make_prober();
+  prober->start(wire::Ipv4(10, 0, 0, 2), wire::Ipv4(1, 1, 1, 1));
+  wire::IcmpEcho reply{.reply = true, .id = 99, .seq = 0};
+  prober->on_packet(*wire::make_icmp_packet(wire::Ipv4(1, 1, 1, 1),
+                                            wire::Ipv4(10, 0, 0, 2), reply));
+  EXPECT_FALSE(first_reply);
+}
+
+TEST_F(PingTest, StopPreventsDeathCallback) {
+  auto prober = make_prober();
+  prober->start(wire::Ipv4(10, 0, 0, 2), wire::Ipv4(1, 1, 1, 1));
+  sim.run_until(sec(1));
+  prober->stop();
+  sim.run_until(sec(10));
+  EXPECT_FALSE(dead);
+}
+
+}  // namespace
+}  // namespace spider::net

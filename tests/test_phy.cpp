@@ -1,0 +1,269 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "phy/medium.hpp"
+#include "phy/propagation.hpp"
+#include "phy/radio.hpp"
+#include "sim/simulator.hpp"
+
+namespace spider::phy {
+namespace {
+
+PropagationConfig lossless_config() {
+  PropagationConfig c;
+  c.base_loss = 0.0;
+  c.good_radius_m = 100.0;  // no gray zone
+  c.range_m = 100.0;
+  return c;
+}
+
+struct World {
+  sim::Simulator sim;
+  Medium medium;
+  explicit World(PropagationConfig pc = lossless_config(), std::uint64_t seed = 1)
+      : medium(sim, Propagation(pc), Rng(seed)) {}
+};
+
+wire::Frame small_frame(wire::MacAddress dst = wire::MacAddress::broadcast()) {
+  wire::Frame f;
+  f.type = wire::FrameType::kBeacon;
+  f.dst = dst;
+  f.size_bytes = 100;
+  return f;
+}
+
+TEST(Propagation, RangeCutoff) {
+  Propagation p(lossless_config());
+  EXPECT_TRUE(p.in_range({0, 0}, {100, 0}));
+  EXPECT_FALSE(p.in_range({0, 0}, {100.1, 0}));
+}
+
+TEST(Propagation, LossFloorInsideGoodRadius) {
+  PropagationConfig c;
+  c.base_loss = 0.1;
+  c.good_radius_m = 80;
+  c.range_m = 100;
+  Propagation p(c);
+  EXPECT_DOUBLE_EQ(p.loss_probability({0, 0}, {0, 0}), 0.1);
+  EXPECT_DOUBLE_EQ(p.loss_probability({0, 0}, {80, 0}), 0.1);
+}
+
+TEST(Propagation, LossRampsToOneAtEdge) {
+  PropagationConfig c;
+  c.base_loss = 0.1;
+  c.good_radius_m = 80;
+  c.range_m = 100;
+  Propagation p(c);
+  const double mid = p.loss_probability({0, 0}, {90, 0});
+  EXPECT_GT(mid, 0.1);
+  EXPECT_LT(mid, 1.0);
+  EXPECT_DOUBLE_EQ(p.loss_probability({0, 0}, {100.5, 0}), 1.0);
+}
+
+TEST(Propagation, RssiDecreasesWithDistance) {
+  Propagation p(lossless_config());
+  const double near = p.rssi_dbm({0, 0}, {10, 0});
+  const double far = p.rssi_dbm({0, 0}, {90, 0});
+  EXPECT_GT(near, far);
+}
+
+TEST(Medium, AirtimeScalesWithSize) {
+  const Time t1 = Medium::airtime(100, kWirelessRate);
+  const Time t2 = Medium::airtime(1500, kWirelessRate);
+  EXPECT_GT(t2, t1);
+  // 1500B at 11Mbps ~ 1.09ms plus 192us preamble.
+  EXPECT_NEAR(to_millis(t2), 1.28, 0.05);
+}
+
+TEST(Radio, DeliversOnSameChannel) {
+  World w;
+  Radio tx(w.medium, wire::MacAddress(1), [] { return Position{0, 0}; });
+  Radio rx(w.medium, wire::MacAddress(2), [] { return Position{50, 0}; });
+  int received = 0;
+  rx.set_receiver([&](const wire::Frame&) { ++received; });
+  tx.tune(6);
+  rx.tune(6);
+  w.sim.run_until(msec(50));
+  tx.send(small_frame());
+  w.sim.run_until(msec(100));
+  EXPECT_EQ(received, 1);
+}
+
+TEST(Radio, NoCrossChannelDelivery) {
+  World w;
+  Radio tx(w.medium, wire::MacAddress(1), [] { return Position{0, 0}; });
+  Radio rx(w.medium, wire::MacAddress(2), [] { return Position{50, 0}; });
+  int received = 0;
+  rx.set_receiver([&](const wire::Frame&) { ++received; });
+  tx.tune(1);
+  rx.tune(11);
+  w.sim.run_until(msec(50));
+  tx.send(small_frame());
+  w.sim.run_until(msec(100));
+  EXPECT_EQ(received, 0);
+}
+
+TEST(Radio, NoDeliveryOutOfRange) {
+  World w;
+  Radio tx(w.medium, wire::MacAddress(1), [] { return Position{0, 0}; });
+  Radio rx(w.medium, wire::MacAddress(2), [] { return Position{500, 0}; });
+  int received = 0;
+  rx.set_receiver([&](const wire::Frame&) { ++received; });
+  tx.tune(6);
+  rx.tune(6);
+  w.sim.run_until(msec(50));
+  tx.send(small_frame());
+  w.sim.run_until(msec(100));
+  EXPECT_EQ(received, 0);
+}
+
+TEST(Radio, SenderDoesNotHearItself) {
+  World w;
+  Radio tx(w.medium, wire::MacAddress(1), [] { return Position{0, 0}; });
+  int received = 0;
+  tx.set_receiver([&](const wire::Frame&) { ++received; });
+  tx.tune(6);
+  w.sim.run_until(msec(50));
+  tx.send(small_frame());
+  w.sim.run_until(msec(100));
+  EXPECT_EQ(received, 0);
+}
+
+TEST(Radio, SwitchCostsLatencyAndDeafness) {
+  World w;
+  RadioConfig rc;
+  rc.switch_latency = msec(4);
+  Radio tx(w.medium, wire::MacAddress(1), [] { return Position{0, 0}; });
+  Radio rx(w.medium, wire::MacAddress(2), [] { return Position{10, 0}; }, rc);
+  int received = 0;
+  rx.set_receiver([&](const wire::Frame&) { ++received; });
+  tx.tune(6);
+  rx.tune(6);
+  w.sim.run_until(msec(50));
+
+  // Mid-switch frames are lost: retune rx, transmit while it is deaf.
+  rx.tune(6);  // re-tune to same channel still costs the reset
+  tx.send(small_frame());
+  w.sim.run_until(msec(100));
+  EXPECT_EQ(received, 0);
+
+  tx.send(small_frame());
+  w.sim.run_until(msec(200));
+  EXPECT_EQ(received, 1);
+}
+
+TEST(Radio, TuneCompletionCallback) {
+  World w;
+  Radio r(w.medium, wire::MacAddress(1), [] { return Position{0, 0}; });
+  bool done = false;
+  Time completed{0};
+  r.tune(11, [&] {
+    done = true;
+    completed = w.sim.now();
+  });
+  EXPECT_TRUE(r.switching());
+  w.sim.run_until(msec(50));
+  EXPECT_TRUE(done);
+  EXPECT_EQ(r.channel(), 11);
+  EXPECT_EQ(completed, r.config().switch_latency);
+}
+
+TEST(Radio, QueuedFramesDrainBeforeSwitch) {
+  World w;
+  Radio tx(w.medium, wire::MacAddress(1), [] { return Position{0, 0}; });
+  Radio rx(w.medium, wire::MacAddress(2), [] { return Position{10, 0}; });
+  int received = 0;
+  rx.set_receiver([&](const wire::Frame&) { ++received; });
+  tx.tune(6);
+  rx.tune(6);
+  w.sim.run_until(msec(50));
+
+  // Queue two frames (PSM announcements) and immediately request a tune:
+  // both frames must still go out on channel 6 before the card leaves.
+  tx.send(small_frame());
+  tx.send(small_frame());
+  bool switched = false;
+  tx.tune(11, [&] { switched = true; });
+  w.sim.run_until(msec(100));
+  EXPECT_EQ(received, 2);
+  EXPECT_TRUE(switched);
+  EXPECT_EQ(tx.channel(), 11);
+}
+
+TEST(Radio, SendDuringSwitchIsDropped) {
+  World w;
+  Radio tx(w.medium, wire::MacAddress(1), [] { return Position{0, 0}; });
+  tx.tune(6);
+  tx.send(small_frame());
+  EXPECT_EQ(tx.frames_dropped_switching(), 1u);
+}
+
+TEST(Radio, SupersedingTuneWins) {
+  World w;
+  Radio r(w.medium, wire::MacAddress(1), [] { return Position{0, 0}; });
+  bool first_done = false, second_done = false;
+  r.tune(6, [&] { first_done = true; });
+  r.tune(11, [&] { second_done = true; });
+  w.sim.run_until(msec(100));
+  EXPECT_FALSE(first_done);
+  EXPECT_TRUE(second_done);
+  EXPECT_EQ(r.channel(), 11);
+}
+
+TEST(Radio, TxSerialisation) {
+  // Two large frames back-to-back: the second arrives roughly one airtime
+  // after the first.
+  World w;
+  Radio tx(w.medium, wire::MacAddress(1), [] { return Position{0, 0}; });
+  Radio rx(w.medium, wire::MacAddress(2), [] { return Position{10, 0}; });
+  std::vector<Time> arrivals;
+  rx.set_receiver([&](const wire::Frame&) { arrivals.push_back(w.sim.now()); });
+  tx.tune(6);
+  rx.tune(6);
+  w.sim.run_until(msec(50));
+  wire::Frame f = small_frame();
+  f.size_bytes = 1500;
+  tx.send(f);
+  tx.send(f);
+  w.sim.run_until(msec(100));
+  ASSERT_EQ(arrivals.size(), 2u);
+  const Time gap = arrivals[1] - arrivals[0];
+  EXPECT_EQ(gap, Medium::airtime(1500, tx.config().phy_rate));
+}
+
+TEST(Radio, LossRateRespected) {
+  PropagationConfig pc;
+  pc.base_loss = 0.5;
+  pc.good_radius_m = 100;
+  pc.range_m = 100;
+  World w(pc, /*seed=*/7);
+  Radio tx(w.medium, wire::MacAddress(1), [] { return Position{0, 0}; });
+  Radio rx(w.medium, wire::MacAddress(2), [] { return Position{10, 0}; });
+  int received = 0;
+  rx.set_receiver([&](const wire::Frame&) { ++received; });
+  tx.tune(6);
+  rx.tune(6);
+  w.sim.run_until(msec(50));
+  const int n = 2000;
+  for (int i = 0; i < n; ++i) tx.send(small_frame());
+  w.sim.run_until(sec(10));
+  EXPECT_NEAR(static_cast<double>(received) / n, 0.5, 0.05);
+}
+
+TEST(Medium, CountersTrackTraffic) {
+  World w;
+  Radio tx(w.medium, wire::MacAddress(1), [] { return Position{0, 0}; });
+  Radio rx(w.medium, wire::MacAddress(2), [] { return Position{10, 0}; });
+  rx.set_receiver([](const wire::Frame&) {});
+  tx.tune(6);
+  rx.tune(6);
+  w.sim.run_until(msec(50));
+  tx.send(small_frame());
+  w.sim.run_until(msec(100));
+  EXPECT_EQ(w.medium.frames_sent(), 1u);
+  EXPECT_EQ(w.medium.frames_delivered(), 1u);
+}
+
+}  // namespace
+}  // namespace spider::phy

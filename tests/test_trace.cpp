@@ -1,0 +1,117 @@
+#include <gtest/gtest.h>
+
+#include "trace/metrics.hpp"
+#include "trace/workload.hpp"
+
+namespace spider::trace {
+namespace {
+
+TEST(ThroughputRecorder, EmptyIsZero) {
+  ThroughputRecorder r;
+  EXPECT_DOUBLE_EQ(r.average_throughput_kBps(), 0.0);
+  EXPECT_DOUBLE_EQ(r.connectivity_fraction(), 0.0);
+  EXPECT_EQ(r.total_bytes(), 0u);
+}
+
+TEST(ThroughputRecorder, AverageThroughput) {
+  ThroughputRecorder r;
+  r.record(msec(500), 100'000);
+  r.record(sec(1) + msec(200), 100'000);
+  r.finalize(sec(10));
+  EXPECT_EQ(r.bins(), 10u);
+  EXPECT_DOUBLE_EQ(r.average_throughput_kBps(), 20.0);  // 200 KB over 10 s
+}
+
+TEST(ThroughputRecorder, Connectivity) {
+  ThroughputRecorder r;
+  r.record(sec(0), 10);
+  r.record(sec(1), 10);
+  r.record(sec(5), 10);
+  r.finalize(sec(10));
+  EXPECT_DOUBLE_EQ(r.connectivity_fraction(), 0.3);
+}
+
+TEST(ThroughputRecorder, ConnectionAndDisruptionRuns) {
+  ThroughputRecorder r;
+  // Pattern: XX..X.....  (X = data, . = silence)
+  r.record(sec(0), 1);
+  r.record(sec(1), 1);
+  r.record(sec(4), 1);
+  r.finalize(sec(10));
+  const auto conns = r.connection_durations();
+  ASSERT_EQ(conns.size(), 2u);
+  EXPECT_DOUBLE_EQ(conns[0], 2.0);
+  EXPECT_DOUBLE_EQ(conns[1], 1.0);
+  const auto gaps = r.disruption_durations();
+  ASSERT_EQ(gaps.size(), 2u);
+  EXPECT_DOUBLE_EQ(gaps[0], 2.0);
+  EXPECT_DOUBLE_EQ(gaps[1], 5.0);
+}
+
+TEST(ThroughputRecorder, InstantaneousOnlyNonZero) {
+  ThroughputRecorder r;
+  r.record(sec(0), 50'000);
+  r.record(sec(3), 150'000);
+  r.finalize(sec(5));
+  const auto inst = r.instantaneous_kBps();
+  ASSERT_EQ(inst.size(), 2u);
+  EXPECT_DOUBLE_EQ(inst[0], 50.0);
+  EXPECT_DOUBLE_EQ(inst[1], 150.0);
+}
+
+TEST(ThroughputRecorder, SubSecondBins) {
+  ThroughputRecorder r(msec(100));
+  r.record(msec(50), 1000);
+  r.record(msec(140), 1000);
+  r.finalize(msec(1000));
+  EXPECT_EQ(r.bins(), 10u);
+  EXPECT_DOUBLE_EQ(r.connectivity_fraction(), 0.2);
+}
+
+TEST(ThroughputRecorder, TrailingConnectionCounted) {
+  ThroughputRecorder r;
+  r.record(sec(8), 1);
+  r.record(sec(9), 1);
+  r.finalize(sec(10));
+  const auto conns = r.connection_durations();
+  ASSERT_EQ(conns.size(), 1u);
+  EXPECT_DOUBLE_EQ(conns[0], 2.0);
+}
+
+TEST(MeshWorkload, GeneratesExpectedCounts) {
+  MeshWorkloadConfig cfg;
+  cfg.users = 10;
+  cfg.flows_per_user = 20;
+  Rng rng(1);
+  auto traces = generate_mesh_user_traces(cfg, rng);
+  EXPECT_EQ(traces.connection_durations.size(), 200u);
+  EXPECT_EQ(traces.interconnection_gaps.size(), 190u);
+}
+
+TEST(MeshWorkload, DistributionsHaveExpectedShape) {
+  MeshWorkloadConfig cfg;
+  Rng rng(2);
+  auto traces = generate_mesh_user_traces(cfg, rng);
+  // Mostly-short flows: median of a few seconds, long tail capped.
+  EXPECT_LT(traces.connection_durations.median(), 10.0);
+  EXPECT_GT(traces.connection_durations.quantile(0.99), 30.0);
+  EXPECT_LE(traces.connection_durations.quantile(1.0), cfg.duration_cap_s);
+  // Gaps: heavy-tailed with minimum xm.
+  EXPECT_GE(traces.interconnection_gaps.quantile(0.0), cfg.gap_xm);
+  EXPECT_LE(traces.interconnection_gaps.quantile(1.0), cfg.gap_cap_s);
+  EXPECT_GT(traces.interconnection_gaps.quantile(0.95),
+            3.0 * traces.interconnection_gaps.median());
+}
+
+TEST(MeshWorkload, DeterministicPerSeed) {
+  MeshWorkloadConfig cfg;
+  cfg.users = 5;
+  cfg.flows_per_user = 5;
+  Rng a(3), b(3);
+  auto t1 = generate_mesh_user_traces(cfg, a);
+  auto t2 = generate_mesh_user_traces(cfg, b);
+  EXPECT_EQ(t1.connection_durations.samples(), t2.connection_durations.samples());
+}
+
+}  // namespace
+}  // namespace spider::trace

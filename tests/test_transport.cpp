@@ -1,0 +1,272 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "net/link.hpp"
+#include "net/wired.hpp"
+#include "sim/simulator.hpp"
+#include "transport/download.hpp"
+#include "transport/tcp.hpp"
+
+namespace spider::tcp {
+namespace {
+
+/// Harness: sender and receiver connected by two lossy/limited links.
+struct TcpPath : ::testing::Test {
+  sim::Simulator sim;
+  net::Link forward{sim, net::LinkConfig{.rate = mbps(2), .delay = msec(20),
+                                         .queue_packets = 50}};
+  net::Link reverse{sim, net::LinkConfig{.rate = mbps(2), .delay = msec(20),
+                                         .queue_packets = 50}};
+  std::unique_ptr<TcpSender> sender;
+  std::unique_ptr<TcpReceiver> receiver;
+  std::uint64_t delivered = 0;
+  bool drop_forward = false;
+  int drop_next = 0;  // drop exactly this many upcoming forward packets
+
+  void build(TcpConfig cfg = {}) {
+    sender = std::make_unique<TcpSender>(
+        sim, 1, wire::Ipv4(1, 1, 1, 1), wire::Ipv4(2, 2, 2, 2),
+        [this](wire::PacketPtr p) {
+          if (drop_next > 0) {
+            --drop_next;
+            return;
+          }
+          if (!drop_forward) forward.send(std::move(p));
+        },
+        cfg);
+    receiver = std::make_unique<TcpReceiver>(
+        1, wire::Ipv4(2, 2, 2, 2), wire::Ipv4(1, 1, 1, 1),
+        [this](wire::PacketPtr p) { reverse.send(std::move(p)); },
+        [this](std::size_t b) { delivered += b; });
+    forward.set_sink([this](wire::PacketPtr p) {
+      receiver->on_segment(*p->as<wire::TcpSegment>());
+    });
+    reverse.set_sink([this](wire::PacketPtr p) {
+      sender->on_segment(*p->as<wire::TcpSegment>());
+    });
+  }
+};
+
+TEST_F(TcpPath, DeliversInOrderBytes) {
+  build();
+  sender->start();
+  sim.run_until(sec(5));
+  EXPECT_GT(delivered, 100'000u);
+  EXPECT_EQ(delivered, receiver->bytes_delivered());
+  EXPECT_LE(sender->bytes_acked(), delivered);  // ACKs still in flight at stop
+}
+
+TEST_F(TcpPath, ThroughputApproachesBottleneck) {
+  build();
+  sender->start();
+  sim.run_until(sec(20));
+  // 2 Mbps bottleneck for 20 s = 5 MB; expect most of it after slow start
+  // (the 40-byte header of each 1500-byte packet is overhead).
+  EXPECT_GT(delivered, 3'500'000u);
+  EXPECT_LT(delivered, 5'100'000u);
+}
+
+TEST_F(TcpPath, SlowStartDoublesCwnd) {
+  build();
+  sender->start();
+  const double cwnd0 = sender->cwnd_segments();
+  sim.run_until(msec(150));  // a few RTTs (RTT ~ 40-50 ms), no congestion yet
+  EXPECT_GT(sender->cwnd_segments(), cwnd0 * 2);
+}
+
+TEST_F(TcpPath, BlackoutCausesTimeoutAndCollapse) {
+  build();
+  sender->start();
+  sim.run_until(sec(3));
+  const auto before = sender->timeouts();
+  drop_forward = true;  // the client "leaves the channel"
+  sim.run_until(sec(6));
+  EXPECT_GT(sender->timeouts(), before);
+  EXPECT_EQ(sender->cwnd_segments(), 1.0);
+  // Backoff doubled the RTO beyond its base.
+  EXPECT_GT(sender->current_rto(), msec(399));
+
+  drop_forward = false;
+  const auto delivered_before = delivered;
+  sim.run_until(sec(16));
+  EXPECT_GT(delivered, delivered_before);  // recovers after the blackout
+}
+
+TEST_F(TcpPath, SingleLossRecoversByFastRetransmit) {
+  build();
+  sender->start();
+  sim.run_until(sec(1));
+  // Drop exactly one in-flight segment.
+  drop_next = 1;
+  sim.run_until(sec(4));
+  EXPECT_GE(sender->fast_retransmits() + sender->timeouts(), 1u);
+  EXPECT_GT(delivered, 200'000u);
+}
+
+TEST_F(TcpPath, RtoRespectsFloor) {
+  TcpConfig cfg;
+  cfg.min_rto = msec(200);
+  build(cfg);
+  sender->start();
+  sim.run_until(sec(3));
+  EXPECT_GE(sender->current_rto(), msec(200));
+}
+
+TEST_F(TcpPath, StopHaltsTransmission) {
+  build();
+  sender->start();
+  sim.run_until(sec(1));
+  sender->stop();
+  const auto at_stop = delivered;
+  sim.run_until(sec(3));
+  // In-flight data may still land, but no meaningful new transmission.
+  EXPECT_LT(delivered - at_stop, 100'000u);
+}
+
+TEST(TcpReceiver, ReordersOutOfOrderSegments) {
+  std::uint64_t delivered = 0;
+  std::vector<wire::TcpSegment> acks;
+  TcpReceiver rx(9, wire::Ipv4(2, 2, 2, 2), wire::Ipv4(1, 1, 1, 1),
+                 [&](wire::PacketPtr p) { acks.push_back(*p->as<wire::TcpSegment>()); },
+                 [&](std::size_t b) { delivered += b; });
+
+  wire::TcpSegment seg;
+  seg.conn_id = 9;
+  seg.payload_bytes = 1000;
+
+  seg.seq = 1000;  // arrives first, out of order
+  rx.on_segment(seg);
+  EXPECT_EQ(delivered, 0u);
+  ASSERT_EQ(acks.size(), 1u);
+  EXPECT_EQ(acks[0].ack, 0u);  // duplicate ACK for the hole
+
+  seg.seq = 0;
+  rx.on_segment(seg);
+  EXPECT_EQ(delivered, 2000u);
+  EXPECT_EQ(acks.back().ack, 2000u);  // cumulative past the buffered gap
+}
+
+TEST(TcpReceiver, DuplicateSegmentsReAckedNotRedelivered) {
+  std::uint64_t delivered = 0;
+  std::vector<wire::TcpSegment> acks;
+  TcpReceiver rx(9, wire::Ipv4(2, 2, 2, 2), wire::Ipv4(1, 1, 1, 1),
+                 [&](wire::PacketPtr p) { acks.push_back(*p->as<wire::TcpSegment>()); },
+                 [&](std::size_t b) { delivered += b; });
+  wire::TcpSegment seg;
+  seg.conn_id = 9;
+  seg.payload_bytes = 1000;
+  seg.seq = 0;
+  rx.on_segment(seg);
+  rx.on_segment(seg);  // retransmitted duplicate
+  EXPECT_EQ(delivered, 1000u);
+  ASSERT_EQ(acks.size(), 2u);
+  EXPECT_EQ(acks[1].ack, 1000u);
+}
+
+TEST(TcpReceiver, IgnoresForeignConnection) {
+  std::uint64_t delivered = 0;
+  int acks = 0;
+  TcpReceiver rx(9, wire::Ipv4(2, 2, 2, 2), wire::Ipv4(1, 1, 1, 1),
+                 [&](wire::PacketPtr) { ++acks; },
+                 [&](std::size_t b) { delivered += b; });
+  wire::TcpSegment seg;
+  seg.conn_id = 1234;
+  seg.payload_bytes = 1000;
+  rx.on_segment(seg);
+  EXPECT_EQ(delivered, 0u);
+  EXPECT_EQ(acks, 0);
+}
+
+// ---------------------------------------------------------------------------
+// Download server/client over the wired core.
+
+struct DownloadTest : ::testing::Test {
+  sim::Simulator sim;
+  net::WiredNetwork wired{sim};
+  net::Host server{wired, wire::Ipv4(1, 1, 1, 1)};
+  net::Host client_host{wired, wire::Ipv4(2, 2, 2, 2)};
+  DownloadServer downloads{sim, server};
+};
+
+TEST_F(DownloadTest, SynSpawnsSenderAndStreams) {
+  std::uint64_t got = 0;
+  auto client = std::make_unique<DownloadClient>(
+      sim, next_conn_id(), client_host.ip(), server.ip(),
+      [this](wire::PacketPtr p) { client_host.send(std::move(p)); },
+      [&](std::size_t b) { got += b; });
+  client_host.set_handler([&](const wire::Packet& p) { client->on_packet(p); });
+  client->start();
+  sim.run_until(sec(2));
+  EXPECT_EQ(downloads.total_connections_seen(), 1u);
+  EXPECT_GT(got, 1'000'000u);  // wired path: no bottleneck configured
+  EXPECT_TRUE(client->saw_data());
+}
+
+TEST_F(DownloadTest, SynRetriesUntilServerReachable) {
+  std::uint64_t got = 0;
+  bool reachable = false;
+  auto client = std::make_unique<DownloadClient>(
+      sim, next_conn_id(), client_host.ip(), server.ip(),
+      [&](wire::PacketPtr p) {
+        if (reachable) client_host.send(std::move(p));
+      },
+      [&](std::size_t b) { got += b; });
+  client_host.set_handler([&](const wire::Packet& p) { client->on_packet(p); });
+  client->start();
+  sim.run_until(sec(3));
+  EXPECT_EQ(got, 0u);
+  reachable = true;
+  sim.run_until(sec(6));
+  EXPECT_GT(got, 0u);
+}
+
+TEST_F(DownloadTest, ServerReapsIdleConnections) {
+  {
+    DownloadServer quick(sim, server, TcpConfig{}, /*reap_idle_after=*/sec(5));
+    std::uint64_t got = 0;
+    auto client = std::make_unique<DownloadClient>(
+        sim, next_conn_id(), client_host.ip(), server.ip(),
+        [this](wire::PacketPtr p) { client_host.send(std::move(p)); },
+        [&](std::size_t b) { got += b; });
+    client_host.set_handler([&](const wire::Packet& p) { client->on_packet(p); });
+    client->start();
+    sim.run_until(sec(1));
+    EXPECT_EQ(quick.active_connections(), 1u);
+    // Client vanishes; server should reap after the idle window.
+    client_host.set_handler(nullptr);
+    client->stop();
+    sim.run_until(sec(120));
+    EXPECT_EQ(quick.active_connections(), 0u);
+  }
+}
+
+TEST_F(DownloadTest, MultipleParallelDownloads) {
+  std::uint64_t got_a = 0, got_b = 0;
+  net::Host host_b{wired, wire::Ipv4(3, 3, 3, 3)};
+  auto a = std::make_unique<DownloadClient>(
+      sim, next_conn_id(), client_host.ip(), server.ip(),
+      [this](wire::PacketPtr p) { client_host.send(std::move(p)); },
+      [&](std::size_t b) { got_a += b; });
+  auto b = std::make_unique<DownloadClient>(
+      sim, next_conn_id(), host_b.ip(), server.ip(),
+      [&](wire::PacketPtr p) { host_b.send(std::move(p)); },
+      [&](std::size_t bytes) { got_b += bytes; });
+  client_host.set_handler([&](const wire::Packet& p) { a->on_packet(p); });
+  host_b.set_handler([&](const wire::Packet& p) { b->on_packet(p); });
+  a->start();
+  b->start();
+  sim.run_until(sec(2));
+  EXPECT_GT(got_a, 0u);
+  EXPECT_GT(got_b, 0u);
+  EXPECT_EQ(downloads.total_connections_seen(), 2u);
+}
+
+TEST(ConnId, MonotoneUnique) {
+  const auto a = next_conn_id();
+  const auto b = next_conn_id();
+  EXPECT_LT(a, b);
+}
+
+}  // namespace
+}  // namespace spider::tcp

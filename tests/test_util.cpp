@@ -1,0 +1,207 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/random.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+#include "util/time.hpp"
+#include "util/units.hpp"
+
+namespace spider {
+namespace {
+
+TEST(Time, ConstructorsAndConversions) {
+  EXPECT_EQ(usec(1500).count(), 1500);
+  EXPECT_EQ(msec(3).count(), 3000);
+  EXPECT_EQ(sec(2.5).count(), 2'500'000);
+  EXPECT_DOUBLE_EQ(to_seconds(sec(4.25)), 4.25);
+  EXPECT_DOUBLE_EQ(to_millis(msec(400)), 400.0);
+}
+
+TEST(Time, Formatting) {
+  EXPECT_EQ(format_time(sec(3)), "3s");
+  EXPECT_EQ(format_time(msec(250)), "250ms");
+  EXPECT_EQ(format_time(usec(1500)), "1.500ms");
+}
+
+TEST(BitRate, BytesInDuration) {
+  // 11 Mbps for one second = 1.375 MB.
+  EXPECT_DOUBLE_EQ(kWirelessRate.bytes_in(sec(1)), 11e6 / 8.0);
+  EXPECT_DOUBLE_EQ(mbps(1).bytes_in(msec(400)), 1e6 / 8.0 * 0.4);
+}
+
+TEST(BitRate, TimeForBytes) {
+  EXPECT_EQ(mbps(8).time_for_bytes(1000), msec(1));
+  EXPECT_EQ(bps(0).time_for_bytes(100), Time::max());
+}
+
+TEST(BitRate, UnitHelpers) {
+  EXPECT_DOUBLE_EQ(mbps(11).mbps(), 11.0);
+  EXPECT_DOUBLE_EQ(kbps(250).kbps(), 250.0);
+  EXPECT_DOUBLE_EQ(to_kBps(kbps(800)), 100.0);
+}
+
+TEST(Position, Distance) {
+  EXPECT_DOUBLE_EQ(distance({0, 0}, {3, 4}), 5.0);
+  EXPECT_DOUBLE_EQ(distance({-1, -1}, {-1, -1}), 0.0);
+}
+
+TEST(Rng, Deterministic) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_DOUBLE_EQ(a.uniform(0, 1), b.uniform(0, 1));
+  }
+}
+
+TEST(Rng, UniformBounds) {
+  Rng rng(1);
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.uniform(2.0, 5.0);
+    EXPECT_GE(x, 2.0);
+    EXPECT_LT(x, 5.0);
+  }
+}
+
+TEST(Rng, UniformIntBounds) {
+  Rng rng(2);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    const auto x = rng.uniform_int(0, 3);
+    EXPECT_GE(x, 0);
+    EXPECT_LE(x, 3);
+    saw_lo |= x == 0;
+    saw_hi |= x == 3;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, ChanceExtremes) {
+  Rng rng(3);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_FALSE(rng.chance(0.0));
+    EXPECT_TRUE(rng.chance(1.0));
+    EXPECT_FALSE(rng.chance(-0.5));
+    EXPECT_TRUE(rng.chance(1.5));
+  }
+}
+
+TEST(Rng, ChanceFrequency) {
+  Rng rng(4);
+  int hits = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) hits += rng.chance(0.3);
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.02);
+}
+
+TEST(Rng, ParetoTailHeavierThanExponential) {
+  Rng rng(5);
+  OnlineStats pareto_stats;
+  for (int i = 0; i < 5000; ++i) pareto_stats.add(rng.pareto(1.0, 1.5));
+  // Pareto(1, 1.5) has mean alpha/(alpha-1) = 3.
+  EXPECT_NEAR(pareto_stats.mean(), 3.0, 1.0);
+  EXPECT_GE(pareto_stats.min(), 1.0);
+}
+
+TEST(Rng, ForkIndependence) {
+  Rng root(7);
+  Rng child = root.fork();
+  // Forked stream differs from parent's continued stream.
+  EXPECT_NE(child.uniform(0, 1), root.uniform(0, 1));
+}
+
+TEST(OnlineStats, Empty) {
+  OnlineStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.stddev(), 0.0);
+}
+
+TEST(OnlineStats, KnownValues) {
+  OnlineStats s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_NEAR(s.stddev(), 2.13809, 1e-4);  // sample stddev
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+  EXPECT_DOUBLE_EQ(s.sum(), 40.0);
+}
+
+TEST(OnlineStats, SinglePoint) {
+  OnlineStats s;
+  s.add(3.5);
+  EXPECT_DOUBLE_EQ(s.mean(), 3.5);
+  EXPECT_DOUBLE_EQ(s.stddev(), 0.0);
+  EXPECT_DOUBLE_EQ(s.min(), 3.5);
+  EXPECT_DOUBLE_EQ(s.max(), 3.5);
+}
+
+TEST(Cdf, FractionAtOrBelow) {
+  Cdf cdf({1.0, 2.0, 3.0, 4.0});
+  EXPECT_DOUBLE_EQ(cdf.fraction_at_or_below(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(cdf.fraction_at_or_below(1.0), 0.25);
+  EXPECT_DOUBLE_EQ(cdf.fraction_at_or_below(2.5), 0.5);
+  EXPECT_DOUBLE_EQ(cdf.fraction_at_or_below(4.0), 1.0);
+  EXPECT_DOUBLE_EQ(cdf.fraction_at_or_below(100.0), 1.0);
+}
+
+TEST(Cdf, Quantiles) {
+  Cdf cdf({10.0, 20.0, 30.0, 40.0, 50.0});
+  EXPECT_DOUBLE_EQ(cdf.median(), 30.0);
+  EXPECT_DOUBLE_EQ(cdf.quantile(0.0), 10.0);
+  EXPECT_DOUBLE_EQ(cdf.quantile(1.0), 50.0);
+  EXPECT_DOUBLE_EQ(cdf.quantile(0.25), 20.0);
+}
+
+TEST(Cdf, IncrementalAddRequiresResort) {
+  Cdf cdf;
+  cdf.add(5.0);
+  cdf.add(1.0);
+  cdf.add(3.0);
+  EXPECT_DOUBLE_EQ(cdf.median(), 3.0);
+  cdf.add(0.0);  // out-of-order insert after a query
+  EXPECT_DOUBLE_EQ(cdf.quantile(0.0), 0.0);
+}
+
+TEST(Cdf, Curve) {
+  Cdf cdf({0.0, 1.0, 2.0, 3.0, 4.0});
+  auto curve = cdf.curve(5);
+  ASSERT_EQ(curve.size(), 5u);
+  EXPECT_DOUBLE_EQ(curve.front().first, 0.0);
+  EXPECT_DOUBLE_EQ(curve.back().first, 4.0);
+  EXPECT_DOUBLE_EQ(curve.back().second, 1.0);
+  for (std::size_t i = 1; i < curve.size(); ++i) {
+    EXPECT_GE(curve[i].second, curve[i - 1].second);  // CDF is monotone
+  }
+}
+
+TEST(Cdf, KsDistanceIdentical) {
+  Cdf a({1, 2, 3, 4, 5}), b({1, 2, 3, 4, 5});
+  EXPECT_DOUBLE_EQ(ks_distance(a, b), 0.0);
+}
+
+TEST(Cdf, KsDistanceDisjoint) {
+  Cdf a({1, 2, 3}), b({10, 11, 12});
+  EXPECT_DOUBLE_EQ(ks_distance(a, b), 1.0);
+}
+
+TEST(TextTable, AlignsAndFormats) {
+  TextTable t({"name", "value"});
+  t.add_row({"alpha", TextTable::num(1.5, 1)});
+  t.add_row({"b", TextTable::percent(0.345)});
+  const std::string s = t.to_string();
+  EXPECT_NE(s.find("alpha"), std::string::npos);
+  EXPECT_NE(s.find("1.5"), std::string::npos);
+  EXPECT_NE(s.find("34.5%"), std::string::npos);
+  EXPECT_NE(s.find("----"), std::string::npos);
+}
+
+TEST(TextTable, ShortRowsPadded) {
+  TextTable t({"a", "b", "c"});
+  t.add_row({"only"});
+  EXPECT_NO_THROW(t.to_string());
+}
+
+}  // namespace
+}  // namespace spider

@@ -1,0 +1,86 @@
+#include <gtest/gtest.h>
+
+#include "wire/address.hpp"
+#include "wire/frame.hpp"
+#include "wire/packet.hpp"
+
+namespace spider::wire {
+namespace {
+
+TEST(MacAddress, Formatting) {
+  EXPECT_EQ(MacAddress(0x0123456789ABULL).to_string(), "01:23:45:67:89:ab");
+  EXPECT_EQ(MacAddress().to_string(), "00:00:00:00:00:00");
+}
+
+TEST(MacAddress, Broadcast) {
+  EXPECT_TRUE(MacAddress::broadcast().is_broadcast());
+  EXPECT_FALSE(MacAddress(1).is_broadcast());
+  EXPECT_TRUE(MacAddress().is_null());
+}
+
+TEST(MacAddress, TruncatesTo48Bits) {
+  EXPECT_EQ(MacAddress(0xFF'FFFF'FFFF'FFFFULL).raw(), 0xFFFF'FFFF'FFFFULL);
+}
+
+TEST(MacAddress, Hashable) {
+  std::hash<MacAddress> h;
+  EXPECT_EQ(h(MacAddress(5)), h(MacAddress(5)));
+}
+
+TEST(Ipv4, Formatting) {
+  EXPECT_EQ(Ipv4(10, 1, 2, 3).to_string(), "10.1.2.3");
+  EXPECT_EQ(Ipv4().to_string(), "0.0.0.0");
+}
+
+TEST(Ipv4, SubnetOperations) {
+  const Ipv4 base(10, 0, 5, 0);
+  EXPECT_EQ(base.with_host(42).to_string(), "10.0.5.42");
+  EXPECT_TRUE(base.same_subnet24(base.with_host(200)));
+  EXPECT_FALSE(base.same_subnet24(Ipv4(10, 0, 6, 1)));
+}
+
+TEST(Packet, DhcpFactorySizes) {
+  DhcpMessage msg;
+  msg.type = DhcpMessage::Type::kDiscover;
+  auto p = make_dhcp_packet(Ipv4(), Ipv4(255, 255, 255, 255), msg);
+  EXPECT_EQ(p->size_bytes, kIpHeaderBytes + kUdpHeaderBytes + kDhcpBodyBytes);
+  ASSERT_NE(p->as<DhcpMessage>(), nullptr);
+  EXPECT_EQ(p->as<DhcpMessage>()->type, DhcpMessage::Type::kDiscover);
+  EXPECT_EQ(p->as<TcpSegment>(), nullptr);
+}
+
+TEST(Packet, TcpFactoryIncludesPayload) {
+  TcpSegment seg;
+  seg.payload_bytes = 1000;
+  auto p = make_tcp_packet(Ipv4(1, 1, 1, 1), Ipv4(2, 2, 2, 2), seg);
+  EXPECT_EQ(p->size_bytes, kIpHeaderBytes + kTcpHeaderBytes + 1000);
+}
+
+TEST(Packet, IcmpFactory) {
+  IcmpEcho echo{.reply = false, .id = 7, .seq = 3};
+  auto p = make_icmp_packet(Ipv4(10, 0, 0, 2), Ipv4(10, 0, 0, 1), echo);
+  ASSERT_NE(p->as<IcmpEcho>(), nullptr);
+  EXPECT_EQ(p->as<IcmpEcho>()->seq, 3u);
+  EXPECT_GT(p->size_bytes, kIpHeaderBytes);
+}
+
+TEST(Frame, DataFrameWrapsPacket) {
+  auto pkt = make_tcp_packet(Ipv4(1, 0, 0, 1), Ipv4(1, 0, 0, 2), TcpSegment{});
+  auto f = make_data_frame(MacAddress(1), MacAddress(2), MacAddress(3), pkt);
+  EXPECT_EQ(f.type, FrameType::kData);
+  EXPECT_EQ(f.size_bytes, kDataHeaderBytes + pkt->size_bytes);
+  EXPECT_EQ(f.packet, pkt);
+}
+
+TEST(Frame, TypeNames) {
+  EXPECT_STREQ(to_string(FrameType::kBeacon), "Beacon");
+  EXPECT_STREQ(to_string(FrameType::kPsPoll), "PsPoll");
+}
+
+TEST(DhcpMessage, TypeNames) {
+  EXPECT_STREQ(to_string(DhcpMessage::Type::kOffer), "OFFER");
+  EXPECT_STREQ(to_string(DhcpMessage::Type::kNak), "NAK");
+}
+
+}  // namespace
+}  // namespace spider::wire
