@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_ap_selection.dir/ablation_ap_selection.cpp.o"
+  "CMakeFiles/ablation_ap_selection.dir/ablation_ap_selection.cpp.o.d"
+  "ablation_ap_selection"
+  "ablation_ap_selection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_ap_selection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

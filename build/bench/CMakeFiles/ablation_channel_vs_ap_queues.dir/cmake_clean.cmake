@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_channel_vs_ap_queues.dir/ablation_channel_vs_ap_queues.cpp.o"
+  "CMakeFiles/ablation_channel_vs_ap_queues.dir/ablation_channel_vs_ap_queues.cpp.o.d"
+  "ablation_channel_vs_ap_queues"
+  "ablation_channel_vs_ap_queues.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_channel_vs_ap_queues.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

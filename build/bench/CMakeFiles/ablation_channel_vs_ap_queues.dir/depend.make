@@ -1,0 +1,2 @@
+# Empty dependencies file for ablation_channel_vs_ap_queues.
+# This may be replaced when dependencies are built.

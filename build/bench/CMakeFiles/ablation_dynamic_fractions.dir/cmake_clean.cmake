@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_dynamic_fractions.dir/ablation_dynamic_fractions.cpp.o"
+  "CMakeFiles/ablation_dynamic_fractions.dir/ablation_dynamic_fractions.cpp.o.d"
+  "ablation_dynamic_fractions"
+  "ablation_dynamic_fractions.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_dynamic_fractions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_model_schedule.dir/ablation_model_schedule.cpp.o"
+  "CMakeFiles/ablation_model_schedule.dir/ablation_model_schedule.cpp.o.d"
+  "ablation_model_schedule"
+  "ablation_model_schedule.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_model_schedule.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

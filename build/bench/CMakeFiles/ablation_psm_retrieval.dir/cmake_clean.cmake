@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_psm_retrieval.dir/ablation_psm_retrieval.cpp.o"
+  "CMakeFiles/ablation_psm_retrieval.dir/ablation_psm_retrieval.cpp.o.d"
+  "ablation_psm_retrieval"
+  "ablation_psm_retrieval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_psm_retrieval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/appendixA_selection.dir/appendixA_selection.cpp.o"
+  "CMakeFiles/appendixA_selection.dir/appendixA_selection.cpp.o.d"
+  "appendixA_selection"
+  "appendixA_selection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/appendixA_selection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_microperf.dir/bench_microperf.cpp.o"
+  "CMakeFiles/bench_microperf.dir/bench_microperf.cpp.o.d"
+  "bench_microperf"
+  "bench_microperf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_microperf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

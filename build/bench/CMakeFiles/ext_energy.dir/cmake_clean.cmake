@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_energy.dir/ext_energy.cpp.o"
+  "CMakeFiles/ext_energy.dir/ext_energy.cpp.o.d"
+  "ext_energy"
+  "ext_energy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_energy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_fleet.dir/ext_fleet.cpp.o"
+  "CMakeFiles/ext_fleet.dir/ext_fleet.cpp.o.d"
+  "ext_fleet"
+  "ext_fleet.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_fleet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

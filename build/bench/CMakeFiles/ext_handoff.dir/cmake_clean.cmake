@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_handoff.dir/ext_handoff.cpp.o"
+  "CMakeFiles/ext_handoff.dir/ext_handoff.cpp.o.d"
+  "ext_handoff"
+  "ext_handoff.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_handoff.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

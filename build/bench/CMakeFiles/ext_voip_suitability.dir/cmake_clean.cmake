@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_voip_suitability.dir/ext_voip_suitability.cpp.o"
+  "CMakeFiles/ext_voip_suitability.dir/ext_voip_suitability.cpp.o.d"
+  "ext_voip_suitability"
+  "ext_voip_suitability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_voip_suitability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

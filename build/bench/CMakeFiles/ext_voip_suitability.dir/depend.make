@@ -1,0 +1,2 @@
+# Empty dependencies file for ext_voip_suitability.
+# This may be replaced when dependencies are built.

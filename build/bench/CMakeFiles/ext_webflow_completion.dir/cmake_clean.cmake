@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_webflow_completion.dir/ext_webflow_completion.cpp.o"
+  "CMakeFiles/ext_webflow_completion.dir/ext_webflow_completion.cpp.o.d"
+  "ext_webflow_completion"
+  "ext_webflow_completion.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_webflow_completion.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

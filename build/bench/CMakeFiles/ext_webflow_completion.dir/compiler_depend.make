@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for ext_webflow_completion.
+# This may be replaced when dependencies are built.

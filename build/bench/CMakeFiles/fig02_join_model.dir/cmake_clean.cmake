@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig02_join_model.dir/fig02_join_model.cpp.o"
+  "CMakeFiles/fig02_join_model.dir/fig02_join_model.cpp.o.d"
+  "fig02_join_model"
+  "fig02_join_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig02_join_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig03_join_vs_beta.dir/fig03_join_vs_beta.cpp.o"
+  "CMakeFiles/fig03_join_vs_beta.dir/fig03_join_vs_beta.cpp.o.d"
+  "fig03_join_vs_beta"
+  "fig03_join_vs_beta.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig03_join_vs_beta.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig03_join_vs_beta.
+# This may be replaced when dependencies are built.

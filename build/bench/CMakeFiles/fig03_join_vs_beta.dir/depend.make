@@ -1,0 +1,2 @@
+# Empty dependencies file for fig03_join_vs_beta.
+# This may be replaced when dependencies are built.

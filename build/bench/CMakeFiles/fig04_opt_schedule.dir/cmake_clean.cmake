@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig04_opt_schedule.dir/fig04_opt_schedule.cpp.o"
+  "CMakeFiles/fig04_opt_schedule.dir/fig04_opt_schedule.cpp.o.d"
+  "fig04_opt_schedule"
+  "fig04_opt_schedule.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig04_opt_schedule.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig05_assoc_cdf.dir/fig05_assoc_cdf.cpp.o"
+  "CMakeFiles/fig05_assoc_cdf.dir/fig05_assoc_cdf.cpp.o.d"
+  "fig05_assoc_cdf"
+  "fig05_assoc_cdf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig05_assoc_cdf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig06_dhcp_cdf.dir/fig06_dhcp_cdf.cpp.o"
+  "CMakeFiles/fig06_dhcp_cdf.dir/fig06_dhcp_cdf.cpp.o.d"
+  "fig06_dhcp_cdf"
+  "fig06_dhcp_cdf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig06_dhcp_cdf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig07_tcp_fraction.dir/fig07_tcp_fraction.cpp.o"
+  "CMakeFiles/fig07_tcp_fraction.dir/fig07_tcp_fraction.cpp.o.d"
+  "fig07_tcp_fraction"
+  "fig07_tcp_fraction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig07_tcp_fraction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig08_tcp_dwell.dir/fig08_tcp_dwell.cpp.o"
+  "CMakeFiles/fig08_tcp_dwell.dir/fig08_tcp_dwell.cpp.o.d"
+  "fig08_tcp_dwell"
+  "fig08_tcp_dwell.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig08_tcp_dwell.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

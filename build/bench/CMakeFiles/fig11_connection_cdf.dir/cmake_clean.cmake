@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_connection_cdf.dir/fig11_connection_cdf.cpp.o"
+  "CMakeFiles/fig11_connection_cdf.dir/fig11_connection_cdf.cpp.o.d"
+  "fig11_connection_cdf"
+  "fig11_connection_cdf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_connection_cdf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

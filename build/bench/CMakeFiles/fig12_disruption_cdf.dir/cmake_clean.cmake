@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_disruption_cdf.dir/fig12_disruption_cdf.cpp.o"
+  "CMakeFiles/fig12_disruption_cdf.dir/fig12_disruption_cdf.cpp.o.d"
+  "fig12_disruption_cdf"
+  "fig12_disruption_cdf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_disruption_cdf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

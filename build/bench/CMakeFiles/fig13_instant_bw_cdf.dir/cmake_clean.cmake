@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig13_instant_bw_cdf.dir/fig13_instant_bw_cdf.cpp.o"
+  "CMakeFiles/fig13_instant_bw_cdf.dir/fig13_instant_bw_cdf.cpp.o.d"
+  "fig13_instant_bw_cdf"
+  "fig13_instant_bw_cdf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_instant_bw_cdf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig14_join_vs_timeout.dir/fig14_join_vs_timeout.cpp.o"
+  "CMakeFiles/fig14_join_vs_timeout.dir/fig14_join_vs_timeout.cpp.o.d"
+  "fig14_join_vs_timeout"
+  "fig14_join_vs_timeout.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig14_join_vs_timeout.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig14_join_vs_timeout.
+# This may be replaced when dependencies are built.

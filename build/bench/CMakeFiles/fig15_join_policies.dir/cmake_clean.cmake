@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig15_join_policies.dir/fig15_join_policies.cpp.o"
+  "CMakeFiles/fig15_join_policies.dir/fig15_join_policies.cpp.o.d"
+  "fig15_join_policies"
+  "fig15_join_policies.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig15_join_policies.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig16_usability_conn.dir/fig16_usability_conn.cpp.o"
+  "CMakeFiles/fig16_usability_conn.dir/fig16_usability_conn.cpp.o.d"
+  "fig16_usability_conn"
+  "fig16_usability_conn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig16_usability_conn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

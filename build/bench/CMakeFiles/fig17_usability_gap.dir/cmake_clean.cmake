@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig17_usability_gap.dir/fig17_usability_gap.cpp.o"
+  "CMakeFiles/fig17_usability_gap.dir/fig17_usability_gap.cpp.o.d"
+  "fig17_usability_gap"
+  "fig17_usability_gap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig17_usability_gap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/model_vs_system.dir/model_vs_system.cpp.o"
+  "CMakeFiles/model_vs_system.dir/model_vs_system.cpp.o.d"
+  "model_vs_system"
+  "model_vs_system.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/model_vs_system.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_switch_latency.dir/table1_switch_latency.cpp.o"
+  "CMakeFiles/table1_switch_latency.dir/table1_switch_latency.cpp.o.d"
+  "table1_switch_latency"
+  "table1_switch_latency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_switch_latency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_configs.dir/table2_configs.cpp.o"
+  "CMakeFiles/table2_configs.dir/table2_configs.cpp.o.d"
+  "table2_configs"
+  "table2_configs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_configs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

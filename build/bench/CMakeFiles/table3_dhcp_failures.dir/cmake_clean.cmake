@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table3_dhcp_failures.dir/table3_dhcp_failures.cpp.o"
+  "CMakeFiles/table3_dhcp_failures.dir/table3_dhcp_failures.cpp.o.d"
+  "table3_dhcp_failures"
+  "table3_dhcp_failures.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_dhcp_failures.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

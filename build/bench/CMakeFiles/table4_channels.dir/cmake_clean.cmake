@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table4_channels.dir/table4_channels.cpp.o"
+  "CMakeFiles/table4_channels.dir/table4_channels.cpp.o.d"
+  "table4_channels"
+  "table4_channels.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table4_channels.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

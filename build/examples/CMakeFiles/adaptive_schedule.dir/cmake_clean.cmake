@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adaptive_schedule.dir/adaptive_schedule.cpp.o"
+  "CMakeFiles/adaptive_schedule.dir/adaptive_schedule.cpp.o.d"
+  "adaptive_schedule"
+  "adaptive_schedule.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adaptive_schedule.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/connectivity_tradeoff.dir/connectivity_tradeoff.cpp.o"
+  "CMakeFiles/connectivity_tradeoff.dir/connectivity_tradeoff.cpp.o.d"
+  "connectivity_tradeoff"
+  "connectivity_tradeoff.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/connectivity_tradeoff.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

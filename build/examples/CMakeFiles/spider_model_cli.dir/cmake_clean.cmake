@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spider_model_cli.dir/spider_model_cli.cpp.o"
+  "CMakeFiles/spider_model_cli.dir/spider_model_cli.cpp.o.d"
+  "spider_model_cli"
+  "spider_model_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spider_model_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

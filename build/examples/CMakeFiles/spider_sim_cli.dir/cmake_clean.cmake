@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spider_sim_cli.dir/spider_sim_cli.cpp.o"
+  "CMakeFiles/spider_sim_cli.dir/spider_sim_cli.cpp.o.d"
+  "spider_sim_cli"
+  "spider_sim_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spider_sim_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

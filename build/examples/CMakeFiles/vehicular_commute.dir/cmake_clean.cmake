@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vehicular_commute.dir/vehicular_commute.cpp.o"
+  "CMakeFiles/vehicular_commute.dir/vehicular_commute.cpp.o.d"
+  "vehicular_commute"
+  "vehicular_commute.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vehicular_commute.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

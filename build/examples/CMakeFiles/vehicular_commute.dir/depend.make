@@ -1,0 +1,2 @@
+# Empty dependencies file for vehicular_commute.
+# This may be replaced when dependencies are built.

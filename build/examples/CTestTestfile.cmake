@@ -1,0 +1,14 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/examples
+# Build directory: /root/repo/build/examples
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(cli_smoke "/root/repo/build/examples/spider_sim_cli" "--duration" "60" "--road" "1000" "--density" "12" "--mode" "single:6" "--seed" "3")
+set_tests_properties(cli_smoke PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;15;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(cli_modes "/root/repo/build/examples/spider_sim_cli" "--duration" "45" "--mode" "equal:1,6,11:600" "--driver" "fatvap" "--seed" "4")
+set_tests_properties(cli_modes PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;18;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(model_cli_join "/root/repo/build/examples/spider_model_cli" "join" "--beta-max" "5" "--mc" "500")
+set_tests_properties(model_cli_join PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;20;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(model_cli_opt "/root/repo/build/examples/spider_model_cli" "opt" "--joined" "0.75" "--available" "0.25" "--speeds" "5,10,20")
+set_tests_properties(model_cli_opt PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;21;add_test;/root/repo/examples/CMakeLists.txt;0;")

@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("util")
+subdirs("sim")
+subdirs("wire")
+subdirs("phy")
+subdirs("mac")
+subdirs("net")
+subdirs("transport")
+subdirs("mobility")
+subdirs("core")
+subdirs("baseline")
+subdirs("analysis")
+subdirs("trace")

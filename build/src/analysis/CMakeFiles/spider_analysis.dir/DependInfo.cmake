@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analysis/join_model.cpp" "src/analysis/CMakeFiles/spider_analysis.dir/join_model.cpp.o" "gcc" "src/analysis/CMakeFiles/spider_analysis.dir/join_model.cpp.o.d"
+  "/root/repo/src/analysis/schedule_synthesis.cpp" "src/analysis/CMakeFiles/spider_analysis.dir/schedule_synthesis.cpp.o" "gcc" "src/analysis/CMakeFiles/spider_analysis.dir/schedule_synthesis.cpp.o.d"
+  "/root/repo/src/analysis/selection_opt.cpp" "src/analysis/CMakeFiles/spider_analysis.dir/selection_opt.cpp.o" "gcc" "src/analysis/CMakeFiles/spider_analysis.dir/selection_opt.cpp.o.d"
+  "/root/repo/src/analysis/throughput_opt.cpp" "src/analysis/CMakeFiles/spider_analysis.dir/throughput_opt.cpp.o" "gcc" "src/analysis/CMakeFiles/spider_analysis.dir/throughput_opt.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/spider_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/wire/CMakeFiles/spider_wire.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spider_analysis.dir/join_model.cpp.o"
+  "CMakeFiles/spider_analysis.dir/join_model.cpp.o.d"
+  "CMakeFiles/spider_analysis.dir/schedule_synthesis.cpp.o"
+  "CMakeFiles/spider_analysis.dir/schedule_synthesis.cpp.o.d"
+  "CMakeFiles/spider_analysis.dir/selection_opt.cpp.o"
+  "CMakeFiles/spider_analysis.dir/selection_opt.cpp.o.d"
+  "CMakeFiles/spider_analysis.dir/throughput_opt.cpp.o"
+  "CMakeFiles/spider_analysis.dir/throughput_opt.cpp.o.d"
+  "libspider_analysis.a"
+  "libspider_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spider_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spider_baseline.dir/fatvap.cpp.o"
+  "CMakeFiles/spider_baseline.dir/fatvap.cpp.o.d"
+  "CMakeFiles/spider_baseline.dir/stock_wifi.cpp.o"
+  "CMakeFiles/spider_baseline.dir/stock_wifi.cpp.o.d"
+  "libspider_baseline.a"
+  "libspider_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spider_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

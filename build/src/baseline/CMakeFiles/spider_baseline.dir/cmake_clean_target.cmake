@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libspider_baseline.a"
+)

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/adaptive.cpp" "src/core/CMakeFiles/spider_core.dir/adaptive.cpp.o" "gcc" "src/core/CMakeFiles/spider_core.dir/adaptive.cpp.o.d"
+  "/root/repo/src/core/ap_selector.cpp" "src/core/CMakeFiles/spider_core.dir/ap_selector.cpp.o" "gcc" "src/core/CMakeFiles/spider_core.dir/ap_selector.cpp.o.d"
+  "/root/repo/src/core/dynamic_schedule.cpp" "src/core/CMakeFiles/spider_core.dir/dynamic_schedule.cpp.o" "gcc" "src/core/CMakeFiles/spider_core.dir/dynamic_schedule.cpp.o.d"
+  "/root/repo/src/core/link_manager.cpp" "src/core/CMakeFiles/spider_core.dir/link_manager.cpp.o" "gcc" "src/core/CMakeFiles/spider_core.dir/link_manager.cpp.o.d"
+  "/root/repo/src/core/op_mode.cpp" "src/core/CMakeFiles/spider_core.dir/op_mode.cpp.o" "gcc" "src/core/CMakeFiles/spider_core.dir/op_mode.cpp.o.d"
+  "/root/repo/src/core/spider_driver.cpp" "src/core/CMakeFiles/spider_core.dir/spider_driver.cpp.o" "gcc" "src/core/CMakeFiles/spider_core.dir/spider_driver.cpp.o.d"
+  "/root/repo/src/core/virtual_iface.cpp" "src/core/CMakeFiles/spider_core.dir/virtual_iface.cpp.o" "gcc" "src/core/CMakeFiles/spider_core.dir/virtual_iface.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/mac/CMakeFiles/spider_mac.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/spider_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/phy/CMakeFiles/spider_phy.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/spider_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/wire/CMakeFiles/spider_wire.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/spider_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spider_core.dir/adaptive.cpp.o"
+  "CMakeFiles/spider_core.dir/adaptive.cpp.o.d"
+  "CMakeFiles/spider_core.dir/ap_selector.cpp.o"
+  "CMakeFiles/spider_core.dir/ap_selector.cpp.o.d"
+  "CMakeFiles/spider_core.dir/dynamic_schedule.cpp.o"
+  "CMakeFiles/spider_core.dir/dynamic_schedule.cpp.o.d"
+  "CMakeFiles/spider_core.dir/link_manager.cpp.o"
+  "CMakeFiles/spider_core.dir/link_manager.cpp.o.d"
+  "CMakeFiles/spider_core.dir/op_mode.cpp.o"
+  "CMakeFiles/spider_core.dir/op_mode.cpp.o.d"
+  "CMakeFiles/spider_core.dir/spider_driver.cpp.o"
+  "CMakeFiles/spider_core.dir/spider_driver.cpp.o.d"
+  "CMakeFiles/spider_core.dir/virtual_iface.cpp.o"
+  "CMakeFiles/spider_core.dir/virtual_iface.cpp.o.d"
+  "libspider_core.a"
+  "libspider_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spider_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mac/ap.cpp" "src/mac/CMakeFiles/spider_mac.dir/ap.cpp.o" "gcc" "src/mac/CMakeFiles/spider_mac.dir/ap.cpp.o.d"
+  "/root/repo/src/mac/client_mlme.cpp" "src/mac/CMakeFiles/spider_mac.dir/client_mlme.cpp.o" "gcc" "src/mac/CMakeFiles/spider_mac.dir/client_mlme.cpp.o.d"
+  "/root/repo/src/mac/scanner.cpp" "src/mac/CMakeFiles/spider_mac.dir/scanner.cpp.o" "gcc" "src/mac/CMakeFiles/spider_mac.dir/scanner.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/phy/CMakeFiles/spider_phy.dir/DependInfo.cmake"
+  "/root/repo/build/src/wire/CMakeFiles/spider_wire.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/spider_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/spider_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

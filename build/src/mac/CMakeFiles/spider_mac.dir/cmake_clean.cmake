@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spider_mac.dir/ap.cpp.o"
+  "CMakeFiles/spider_mac.dir/ap.cpp.o.d"
+  "CMakeFiles/spider_mac.dir/client_mlme.cpp.o"
+  "CMakeFiles/spider_mac.dir/client_mlme.cpp.o.d"
+  "CMakeFiles/spider_mac.dir/scanner.cpp.o"
+  "CMakeFiles/spider_mac.dir/scanner.cpp.o.d"
+  "libspider_mac.a"
+  "libspider_mac.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spider_mac.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mobility/deployment.cpp" "src/mobility/CMakeFiles/spider_mobility.dir/deployment.cpp.o" "gcc" "src/mobility/CMakeFiles/spider_mobility.dir/deployment.cpp.o.d"
+  "/root/repo/src/mobility/deployment_io.cpp" "src/mobility/CMakeFiles/spider_mobility.dir/deployment_io.cpp.o" "gcc" "src/mobility/CMakeFiles/spider_mobility.dir/deployment_io.cpp.o.d"
+  "/root/repo/src/mobility/mobility.cpp" "src/mobility/CMakeFiles/spider_mobility.dir/mobility.cpp.o" "gcc" "src/mobility/CMakeFiles/spider_mobility.dir/mobility.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/spider_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/wire/CMakeFiles/spider_wire.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

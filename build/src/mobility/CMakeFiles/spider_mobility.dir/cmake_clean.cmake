@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spider_mobility.dir/deployment.cpp.o"
+  "CMakeFiles/spider_mobility.dir/deployment.cpp.o.d"
+  "CMakeFiles/spider_mobility.dir/deployment_io.cpp.o"
+  "CMakeFiles/spider_mobility.dir/deployment_io.cpp.o.d"
+  "CMakeFiles/spider_mobility.dir/mobility.cpp.o"
+  "CMakeFiles/spider_mobility.dir/mobility.cpp.o.d"
+  "libspider_mobility.a"
+  "libspider_mobility.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spider_mobility.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/net/ap_network.cpp" "src/net/CMakeFiles/spider_net.dir/ap_network.cpp.o" "gcc" "src/net/CMakeFiles/spider_net.dir/ap_network.cpp.o.d"
+  "/root/repo/src/net/dhcp_client.cpp" "src/net/CMakeFiles/spider_net.dir/dhcp_client.cpp.o" "gcc" "src/net/CMakeFiles/spider_net.dir/dhcp_client.cpp.o.d"
+  "/root/repo/src/net/dhcp_server.cpp" "src/net/CMakeFiles/spider_net.dir/dhcp_server.cpp.o" "gcc" "src/net/CMakeFiles/spider_net.dir/dhcp_server.cpp.o.d"
+  "/root/repo/src/net/link.cpp" "src/net/CMakeFiles/spider_net.dir/link.cpp.o" "gcc" "src/net/CMakeFiles/spider_net.dir/link.cpp.o.d"
+  "/root/repo/src/net/ping.cpp" "src/net/CMakeFiles/spider_net.dir/ping.cpp.o" "gcc" "src/net/CMakeFiles/spider_net.dir/ping.cpp.o.d"
+  "/root/repo/src/net/wired.cpp" "src/net/CMakeFiles/spider_net.dir/wired.cpp.o" "gcc" "src/net/CMakeFiles/spider_net.dir/wired.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/mac/CMakeFiles/spider_mac.dir/DependInfo.cmake"
+  "/root/repo/build/src/wire/CMakeFiles/spider_wire.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/spider_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/phy/CMakeFiles/spider_phy.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/spider_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

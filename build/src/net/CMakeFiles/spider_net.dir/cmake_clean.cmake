@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spider_net.dir/ap_network.cpp.o"
+  "CMakeFiles/spider_net.dir/ap_network.cpp.o.d"
+  "CMakeFiles/spider_net.dir/dhcp_client.cpp.o"
+  "CMakeFiles/spider_net.dir/dhcp_client.cpp.o.d"
+  "CMakeFiles/spider_net.dir/dhcp_server.cpp.o"
+  "CMakeFiles/spider_net.dir/dhcp_server.cpp.o.d"
+  "CMakeFiles/spider_net.dir/link.cpp.o"
+  "CMakeFiles/spider_net.dir/link.cpp.o.d"
+  "CMakeFiles/spider_net.dir/ping.cpp.o"
+  "CMakeFiles/spider_net.dir/ping.cpp.o.d"
+  "CMakeFiles/spider_net.dir/wired.cpp.o"
+  "CMakeFiles/spider_net.dir/wired.cpp.o.d"
+  "libspider_net.a"
+  "libspider_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spider_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

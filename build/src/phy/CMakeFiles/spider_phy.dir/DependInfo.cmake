@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/phy/medium.cpp" "src/phy/CMakeFiles/spider_phy.dir/medium.cpp.o" "gcc" "src/phy/CMakeFiles/spider_phy.dir/medium.cpp.o.d"
+  "/root/repo/src/phy/propagation.cpp" "src/phy/CMakeFiles/spider_phy.dir/propagation.cpp.o" "gcc" "src/phy/CMakeFiles/spider_phy.dir/propagation.cpp.o.d"
+  "/root/repo/src/phy/radio.cpp" "src/phy/CMakeFiles/spider_phy.dir/radio.cpp.o" "gcc" "src/phy/CMakeFiles/spider_phy.dir/radio.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/spider_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/wire/CMakeFiles/spider_wire.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/spider_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

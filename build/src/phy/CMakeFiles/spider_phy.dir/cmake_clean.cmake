@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spider_phy.dir/medium.cpp.o"
+  "CMakeFiles/spider_phy.dir/medium.cpp.o.d"
+  "CMakeFiles/spider_phy.dir/propagation.cpp.o"
+  "CMakeFiles/spider_phy.dir/propagation.cpp.o.d"
+  "CMakeFiles/spider_phy.dir/radio.cpp.o"
+  "CMakeFiles/spider_phy.dir/radio.cpp.o.d"
+  "libspider_phy.a"
+  "libspider_phy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spider_phy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

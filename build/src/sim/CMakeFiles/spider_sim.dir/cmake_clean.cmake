@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spider_sim.dir/event_queue.cpp.o"
+  "CMakeFiles/spider_sim.dir/event_queue.cpp.o.d"
+  "CMakeFiles/spider_sim.dir/simulator.cpp.o"
+  "CMakeFiles/spider_sim.dir/simulator.cpp.o.d"
+  "libspider_sim.a"
+  "libspider_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spider_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,36 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/trace/experiment.cpp" "src/trace/CMakeFiles/spider_trace.dir/experiment.cpp.o" "gcc" "src/trace/CMakeFiles/spider_trace.dir/experiment.cpp.o.d"
+  "/root/repo/src/trace/export.cpp" "src/trace/CMakeFiles/spider_trace.dir/export.cpp.o" "gcc" "src/trace/CMakeFiles/spider_trace.dir/export.cpp.o.d"
+  "/root/repo/src/trace/handoff.cpp" "src/trace/CMakeFiles/spider_trace.dir/handoff.cpp.o" "gcc" "src/trace/CMakeFiles/spider_trace.dir/handoff.cpp.o.d"
+  "/root/repo/src/trace/metrics.cpp" "src/trace/CMakeFiles/spider_trace.dir/metrics.cpp.o" "gcc" "src/trace/CMakeFiles/spider_trace.dir/metrics.cpp.o.d"
+  "/root/repo/src/trace/testbed.cpp" "src/trace/CMakeFiles/spider_trace.dir/testbed.cpp.o" "gcc" "src/trace/CMakeFiles/spider_trace.dir/testbed.cpp.o.d"
+  "/root/repo/src/trace/voip.cpp" "src/trace/CMakeFiles/spider_trace.dir/voip.cpp.o" "gcc" "src/trace/CMakeFiles/spider_trace.dir/voip.cpp.o.d"
+  "/root/repo/src/trace/webflows.cpp" "src/trace/CMakeFiles/spider_trace.dir/webflows.cpp.o" "gcc" "src/trace/CMakeFiles/spider_trace.dir/webflows.cpp.o.d"
+  "/root/repo/src/trace/workload.cpp" "src/trace/CMakeFiles/spider_trace.dir/workload.cpp.o" "gcc" "src/trace/CMakeFiles/spider_trace.dir/workload.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/spider_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/baseline/CMakeFiles/spider_baseline.dir/DependInfo.cmake"
+  "/root/repo/build/src/transport/CMakeFiles/spider_transport.dir/DependInfo.cmake"
+  "/root/repo/build/src/mobility/CMakeFiles/spider_mobility.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/spider_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/mac/CMakeFiles/spider_mac.dir/DependInfo.cmake"
+  "/root/repo/build/src/phy/CMakeFiles/spider_phy.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/spider_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/wire/CMakeFiles/spider_wire.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/spider_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

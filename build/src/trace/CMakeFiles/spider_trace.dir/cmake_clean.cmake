@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spider_trace.dir/experiment.cpp.o"
+  "CMakeFiles/spider_trace.dir/experiment.cpp.o.d"
+  "CMakeFiles/spider_trace.dir/export.cpp.o"
+  "CMakeFiles/spider_trace.dir/export.cpp.o.d"
+  "CMakeFiles/spider_trace.dir/handoff.cpp.o"
+  "CMakeFiles/spider_trace.dir/handoff.cpp.o.d"
+  "CMakeFiles/spider_trace.dir/metrics.cpp.o"
+  "CMakeFiles/spider_trace.dir/metrics.cpp.o.d"
+  "CMakeFiles/spider_trace.dir/testbed.cpp.o"
+  "CMakeFiles/spider_trace.dir/testbed.cpp.o.d"
+  "CMakeFiles/spider_trace.dir/voip.cpp.o"
+  "CMakeFiles/spider_trace.dir/voip.cpp.o.d"
+  "CMakeFiles/spider_trace.dir/webflows.cpp.o"
+  "CMakeFiles/spider_trace.dir/webflows.cpp.o.d"
+  "CMakeFiles/spider_trace.dir/workload.cpp.o"
+  "CMakeFiles/spider_trace.dir/workload.cpp.o.d"
+  "libspider_trace.a"
+  "libspider_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spider_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

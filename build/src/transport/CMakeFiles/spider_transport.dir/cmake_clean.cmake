@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spider_transport.dir/cbr.cpp.o"
+  "CMakeFiles/spider_transport.dir/cbr.cpp.o.d"
+  "CMakeFiles/spider_transport.dir/download.cpp.o"
+  "CMakeFiles/spider_transport.dir/download.cpp.o.d"
+  "CMakeFiles/spider_transport.dir/tcp.cpp.o"
+  "CMakeFiles/spider_transport.dir/tcp.cpp.o.d"
+  "libspider_transport.a"
+  "libspider_transport.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spider_transport.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

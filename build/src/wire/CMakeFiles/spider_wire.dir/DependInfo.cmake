@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/wire/address.cpp" "src/wire/CMakeFiles/spider_wire.dir/address.cpp.o" "gcc" "src/wire/CMakeFiles/spider_wire.dir/address.cpp.o.d"
+  "/root/repo/src/wire/frame.cpp" "src/wire/CMakeFiles/spider_wire.dir/frame.cpp.o" "gcc" "src/wire/CMakeFiles/spider_wire.dir/frame.cpp.o.d"
+  "/root/repo/src/wire/packet.cpp" "src/wire/CMakeFiles/spider_wire.dir/packet.cpp.o" "gcc" "src/wire/CMakeFiles/spider_wire.dir/packet.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/spider_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spider_wire.dir/address.cpp.o"
+  "CMakeFiles/spider_wire.dir/address.cpp.o.d"
+  "CMakeFiles/spider_wire.dir/frame.cpp.o"
+  "CMakeFiles/spider_wire.dir/frame.cpp.o.d"
+  "CMakeFiles/spider_wire.dir/packet.cpp.o"
+  "CMakeFiles/spider_wire.dir/packet.cpp.o.d"
+  "libspider_wire.a"
+  "libspider_wire.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spider_wire.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_driver_internals.dir/test_driver_internals.cpp.o"
+  "CMakeFiles/test_driver_internals.dir/test_driver_internals.cpp.o.d"
+  "test_driver_internals"
+  "test_driver_internals.pdb"
+  "test_driver_internals[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_driver_internals.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

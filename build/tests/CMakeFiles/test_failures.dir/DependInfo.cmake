@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_failures.cpp" "tests/CMakeFiles/test_failures.dir/test_failures.cpp.o" "gcc" "tests/CMakeFiles/test_failures.dir/test_failures.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/trace/CMakeFiles/spider_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/baseline/CMakeFiles/spider_baseline.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/spider_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/transport/CMakeFiles/spider_transport.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/spider_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/mac/CMakeFiles/spider_mac.dir/DependInfo.cmake"
+  "/root/repo/build/src/phy/CMakeFiles/spider_phy.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/spider_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/mobility/CMakeFiles/spider_mobility.dir/DependInfo.cmake"
+  "/root/repo/build/src/wire/CMakeFiles/spider_wire.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/spider_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_linkmanager_unit.dir/test_linkmanager_unit.cpp.o"
+  "CMakeFiles/test_linkmanager_unit.dir/test_linkmanager_unit.cpp.o.d"
+  "test_linkmanager_unit"
+  "test_linkmanager_unit.pdb"
+  "test_linkmanager_unit[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_linkmanager_unit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

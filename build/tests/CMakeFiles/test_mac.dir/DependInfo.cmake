@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_mac.cpp" "tests/CMakeFiles/test_mac.dir/test_mac.cpp.o" "gcc" "tests/CMakeFiles/test_mac.dir/test_mac.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/mac/CMakeFiles/spider_mac.dir/DependInfo.cmake"
+  "/root/repo/build/src/phy/CMakeFiles/spider_phy.dir/DependInfo.cmake"
+  "/root/repo/build/src/wire/CMakeFiles/spider_wire.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/spider_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/spider_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

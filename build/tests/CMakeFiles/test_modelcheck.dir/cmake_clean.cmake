@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_modelcheck.dir/test_modelcheck.cpp.o"
+  "CMakeFiles/test_modelcheck.dir/test_modelcheck.cpp.o.d"
+  "test_modelcheck"
+  "test_modelcheck.pdb"
+  "test_modelcheck[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_modelcheck.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
