@@ -1,0 +1,115 @@
+// Extension: resilience under injected infrastructure faults. The same
+// deterministic fault timeline (AP blackouts/reboots, gateway flaps, DHCP
+// stalls and NAK storms, channel burst loss) is replayed against Spider,
+// FatVAP and the stock single-association stack at increasing intensity.
+// Reported per cell: goodput, connectivity, outages suffered, recoveries
+// achieved inside the run, and the time-to-recover distribution.
+//
+// Everything is seeded: the same binary printed twice produces identical
+// bytes, which is the subsystem's determinism guarantee in executable form.
+
+#include <cstdio>
+
+#include "bench/bench_util.hpp"
+#include "fault/fault.hpp"
+
+using namespace spider;
+
+namespace {
+
+/// Evenly spaced fault events cycling through the taxonomy and the AP
+/// list. Pure arithmetic — no randomness lives in the schedule itself; the
+/// Gilbert-Elliott dwells inside burst-loss faults come from the
+/// injector's own forked (seeded) stream.
+fault::FaultSchedule make_schedule(int events, Time duration) {
+  fault::FaultSchedule s;
+  if (events <= 0) return s;
+  const Time step = duration / (events + 1);
+  const wire::Channel channels[] = {1, 6, 11};
+  for (int i = 0; i < events; ++i) {
+    const Time at = step * (i + 1);
+    switch (i % 6) {
+      case 0: s.ap_reboot(at, sec(5), i); break;
+      case 1: s.gateway_flap(at, sec(10), i); break;
+      case 2: s.dhcp_pool_reset(at, i); break;
+      case 3: s.ap_blackout(at, sec(8), i); break;
+      case 4: s.burst_loss(at, sec(15), channels[i % 3], 0.85); break;
+      case 5: s.dhcp_stall(at, sec(12), i); break;
+    }
+  }
+  return s;
+}
+
+std::string ttr_cell(Cdf& ttr) {
+  if (ttr.empty()) return "-";
+  return TextTable::num(ttr.quantile(0.5), 1) + "/" +
+         TextTable::num(ttr.quantile(0.9), 1);
+}
+
+}  // namespace
+
+int main() {
+  bench::banner("Extension — resilience under injected faults",
+                "blackouts, flaps, DHCP stalls/NAKs, burst loss; fixed seed");
+
+  struct DriverRow {
+    const char* label;
+    trace::DriverKind kind;
+    bool resilient;
+  };
+  const DriverRow drivers[] = {
+      {"spider", trace::DriverKind::kSpider, true},
+      {"spider-legacy", trace::DriverKind::kSpider, false},
+      {"fatvap", trace::DriverKind::kFatVap, true},
+      {"stock", trace::DriverKind::kStock, true},
+  };
+  const int intensities[] = {0, 8, 16, 32};
+  const Time duration = sec(600);
+
+  TextTable table({"driver", "faults", "kB/s", "conn %", "outages",
+                   "recovered", "ttr p50/p90 s"});
+  for (const auto& driver : drivers) {
+    for (int events : intensities) {
+      auto cfg = bench::town_scenario(/*seed=*/4242);
+      cfg.duration = duration;
+      // Dense, walking-pace deployment: continuous radio coverage, so
+      // every outage in the table is fault-induced rather than a gap
+      // between AP clusters on the 2.5 km drive.
+      cfg.speed_mps = 1.5;
+      cfg.deployment.road_length_m = 300;
+      cfg.deployment.aps_per_km = 20;
+      // Buggy residential gateways: after a reboot or pool wipe they drop
+      // unknown REQUESTs silently instead of NAKing (common in the wild),
+      // so a stale cached lease fails without any explicit signal.
+      cfg.dhcp_server.nak_unknown_requests = false;
+      cfg.driver = driver.kind;
+      cfg.spider = bench::tuned_spider();
+      cfg.spider.mode =
+          core::OperationMode::equal_split({1, 6, 11}, msec(600));
+      cfg.spider.resilient_link_policy = driver.resilient;
+      cfg.faults = make_schedule(events, duration);
+
+      auto result = trace::run_scenario(cfg);
+      table.add_row({driver.label, std::to_string(result.faults_injected),
+                     TextTable::num(result.avg_throughput_kBps, 1),
+                     TextTable::percent(result.connectivity),
+                     std::to_string(result.outages),
+                     std::to_string(result.recoveries),
+                     ttr_cell(result.recovery_times)});
+    }
+  }
+  table.print(std::cout);
+  std::printf(
+      "\nOutages count windows with zero live links after first connect;\n"
+      "a recovery is the next link-up. Spider's interface pool plus the\n"
+      "hardened link policies (escalating blacklists, flap penalties,\n"
+      "lease-cache invalidation, join watchdog) hold connectivity near\n"
+      "100%% with at most a couple of seconds-long outages. The legacy\n"
+      "policy (spider-legacy) keeps retrying stale cached leases against\n"
+      "rebooted gateways that never NAK and re-picks flapping APs off a\n"
+      "flat blacklist, so the same fault timeline costs it minutes-long\n"
+      "outages. Single-association stacks rejoin quickly but every fault\n"
+      "on the current AP is a guaranteed outage, so their count grows\n"
+      "with intensity.\n");
+  return 0;
+}

@@ -1,5 +1,9 @@
 #include "core/ap_selector.hpp"
 
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+
 namespace spider::core {
 
 const char* to_string(JoinOutcome o) {
@@ -29,15 +33,71 @@ void ApSelector::record_outcome(wire::Bssid bssid, JoinOutcome outcome) {
     it->second = (1.0 - config_.recency_weight) * it->second +
                  config_.recency_weight * value;
   }
+  if (outcome == JoinOutcome::kEndToEnd) {
+    // The AP proved itself end-to-end: forgive its history.
+    if (auto pit = penalties_.find(bssid); pit != penalties_.end()) {
+      pit->second.streak = 0;
+      pit->second.flaps = 0;
+    }
+  }
 }
 
-void ApSelector::blacklist(wire::Bssid bssid, Time now) {
-  blacklist_until_[bssid] = now + config_.blacklist_duration;
+void ApSelector::blacklist(wire::Bssid bssid, Time now, bool escalate) {
+  Penalty& p = penalties_[bssid];
+  if (!escalate) {
+    // Legacy flat behaviour: overwrite, never grow.
+    p.until = now + config_.blacklist_duration;
+    p.last_failure = now;
+    return;
+  }
+  if (p.streak > 0 && config_.blacklist_decay > Time{0}) {
+    const auto quiet_steps = (now - p.last_failure) / config_.blacklist_decay;
+    p.streak = quiet_steps >= p.streak ? 0
+                                       : p.streak - static_cast<int>(quiet_steps);
+  }
+  const double scale = std::pow(config_.blacklist_backoff, p.streak);
+  const auto base = static_cast<double>(config_.blacklist_duration.count());
+  // The cap never undercuts the configured base duration.
+  const Time cap = std::max(config_.blacklist_max, config_.blacklist_duration);
+  const Time duration = std::min(
+      cap, Time{static_cast<std::int64_t>(std::min(
+               base * scale, static_cast<double>(cap.count())))});
+  p.until = std::max(p.until, now + duration);
+  p.last_failure = now;
+  ++p.streak;
 }
 
 bool ApSelector::blacklisted(wire::Bssid bssid, Time now) const {
-  auto it = blacklist_until_.find(bssid);
-  return it != blacklist_until_.end() && it->second > now;
+  auto it = penalties_.find(bssid);
+  return it != penalties_.end() && it->second.until > now;
+}
+
+void ApSelector::record_flap(wire::Bssid bssid, Time now) {
+  Penalty& p = penalties_[bssid];
+  if (p.flaps > 0 && now - p.last_flap <= config_.flap_window) {
+    ++p.flaps;
+  } else {
+    p.flaps = 1;
+  }
+  p.last_flap = now;
+  const Time extra =
+      Time{config_.flap_penalty.count() * static_cast<std::int64_t>(p.flaps)};
+  p.until = std::max(p.until, now + extra);
+}
+
+int ApSelector::failure_streak(wire::Bssid bssid) const {
+  auto it = penalties_.find(bssid);
+  return it == penalties_.end() ? 0 : it->second.streak;
+}
+
+int ApSelector::flap_count(wire::Bssid bssid) const {
+  auto it = penalties_.find(bssid);
+  return it == penalties_.end() ? 0 : it->second.flaps;
+}
+
+Time ApSelector::blacklisted_until(wire::Bssid bssid) const {
+  auto it = penalties_.find(bssid);
+  return it == penalties_.end() ? Time{0} : it->second.until;
 }
 
 double ApSelector::utility(wire::Bssid bssid) const {

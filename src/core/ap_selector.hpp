@@ -26,11 +26,25 @@ class ApSelector {
  public:
   explicit ApSelector(SelectorConfig config) : config_(config) {}
 
-  /// Folds a finished attempt into the AP's utility.
+  /// Folds a finished attempt into the AP's utility. A full join also
+  /// clears the AP's failure streak and flap count.
   void record_outcome(wire::Bssid bssid, JoinOutcome outcome);
 
-  void blacklist(wire::Bssid bssid, Time now);
+  /// Sidelines the AP. With `escalate` each consecutive failure grows the
+  /// duration geometrically (base × backoff^streak, capped; the streak
+  /// decays one step per `blacklist_decay` of quiet). Without it the flat
+  /// legacy behaviour applies: always exactly `blacklist_duration`.
+  void blacklist(wire::Bssid bssid, Time now, bool escalate = true);
   bool blacklisted(wire::Bssid bssid, Time now) const;
+
+  /// Notes a short-uptime link death. Flaps within `flap_window` of each
+  /// other stack an extra `flap_penalty` per flap onto the blacklist.
+  void record_flap(wire::Bssid bssid, Time now);
+
+  // Introspection for tests and metrics.
+  int failure_streak(wire::Bssid bssid) const;
+  int flap_count(wire::Bssid bssid) const;
+  Time blacklisted_until(wire::Bssid bssid) const;
 
   /// Current utility (bootstrap value for unknown APs).
   double utility(wire::Bssid bssid) const;
@@ -44,11 +58,19 @@ class ApSelector {
   std::size_t known_aps() const { return utilities_.size(); }
 
  private:
+  struct Penalty {
+    Time until{0};         ///< blacklisted while now < until
+    int streak = 0;        ///< consecutive failures feeding the backoff
+    Time last_failure{0};  ///< for streak decay
+    int flaps = 0;         ///< flaps inside the current window
+    Time last_flap{0};
+  };
+
   double outcome_value(JoinOutcome outcome) const;
 
   SelectorConfig config_;
   std::unordered_map<wire::Bssid, double> utilities_;
-  std::unordered_map<wire::Bssid, Time> blacklist_until_;
+  std::unordered_map<wire::Bssid, Penalty> penalties_;
 };
 
 }  // namespace spider::core

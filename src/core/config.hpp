@@ -28,7 +28,20 @@ struct SelectorConfig {
   /// How long a failed AP is kept out of consideration. The stock DHCP
   /// behaviour idles 60 s after a failure; Spider retries much sooner —
   /// at vehicular speed a long blacklist would outlive the encounter.
+  /// With escalation this is the base (first-failure) duration.
   Time blacklist_duration = sec(2);
+  /// Escalating blacklist: each consecutive failure multiplies the
+  /// duration by this factor (duration = blacklist_duration ×
+  /// blacklist_backoff^streak), capped at blacklist_max. The streak decays
+  /// one step per blacklist_decay of quiet and resets on a full join.
+  double blacklist_backoff = 2.0;
+  Time blacklist_max = sec(30);
+  Time blacklist_decay = sec(20);
+  /// Flap detection: link deaths shortly after coming up that land within
+  /// flap_window of each other stack an extra flap_penalty per flap, so a
+  /// bouncing AP is sidelined faster than its join failures alone would.
+  Time flap_window = sec(60);
+  Time flap_penalty = sec(4);
 };
 
 /// How the driver retrieves AP-buffered traffic after a channel switch.
@@ -59,6 +72,17 @@ struct SpiderConfig {
   /// Hard cap on one join attempt end-to-end.
   Time join_deadline = sec(15);
   bool use_lease_cache = true;
+
+  /// Hardened link management: escalating blacklists with flap detection,
+  /// lease-cache invalidation the moment a cached lease is disproven, and
+  /// a watchdog that abandons desynchronised join state machines. False
+  /// reproduces the original flat-blacklist / sticky-cache behaviour (kept
+  /// for the resilience comparison benches).
+  bool resilient_link_policy = true;
+  /// A link that dies within this much uptime counts as a flap.
+  Time flap_uptime_threshold = sec(5);
+  /// Cadence of the join-watchdog consistency check.
+  Time watchdog_interval = sec(1);
 
   /// Per-channel outgoing packet queue bound (Design Choice 1).
   std::size_t channel_queue_limit = 256;

@@ -19,6 +19,15 @@ LinkManager::LinkManager(DriverBase& driver, wire::Ipv4 ping_target)
         .on_bound = [this, i](const net::Lease& l) { on_dhcp_bound(i, l); },
         .on_failed = [this, i] { on_dhcp_failed(i); },
         .on_lease_lost = [this, i] { on_link_dead(i); },
+        .on_cache_rejected =
+            [this, i] {
+              // The server NAKed our remembered address: it rebooted or
+              // reassigned it. Drop the entry now so sibling interfaces do
+              // not keep replaying the same dead INIT-REBOOT.
+              if (!driver_.config().resilient_link_policy) return;
+              lease_cache_.invalidate(driver_.iface(i).bssid());
+              ++cache_invalidations_;
+            },
     });
     vif.prober().set_callbacks({
         .on_first_reply = [this, i] { on_e2e_confirmed(i); },
@@ -31,6 +40,45 @@ void LinkManager::start() {
   evaluate_timer_.emplace(sim_, driver_.config().evaluate_interval,
                           [this] { evaluate(); });
   evaluate_timer_->start();
+  if (driver_.config().resilient_link_policy) {
+    watchdog_timer_.emplace(sim_, driver_.config().watchdog_interval,
+                            [this] { watchdog(); });
+    watchdog_timer_->start();
+  }
+}
+
+void LinkManager::watchdog() {
+  // Consistency check: an interface whose LinkState says "mid-join" while
+  // the underlying state machine has silently returned to idle/failed is
+  // stuck — no callback is ever coming (e.g. the AP powered off between a
+  // handshake step and its response). Abandon it so the interface rejoins
+  // the pool instead of waiting out the full join deadline.
+  for (std::size_t i = 0; i < driver_.num_interfaces(); ++i) {
+    VirtualInterface& vif = driver_.iface(i);
+    bool stuck = false;
+    JoinOutcome outcome = JoinOutcome::kAssocFailed;
+    switch (vif.link_state()) {
+      case LinkState::kAssociating:
+        stuck = vif.mlme().state() == mac::ClientMlme::State::kIdle;
+        outcome = JoinOutcome::kAssocFailed;
+        break;
+      case LinkState::kDhcp:
+        stuck = vif.dhcp().state() == net::DhcpClient::State::kIdle ||
+                vif.dhcp().state() == net::DhcpClient::State::kFailed;
+        outcome = JoinOutcome::kAssocOnly;
+        break;
+      case LinkState::kTesting:
+        stuck = !vif.prober().running();
+        outcome = JoinOutcome::kDhcpBound;
+        break;
+      default:
+        break;  // idle and up need no supervision here
+    }
+    if (stuck) {
+      ++watchdog_aborts_;
+      finish_attempt(i, outcome, /*stays_up=*/false);
+    }
+  }
 }
 
 std::size_t LinkManager::links_up() {
@@ -157,6 +205,15 @@ void LinkManager::on_dhcp_bound(std::size_t vif_index, const net::Lease& lease) 
 void LinkManager::on_dhcp_failed(std::size_t vif_index) {
   VirtualInterface& vif = driver_.iface(vif_index);
   if (vif.link_state() != LinkState::kDhcp) return;
+  if (driver_.config().resilient_link_policy &&
+      record_of(vif_index).used_lease_cache) {
+    // An INIT-REBOOT attempt burned its whole retransmit budget without
+    // even a NAK (rebooted gateways often just stay silent). The cached
+    // lease is evidence against itself — drop it so the next attempt goes
+    // straight to DISCOVER.
+    lease_cache_.invalidate(vif.bssid());
+    ++cache_invalidations_;
+  }
   finish_attempt(vif_index, JoinOutcome::kAssocOnly, /*stays_up=*/false);
 }
 
@@ -198,7 +255,17 @@ void LinkManager::on_link_dead(std::size_t vif_index) {
     // The join itself succeeded and was already recorded; this is a later
     // loss (drove out of range). Tear down and re-enter the pool.
     if (callbacks_.on_link_down) callbacks_.on_link_down(vif);
-    selector_.blacklist(vif.bssid(), sim_.now());
+    const bool resilient = driver_.config().resilient_link_policy;
+    if (resilient) {
+      const Time uptime = sim_.now() - contexts_[vif_index].up_since;
+      if (uptime < driver_.config().flap_uptime_threshold) {
+        // Came up only to die straight away: that is a flapping AP, not a
+        // drive-past. Penalise beyond the ordinary blacklist.
+        selector_.record_flap(vif.bssid(), sim_.now());
+        ++flaps_detected_;
+      }
+    }
+    selector_.blacklist(vif.bssid(), sim_.now(), /*escalate=*/resilient);
     vif.prober().stop();
     vif.dhcp().abort();  // out of range: a RELEASE could not be delivered
     vif.mlme().disassociate();
@@ -222,13 +289,15 @@ void LinkManager::finish_attempt(std::size_t vif_index, JoinOutcome outcome,
 
   if (stays_up) {
     vif.set_link_state(LinkState::kUp);
+    ctx.up_since = sim_.now();
     if (callbacks_.on_link_up) callbacks_.on_link_up(vif);
     return;
   }
 
   ctx.join_deadline.cancel();
   ctx.e2e_deadline.cancel();
-  selector_.blacklist(ctx.target, sim_.now());
+  selector_.blacklist(ctx.target, sim_.now(),
+                      /*escalate=*/driver_.config().resilient_link_policy);
   vif.prober().stop();
   vif.dhcp().release();  // polite: hand unused addresses back
   vif.mlme().disassociate();

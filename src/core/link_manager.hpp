@@ -53,15 +53,22 @@ class LinkManager {
   std::size_t links_up();
   std::uint64_t joins_attempted() const { return join_log_.size(); }
 
+  // Resilience counters (hardened policy only).
+  std::uint64_t watchdog_aborts() const { return watchdog_aborts_; }
+  std::uint64_t cache_invalidations() const { return cache_invalidations_; }
+  std::uint64_t flaps_detected() const { return flaps_detected_; }
+
  private:
   struct VifContext {
     wire::Bssid target;
     std::size_t record = 0;  ///< index into join_log_
+    Time up_since{0};        ///< when the link last reached kUp
     sim::EventHandle join_deadline;
     sim::EventHandle e2e_deadline;
   };
 
   void evaluate();
+  void watchdog();
   void begin_join(std::size_t vif_index, const mac::ApObservation& obs);
   void on_associated(std::size_t vif_index);
   void on_join_failed(std::size_t vif_index, mac::JoinPhase phase);
@@ -88,6 +95,10 @@ class LinkManager {
   std::vector<VifContext> contexts_;
   std::vector<JoinRecord> join_log_;
   std::optional<sim::PeriodicTimer> evaluate_timer_;
+  std::optional<sim::PeriodicTimer> watchdog_timer_;
+  std::uint64_t watchdog_aborts_ = 0;
+  std::uint64_t cache_invalidations_ = 0;
+  std::uint64_t flaps_detected_ = 0;
 };
 
 }  // namespace spider::core

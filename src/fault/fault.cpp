@@ -1,0 +1,188 @@
+#include "fault/fault.hpp"
+
+#include <algorithm>
+
+namespace spider::fault {
+
+const char* to_string(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kChannelBurstLoss: return "channel-burst-loss";
+    case FaultKind::kChannelInterference: return "channel-interference";
+    case FaultKind::kApBlackout: return "ap-blackout";
+    case FaultKind::kApReboot: return "ap-reboot";
+    case FaultKind::kBeaconSilence: return "beacon-silence";
+    case FaultKind::kPsmFlush: return "psm-flush";
+    case FaultKind::kDhcpStall: return "dhcp-stall";
+    case FaultKind::kDhcpNakStorm: return "dhcp-nak-storm";
+    case FaultKind::kDhcpPoolReset: return "dhcp-pool-reset";
+    case FaultKind::kGatewayFlap: return "gateway-flap";
+  }
+  return "?";
+}
+
+namespace {
+
+bool instantaneous(FaultKind kind) {
+  return kind == FaultKind::kPsmFlush || kind == FaultKind::kDhcpPoolReset;
+}
+
+bool needs_network(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kApReboot:
+    case FaultKind::kDhcpStall:
+    case FaultKind::kDhcpNakStorm:
+    case FaultKind::kDhcpPoolReset:
+    case FaultKind::kGatewayFlap:
+      return true;
+    default:
+      return false;
+  }
+}
+
+bool is_channel_fault(FaultKind kind) {
+  return kind == FaultKind::kChannelBurstLoss ||
+         kind == FaultKind::kChannelInterference;
+}
+
+}  // namespace
+
+FaultInjector::FaultInjector(sim::Simulator& simulator, Rng rng)
+    : sim_(simulator), rng_(rng) {}
+
+std::size_t FaultInjector::add_ap(mac::AccessPoint& ap,
+                                  net::ApNetwork* network) {
+  aps_.push_back({&ap, network});
+  return aps_.size() - 1;
+}
+
+FaultInjector::ApTarget* FaultInjector::resolve_ap(int target) {
+  if (aps_.empty() || target < 0) return nullptr;
+  return &aps_[static_cast<std::size_t>(target) % aps_.size()];
+}
+
+void FaultInjector::arm(const FaultSchedule& schedule) {
+  for (const FaultSpec& spec : schedule.specs()) {
+    // Skip specs whose target layer was never registered: a schedule can be
+    // reused across topologies (e.g. a medium-only test ignores AP faults).
+    if (is_channel_fault(spec.kind) && !medium_) continue;
+    if (!is_channel_fault(spec.kind) && !resolve_ap(spec.target)) continue;
+    if (needs_network(spec.kind) && !resolve_ap(spec.target)->network) continue;
+
+    const std::size_t index = log_.size();
+    log_.push_back(InjectedFault{spec});
+    sim_.schedule_at(spec.at, [this, index] { begin(index); });
+  }
+}
+
+void FaultInjector::begin(std::size_t log_index) {
+  InjectedFault& entry = log_[log_index];
+  const FaultSpec& spec = entry.spec;
+  entry.started = sim_.now();
+  entry.active = true;
+  ++injected_;
+  ++active_;
+  if (observer_) observer_(spec);
+
+  ApTarget* t = is_channel_fault(spec.kind) ? nullptr : resolve_ap(spec.target);
+  switch (spec.kind) {
+    case FaultKind::kChannelBurstLoss:
+      burst_tick(log_index, /*bad=*/true);
+      return;  // burst_tick owns the end transition
+    case FaultKind::kChannelInterference:
+      medium_->set_channel_impairment(static_cast<wire::Channel>(spec.target),
+                                      spec.intensity);
+      break;
+    case FaultKind::kApBlackout:
+      t->ap->power_off();
+      break;
+    case FaultKind::kApReboot:
+      t->ap->power_off();
+      t->network->dhcp().reset_pool();
+      break;
+    case FaultKind::kBeaconSilence:
+      t->ap->set_beacon_silence(true);
+      break;
+    case FaultKind::kPsmFlush:
+      t->ap->purge_psm_buffers();
+      break;
+    case FaultKind::kDhcpStall:
+      t->network->dhcp().set_stalled(true);
+      break;
+    case FaultKind::kDhcpNakStorm:
+      t->network->dhcp().set_nak_requests(true);
+      break;
+    case FaultKind::kDhcpPoolReset:
+      t->network->dhcp().reset_pool();
+      break;
+    case FaultKind::kGatewayFlap:
+      t->network->set_gateway_up(false);
+      break;
+  }
+
+  if (instantaneous(spec.kind)) {
+    end(log_index);
+  } else {
+    sim_.schedule(spec.duration, [this, log_index] { end(log_index); });
+  }
+}
+
+void FaultInjector::end(std::size_t log_index) {
+  InjectedFault& entry = log_[log_index];
+  if (!entry.active) return;
+  const FaultSpec& spec = entry.spec;
+  entry.cleared = sim_.now();
+  entry.active = false;
+  --active_;
+
+  ApTarget* t = is_channel_fault(spec.kind) ? nullptr : resolve_ap(spec.target);
+  switch (spec.kind) {
+    case FaultKind::kChannelBurstLoss:
+    case FaultKind::kChannelInterference:
+      medium_->clear_channel_impairment(static_cast<wire::Channel>(spec.target));
+      break;
+    case FaultKind::kApBlackout:
+    case FaultKind::kApReboot:
+      t->ap->power_on();
+      break;
+    case FaultKind::kBeaconSilence:
+      t->ap->set_beacon_silence(false);
+      break;
+    case FaultKind::kPsmFlush:
+    case FaultKind::kDhcpPoolReset:
+      break;  // instantaneous: nothing to undo
+    case FaultKind::kDhcpStall:
+      t->network->dhcp().set_stalled(false);
+      break;
+    case FaultKind::kDhcpNakStorm:
+      t->network->dhcp().set_nak_requests(false);
+      break;
+    case FaultKind::kGatewayFlap:
+      t->network->set_gateway_up(true);
+      break;
+  }
+}
+
+void FaultInjector::burst_tick(std::size_t log_index, bool bad) {
+  InjectedFault& entry = log_[log_index];
+  const FaultSpec& spec = entry.spec;
+  const wire::Channel channel = static_cast<wire::Channel>(spec.target);
+  const Time fault_end = entry.started + spec.duration;
+
+  if (sim_.now() >= fault_end) {
+    end(log_index);
+    return;
+  }
+
+  if (bad) {
+    medium_->set_channel_impairment(channel, spec.intensity);
+  } else {
+    medium_->clear_channel_impairment(channel);
+  }
+
+  const Time mean = bad ? spec.burst_mean : spec.gap_mean;
+  const Time dwell = sec(rng_.exponential(to_seconds(std::max(mean, usec(1)))));
+  const Time next = std::min(sim_.now() + std::max(dwell, usec(1)), fault_end);
+  sim_.schedule_at(next, [this, log_index, bad] { burst_tick(log_index, !bad); });
+}
+
+}  // namespace spider::fault

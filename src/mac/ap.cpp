@@ -34,6 +34,36 @@ void AccessPoint::start() {
   purge_timer_->start();
 }
 
+void AccessPoint::power_off() {
+  if (!powered_) return;
+  powered_ = false;
+  beacon_event_.cancel();
+  purge_timer_.reset();
+  // The table dies with the power; listeners learn of the silent departures
+  // so higher layers can account for them (the stations themselves only
+  // notice through timeouts, as with real hardware).
+  for (const auto& [mac, state] : clients_) {
+    if (assoc_listener_) assoc_listener_(mac, false);
+  }
+  clients_.clear();
+}
+
+void AccessPoint::power_on() {
+  if (powered_) return;
+  powered_ = true;
+  start();
+}
+
+std::size_t AccessPoint::purge_psm_buffers() {
+  std::size_t dropped = 0;
+  for (auto& [mac, state] : clients_) {
+    dropped += state.psm_queue.size();
+    state.psm_queue.clear();
+  }
+  psm_drops_ += dropped;
+  return dropped;
+}
+
 void AccessPoint::schedule_next_beacon() {
   const auto jitter = config_.beacon_jitter.count();
   const Time next = config_.beacon_interval +
@@ -50,6 +80,7 @@ Time AccessPoint::mgmt_delay() {
 }
 
 void AccessPoint::send_beacon() {
+  if (!powered_ || beacon_silenced_) return;
   Frame beacon;
   beacon.type = FrameType::kBeacon;
   beacon.src = bssid();
@@ -67,6 +98,7 @@ void AccessPoint::send_beacon() {
 }
 
 void AccessPoint::on_frame(const Frame& frame) {
+  if (!powered_) return;  // blackout: the radio may hear, nobody is home
   // Filter: management requests addressed to us (or broadcast probes), and
   // data/control frames within our BSS.
   switch (frame.type) {
@@ -100,6 +132,7 @@ void AccessPoint::on_frame(const Frame& frame) {
 void AccessPoint::handle_probe(const Frame& frame) {
   const auto requester = frame.src;
   sim_.schedule(mgmt_delay(), [this, requester] {
+    if (!powered_) return;  // power lost before the response went out
     Frame resp;
     resp.type = FrameType::kProbeResponse;
     resp.src = bssid();
@@ -114,6 +147,7 @@ void AccessPoint::handle_probe(const Frame& frame) {
 void AccessPoint::handle_auth(const Frame& frame) {
   const auto requester = frame.src;
   sim_.schedule(mgmt_delay(), [this, requester] {
+    if (!powered_) return;
     Frame resp;
     resp.type = FrameType::kAuthResponse;
     resp.src = bssid();
@@ -131,6 +165,7 @@ void AccessPoint::handle_assoc(const Frame& frame) {
       clients_.size() >= config_.max_clients) {
     ++assoc_denials_;
     sim_.schedule(mgmt_delay(), [this, requester] {
+      if (!powered_) return;
       Frame resp;
       resp.type = FrameType::kAssocResponse;
       resp.src = bssid();
@@ -150,6 +185,7 @@ void AccessPoint::handle_assoc(const Frame& frame) {
   const std::uint16_t aid = it->second.aid;
   ++assoc_grants_;
   sim_.schedule(mgmt_delay(), [this, requester, aid] {
+    if (!powered_) return;
     Frame resp;
     resp.type = FrameType::kAssocResponse;
     resp.src = bssid();
@@ -209,6 +245,7 @@ void AccessPoint::flush_psm_queue(wire::MacAddress client, ClientState& state) {
 }
 
 bool AccessPoint::deliver_to_client(wire::MacAddress client, wire::PacketPtr packet) {
+  if (!powered_) return false;
   auto it = clients_.find(client);
   if (it == clients_.end()) return false;
   ClientState& state = it->second;

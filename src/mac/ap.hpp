@@ -56,8 +56,28 @@ class AccessPoint {
   AccessPoint(sim::Simulator& simulator, phy::Medium& medium,
               wire::MacAddress bssid, Position position, ApConfig config,
               Rng rng);
+  /// The self-rescheduling beacon chain captures `this`; an AP torn down
+  /// mid-run (fault tests) must cancel it or the event fires on a corpse.
+  ~AccessPoint() { beacon_event_.cancel(); }
 
   void start();  ///< begins beaconing
+
+  // --- fault-injection hooks (src/fault) ------------------------------
+  /// Power loss: beaconing stops, the association table and all PSM
+  /// buffers are wiped (no deauth goes out — the clients just stop
+  /// hearing us), and every received frame is ignored.
+  void power_off();
+  /// Power restored: fresh boot, beaconing resumes at a random phase.
+  /// No-op while already powered.
+  void power_on();
+  bool powered() const { return powered_; }
+  /// While silenced the AP skips its beacons but still answers probes,
+  /// handshakes and data (a real firmware failure mode: passive scanners
+  /// go blind, existing associations keep working).
+  void set_beacon_silence(bool silenced) { beacon_silenced_ = silenced; }
+  /// Discards every PSM-buffered frame (firmware buffer reclaim); the
+  /// drops are counted in `psm_drops()`. Returns frames discarded.
+  std::size_t purge_psm_buffers();
 
   const ApConfig& config() const { return config_; }
   wire::Bssid bssid() const { return radio_.mac(); }
@@ -109,6 +129,8 @@ class AccessPoint {
   UplinkFn uplink_;
   AssocListener assoc_listener_;
   std::unordered_map<wire::MacAddress, ClientState> clients_;
+  bool powered_ = true;
+  bool beacon_silenced_ = false;
   std::uint16_t next_aid_ = 1;
   std::uint64_t assoc_grants_ = 0;
   std::uint64_t assoc_denials_ = 0;

@@ -29,6 +29,7 @@ void ApNetwork::on_uplink(wire::PacketPtr packet, wire::MacAddress from) {
     dhcp_.on_message(*dhcp_msg, from);
     return;
   }
+  if (!gateway_up_) return;  // flapped WAN: routing and pings both dead
   // Gateway pings: Spider falls back to pinging the gateway when an AP
   // filters end-to-end ICMP; the gateway itself answers these.
   if (packet->dst == gateway_ip()) {
@@ -44,6 +45,7 @@ void ApNetwork::on_uplink(wire::PacketPtr packet, wire::MacAddress from) {
 }
 
 void ApNetwork::on_downlink(wire::PacketPtr packet) {
+  if (!gateway_up_) return;
   const auto mac = dhcp_.lookup_mac(packet->dst);
   if (!mac) return;  // no lease for this address: drop
   ap_.deliver_to_client(*mac, std::move(packet));

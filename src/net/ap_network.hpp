@@ -36,9 +36,20 @@ class ApNetwork {
   wire::Ipv4 gateway_ip() const { return dhcp_.gateway(); }
   wire::Ipv4 subnet_base() const { return dhcp_.subnet_base(); }
   const DhcpServer& dhcp() const { return dhcp_; }
+  DhcpServer& dhcp() { return dhcp_; }
   mac::AccessPoint& ap() { return ap_; }
   Link& uplink() { return uplink_; }
   Link& downlink() { return downlink_; }
+
+  // --- fault-injection hooks (src/fault) ------------------------------
+  /// Gateway flap: while down the WAN/routing side is dead — gateway pings
+  /// go unanswered and nothing is forwarded either way. The AP-local DHCP
+  /// daemon keeps serving (it runs on the box, not behind the WAN).
+  void set_gateway_up(bool up) { gateway_up_ = up; }
+  bool gateway_up() const { return gateway_up_; }
+  void set_internet_connected(bool connected) {
+    internet_connected_ = connected;
+  }
 
  private:
   void on_uplink(wire::PacketPtr packet, wire::MacAddress from);
@@ -47,6 +58,7 @@ class ApNetwork {
   sim::Simulator& sim_;
   mac::AccessPoint& ap_;
   bool internet_connected_;
+  bool gateway_up_ = true;
   DhcpServer dhcp_;
   Link uplink_;
   Link downlink_;

@@ -184,6 +184,7 @@ void DhcpClient::on_packet(const wire::Packet& packet) {
       if (from_cache_) {
         // The cached lease is stale; restart with a fresh DISCOVER.
         from_cache_ = false;
+        if (callbacks_.on_cache_rejected) callbacks_.on_cache_rejected();
         state_ = State::kSelecting;
         sends_left_ = config_.max_sends;
         send_discover();

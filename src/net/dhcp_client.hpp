@@ -50,6 +50,11 @@ class DhcpClient {
     std::function<void()> on_failed;
     /// Bound lease expired without a successful renewal.
     std::function<void()> on_lease_lost;
+    /// An INIT-REBOOT REQUEST was NAKed: the cached lease the caller
+    /// supplied is dead (server rebooted or reassigned the address). Fires
+    /// before the internal fallback to DISCOVER, so owners of a LeaseCache
+    /// can invalidate the entry the moment it is disproven.
+    std::function<void()> on_cache_rejected;
   };
 
   enum class State { kIdle, kSelecting, kRequesting, kBound, kFailed };

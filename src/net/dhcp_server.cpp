@@ -16,7 +16,17 @@ DhcpServer::DhcpServer(sim::Simulator& simulator, wire::Ipv4 subnet_base,
       rng_(rng),
       next_host_(config.first_host) {}
 
+void DhcpServer::reset_pool() {
+  by_mac_.clear();
+  by_ip_.clear();
+  next_host_ = config_.first_host;
+}
+
 void DhcpServer::on_message(const DhcpMessage& msg, wire::MacAddress from) {
+  if (stalled_) {
+    ++dropped_;
+    return;
+  }
   switch (msg.type) {
     case DhcpMessage::Type::kDiscover:
       handle_discover(msg, from);
@@ -105,7 +115,8 @@ void DhcpServer::handle_request(const DhcpMessage& msg, wire::MacAddress from) {
   resp.gateway = gateway_;
 
   auto it = by_mac_.find(from);
-  const bool valid = it != by_mac_.end() && it->second.ip == msg.offered_ip;
+  const bool valid = !nak_requests_ && it != by_mac_.end() &&
+                     it->second.ip == msg.offered_ip;
   if (valid) {
     it->second.expires_at = sim_.now() + config_.lease_duration;
     resp.type = DhcpMessage::Type::kAck;
@@ -114,7 +125,12 @@ void DhcpServer::handle_request(const DhcpMessage& msg, wire::MacAddress from) {
     ++acks_sent_;
   } else {
     // INIT-REBOOT with a lease we no longer honour (e.g. cache from a past
-    // drive-by that has since been reassigned or expired).
+    // drive-by that has since been reassigned or expired), or a forced
+    // NAK-after-OFFER window. Misconfigured gateways skip even the NAK.
+    if (!config_.nak_unknown_requests && !nak_requests_) {
+      ++dropped_;
+      return;
+    }
     resp.type = DhcpMessage::Type::kNak;
     ++naks_sent_;
   }

@@ -34,6 +34,11 @@ struct DhcpServerConfig {
   Time lease_duration = sec(3600);
   std::uint8_t first_host = 10;   ///< first assignable host number
   std::uint8_t last_host = 250;
+  /// RFC 2131 says a server MUST NAK a REQUEST for an address it does not
+  /// know; plenty of consumer gateways instead stay silent after a reboot
+  /// wiped their pool, leaving INIT-REBOOT clients to burn their whole
+  /// retransmit budget. False models that misbehaviour.
+  bool nak_unknown_requests = true;
 };
 
 /// AP-side DHCP server managing a /24 pool. Transport is abstracted: the
@@ -52,6 +57,17 @@ class DhcpServer {
   /// Handles a client DHCP message received over the air.
   void on_message(const wire::DhcpMessage& msg, wire::MacAddress from);
 
+  // --- fault-injection hooks (src/fault) ------------------------------
+  /// While stalled the daemon drops every incoming message unanswered.
+  void set_stalled(bool stalled) { stalled_ = stalled; }
+  bool stalled() const { return stalled_; }
+  /// NAK-after-OFFER storm: OFFERs still go out, every REQUEST is NAKed.
+  void set_nak_requests(bool nak) { nak_requests_ = nak; }
+  /// Forgets every lease and rewinds the allocator (power cycle or a
+  /// mid-lease pool reset); clients keep addresses the server no longer
+  /// honours.
+  void reset_pool();
+
   /// IP -> MAC lookup for downlink forwarding (only bound leases).
   std::optional<wire::MacAddress> lookup_mac(wire::Ipv4 ip) const;
   std::optional<wire::Ipv4> lookup_ip(wire::MacAddress mac) const;
@@ -63,6 +79,7 @@ class DhcpServer {
   std::uint64_t acks_sent() const { return acks_sent_; }
   std::uint64_t naks_sent() const { return naks_sent_; }
   std::uint64_t releases_received() const { return releases_; }
+  std::uint64_t messages_dropped() const { return dropped_; }
 
  private:
   struct LeaseRecord {
@@ -86,10 +103,13 @@ class DhcpServer {
   std::unordered_map<wire::MacAddress, LeaseRecord> by_mac_;
   std::unordered_map<wire::Ipv4, wire::MacAddress> by_ip_;
   std::uint8_t next_host_;
+  bool stalled_ = false;
+  bool nak_requests_ = false;
   std::uint64_t offers_sent_ = 0;
   std::uint64_t acks_sent_ = 0;
   std::uint64_t naks_sent_ = 0;
   std::uint64_t releases_ = 0;
+  std::uint64_t dropped_ = 0;
 };
 
 }  // namespace spider::net

@@ -11,8 +11,25 @@ namespace {
 constexpr Time kPlcpOverhead = usec(192);
 }  // namespace
 
-Medium::Medium(sim::Simulator& simulator, Propagation propagation, Rng rng)
-    : sim_(simulator), propagation_(propagation), rng_(rng) {}
+Medium::Medium(sim::Simulator& simulator, Propagation propagation, Rng rng,
+               int retry_limit)
+    : sim_(simulator),
+      propagation_(propagation),
+      rng_(rng),
+      retry_limit_(retry_limit) {}
+
+void Medium::set_channel_impairment(wire::Channel channel, double extra_loss) {
+  impairments_[channel] = std::clamp(extra_loss, 0.0, 1.0);
+}
+
+void Medium::clear_channel_impairment(wire::Channel channel) {
+  impairments_.erase(channel);
+}
+
+double Medium::channel_impairment(wire::Channel channel) const {
+  auto it = impairments_.find(channel);
+  return it == impairments_.end() ? 0.0 : it->second;
+}
 
 void Medium::attach(Radio& radio) { radios_.push_back(&radio); }
 
@@ -29,18 +46,21 @@ void Medium::transmit(Radio& sender, wire::Frame frame) {
   frame.channel = sender.channel();
   const Position tx_pos = sender.position();
   const Time arrival = airtime(frame.size_bytes, sender.config().phy_rate);
+  const double impairment = channel_impairment(frame.channel);
 
   for (Radio* rx : radios_) {
     if (rx == &sender) continue;
     if (rx->channel() != frame.channel) continue;  // early filter; recheck on arrival
     const Position rx_pos = rx->position();
     if (!propagation_.in_range(tx_pos, rx_pos)) continue;
-    const double p_loss = propagation_.loss_probability(tx_pos, rx_pos);
+    // Interference (fault injection) is independent of the distance loss.
+    const double p_prop = propagation_.loss_probability(tx_pos, rx_pos);
+    const double p_loss = 1.0 - (1.0 - p_prop) * (1.0 - impairment);
 
     // Unicast frames to their addressee enjoy link-layer ARQ; everyone
     // else (and all broadcast traffic) gets a single shot.
     const bool arq = !frame.dst.is_broadcast() && rx->owns_address(frame.dst);
-    const int attempts_allowed = arq ? 1 + kRetryLimit : 1;
+    const int attempts_allowed = arq ? 1 + retry_limit_ : 1;
     int attempt = 1;
     while (attempt <= attempts_allowed && rng_.chance(p_loss)) ++attempt;
     if (attempt > attempts_allowed) continue;  // lost despite retries
@@ -49,8 +69,13 @@ void Medium::transmit(Radio& sender, wire::Frame frame) {
     delivered.rssi_dbm = propagation_.rssi_dbm(tx_pos, rx_pos);
     ++frames_delivered_;
     // Each retry costs roughly one more airtime before the frame lands.
-    // The receiver must still be tuned and listening when the frame ends.
-    sim_.schedule(arrival * attempt, [rx, delivered = std::move(delivered)] {
+    // The receiver must still exist (radios detach from their destructor —
+    // an AP can be torn down with frames in flight), be tuned and listening
+    // when the frame ends.
+    sim_.schedule(arrival * attempt, [this, rx, delivered = std::move(delivered)] {
+      if (std::find(radios_.begin(), radios_.end(), rx) == radios_.end()) {
+        return;
+      }
       if (rx->listening() && rx->channel() == delivered.channel) {
         rx->deliver(delivered);
       }

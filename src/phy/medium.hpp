@@ -1,6 +1,7 @@
 #pragma once
 
 #include <functional>
+#include <unordered_map>
 #include <vector>
 
 #include "phy/propagation.hpp"
@@ -36,11 +37,15 @@ class Radio;
 /// and is consistent with the paper's own analytical treatment (flat h).
 class Medium {
  public:
-  /// Max retransmissions of a unicast frame (stock drivers use ~7; the
-  /// sender's occupancy for retries is not modelled).
-  static constexpr int kRetryLimit = 4;
+  /// Default max retransmissions of a unicast frame. Stock drivers use ~7;
+  /// the conservative default of 4 reflects the short-retry behaviour under
+  /// mobility. Sweeps (fault-resilience, ARQ ablations) pass their own
+  /// limit to the constructor. The sender's occupancy for retries is not
+  /// modelled.
+  static constexpr int kDefaultRetryLimit = 4;
 
-  Medium(sim::Simulator& simulator, Propagation propagation, Rng rng);
+  Medium(sim::Simulator& simulator, Propagation propagation, Rng rng,
+         int retry_limit = kDefaultRetryLimit);
 
   /// Radios self-register from their constructor/destructor.
   void attach(Radio& radio);
@@ -52,6 +57,15 @@ class Medium {
 
   const Propagation& propagation() const { return propagation_; }
   sim::Simulator& simulator() { return sim_; }
+  int retry_limit() const { return retry_limit_; }
+
+  /// Fault-injection hook: adds `extra_loss` (in [0,1]) to every frame on
+  /// `channel`, combined independently with the propagation loss. One
+  /// impairment per channel; setting again overwrites, clearing removes.
+  void set_channel_impairment(wire::Channel channel, double extra_loss);
+  void clear_channel_impairment(wire::Channel channel);
+  /// Current extra loss on `channel` (0 when unimpaired).
+  double channel_impairment(wire::Channel channel) const;
 
   /// Airtime of a frame of `bytes` at `rate` (PLCP preamble + payload).
   static Time airtime(std::size_t bytes, BitRate rate);
@@ -63,7 +77,9 @@ class Medium {
   sim::Simulator& sim_;
   Propagation propagation_;
   Rng rng_;
+  int retry_limit_;
   std::vector<Radio*> radios_;
+  std::unordered_map<wire::Channel, double> impairments_;
   std::uint64_t frames_sent_ = 0;
   std::uint64_t frames_delivered_ = 0;
 };

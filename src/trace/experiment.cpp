@@ -66,6 +66,33 @@ ScenarioResult run_scenario(const ScenarioConfig& config) {
   DownloadHarness harness(bed.sim, bed.server_ip(), recorder);
   ScenarioResult result;
 
+  // Fault timeline. The injector's RNG fork happens only when faults are
+  // scheduled, so fault-free scenarios replay the exact pre-fault streams.
+  ResilienceRecorder resilience;
+  std::optional<fault::FaultInjector> injector;
+  if (!config.faults.empty()) {
+    injector.emplace(bed.sim, bed.fork_rng());
+    injector->attach_medium(bed.medium);
+    for (auto& bundle : bed.aps()) {
+      injector->add_ap(*bundle.ap, bundle.network.get());
+    }
+    injector->set_fault_observer(
+        [&resilience, &sim = bed.sim](const fault::FaultSpec&) {
+          resilience.note_fault(sim.now());
+        });
+    injector->arm(config.faults);
+    harness.set_extra_callbacks({
+        .on_link_up =
+            [&resilience, &sim = bed.sim](core::VirtualInterface&) {
+              resilience.note_link_up(sim.now());
+            },
+        .on_link_down =
+            [&resilience, &sim = bed.sim](core::VirtualInterface&) {
+              resilience.note_link_down(sim.now());
+            },
+    });
+  }
+
   // Assemble the chosen driver, run, and harvest. The driver objects live
   // on the stack of each branch; runs are fully self-contained.
   switch (config.driver) {
@@ -120,6 +147,10 @@ ScenarioResult run_scenario(const ScenarioConfig& config) {
   result.disruption_durations = Cdf(recorder.disruption_durations());
   result.instantaneous_kBps = Cdf(recorder.instantaneous_kBps());
   result.total_bytes = recorder.total_bytes();
+  result.faults_injected = resilience.faults_injected();
+  result.outages = resilience.outages();
+  result.recoveries = resilience.recoveries();
+  result.recovery_times = resilience.time_to_recover();
   digest_join_log(result);
   return result;
 }
@@ -141,6 +172,12 @@ ScenarioResult run_scenario_averaged(ScenarioConfig config, int runs) {
     }
     for (double x : one.instantaneous_kBps.samples()) {
       pooled.instantaneous_kBps.add(x);
+    }
+    pooled.faults_injected += one.faults_injected;
+    pooled.outages += one.outages;
+    pooled.recoveries += one.recoveries;
+    for (double x : one.recovery_times.samples()) {
+      pooled.recovery_times.add(x);
     }
     pooled.join_log.insert(pooled.join_log.end(), one.join_log.begin(),
                            one.join_log.end());

@@ -7,6 +7,7 @@
 #include "core/config.hpp"
 #include "core/adaptive.hpp"
 #include "core/link_manager.hpp"
+#include "fault/fault.hpp"
 #include "mobility/deployment.hpp"
 #include "net/dhcp_server.hpp"
 #include "trace/testbed.hpp"
@@ -44,6 +45,11 @@ struct ScenarioConfig {
   bool adaptive = false;
   core::AdaptiveConfig adaptive_config;
 
+  /// Deterministic fault timeline, replayed against the assembled APs and
+  /// medium (empty = no injector, byte-identical to pre-fault runs).
+  /// FaultSpec targets index into the scenario's AP list (mod its size).
+  fault::FaultSchedule faults;
+
   Time metrics_bin = sec(1);
 };
 
@@ -65,6 +71,12 @@ struct ScenarioResult {
   std::size_t dhcp_succeeded = 0;
   std::size_t e2e_succeeded = 0;
   double dhcp_failure_fraction() const;  ///< of attempts that associated
+
+  // Resilience digests (all zero when the scenario injected no faults).
+  std::uint64_t faults_injected = 0;
+  std::uint64_t outages = 0;
+  std::uint64_t recoveries = 0;
+  Cdf recovery_times;  ///< seconds, one sample per recovered outage
 };
 
 ScenarioResult run_scenario(const ScenarioConfig& config);

@@ -71,4 +71,28 @@ bool write_cdf_csv(const std::string& path, Cdf& cdf,
   return static_cast<bool>(f);
 }
 
+void write_resilience_csv(std::ostream& os,
+                          const ResilienceRecorder& recorder) {
+  os << "metric,value\n";
+  os << "faults_injected," << recorder.faults_injected() << '\n';
+  os << "outages," << recorder.outages() << '\n';
+  os << "recoveries," << recorder.recoveries() << '\n';
+  // quantile() sorts lazily, so query through a copy to keep `recorder`
+  // const for callers holding the live object.
+  Cdf ttr = recorder.time_to_recover();
+  if (ttr.empty()) return;
+  os << "ttr_p50_s," << ttr.quantile(0.5) << '\n';
+  os << "ttr_p90_s," << ttr.quantile(0.9) << '\n';
+  os << "ttr_p99_s," << ttr.quantile(0.99) << '\n';
+  os << "ttr_max_s," << ttr.quantile(1.0) << '\n';
+}
+
+bool write_resilience_csv(const std::string& path,
+                          const ResilienceRecorder& recorder) {
+  std::ofstream f(path, std::ios::trunc);
+  if (!f) return false;
+  write_resilience_csv(f, recorder);
+  return static_cast<bool>(f);
+}
+
 }  // namespace spider::trace

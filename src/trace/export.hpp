@@ -30,4 +30,10 @@ void write_cdf_csv(std::ostream& os, Cdf& cdf, const std::string& x_label);
 bool write_cdf_csv(const std::string& path, Cdf& cdf,
                    const std::string& x_label);
 
+/// `metric,value` rows: faults injected, outages, recoveries, and the
+/// p50/p90/p99/max of the time-to-recover distribution (seconds).
+void write_resilience_csv(std::ostream& os, const ResilienceRecorder& recorder);
+bool write_resilience_csv(const std::string& path,
+                          const ResilienceRecorder& recorder);
+
 }  // namespace spider::trace

@@ -68,4 +68,28 @@ std::vector<double> ThroughputRecorder::instantaneous_kBps() const {
   return out;
 }
 
+void ResilienceRecorder::note_fault(Time now) {
+  ++faults_;
+  last_fault_ = now;
+}
+
+void ResilienceRecorder::note_link_up(Time now) {
+  ++links_;
+  had_link_ = true;
+  if (in_outage_) {
+    in_outage_ = false;
+    ++recoveries_;
+    ttr_.add(to_seconds(now - outage_start_));
+  }
+}
+
+void ResilienceRecorder::note_link_down(Time now) {
+  if (links_ > 0) --links_;
+  if (links_ == 0 && had_link_ && !in_outage_) {
+    in_outage_ = true;
+    outage_start_ = now;
+    ++outages_;
+  }
+}
+
 }  // namespace spider::trace

@@ -49,4 +49,37 @@ class ThroughputRecorder {
   std::uint64_t total_ = 0;
 };
 
+/// Resilience bookkeeping for fault-injection experiments: counts faults
+/// as they fire and watches the client's live-link population. An outage
+/// is a window in which a client that previously had connectivity has no
+/// link at all; the time from outage start to the next link-up is one
+/// time-to-recover sample. The initial join (never had a link yet) is not
+/// an outage, and an outage still open at experiment end counts as
+/// unrecovered.
+class ResilienceRecorder {
+ public:
+  void note_fault(Time now);
+  void note_link_up(Time now);
+  void note_link_down(Time now);
+
+  std::uint64_t faults_injected() const { return faults_; }
+  std::uint64_t outages() const { return outages_; }
+  std::uint64_t recoveries() const { return recoveries_; }
+  /// Seconds from losing the last link to the next link-up.
+  Cdf& time_to_recover() { return ttr_; }
+  const Cdf& time_to_recover() const { return ttr_; }
+  Time last_fault_at() const { return last_fault_; }
+
+ private:
+  std::uint64_t faults_ = 0;
+  std::uint64_t outages_ = 0;
+  std::uint64_t recoveries_ = 0;
+  std::size_t links_ = 0;
+  bool had_link_ = false;
+  bool in_outage_ = false;
+  Time outage_start_{0};
+  Time last_fault_{0};
+  Cdf ttr_;
+};
+
 }  // namespace spider::trace

@@ -28,6 +28,8 @@ struct TestbedConfig {
   phy::PropagationConfig propagation;
   wire::Ipv4 server_ip = wire::Ipv4(1, 1, 1, 1);
   tcp::TcpConfig tcp;
+  /// 802.11 ARQ retry budget, forwarded to the Medium.
+  int retry_limit = phy::Medium::kDefaultRetryLimit;
 };
 
 class Testbed {

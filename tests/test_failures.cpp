@@ -82,6 +82,10 @@ TEST(Failure, CaptivePortalGatewayStillPings) {
   manager.start();
   bed.sim.run_until(sec(20));
   EXPECT_EQ(manager.links_up(), 1u);  // fooled, as a gateway-pinging stack is
+  ASSERT_FALSE(manager.join_log().empty());
+  const auto& rec = manager.join_log().front();
+  EXPECT_TRUE(rec.finished);
+  EXPECT_EQ(rec.outcome, core::JoinOutcome::kEndToEnd);  // believes its probe
 }
 
 TEST(Failure, DhcpPoolExhaustionFailsJoin) {
@@ -102,6 +106,8 @@ TEST(Failure, DhcpPoolExhaustionFailsJoin) {
   first_mgr.start();
   bed.sim.run_until(sec(10));
   ASSERT_EQ(first_mgr.links_up(), 1u);
+  ASSERT_FALSE(first_mgr.join_log().empty());
+  EXPECT_EQ(first_mgr.join_log().front().outcome, core::JoinOutcome::kEndToEnd);
 
   core::SpiderDriver second(bed.sim, bed.medium, bed.next_client_mac_block(),
                             [] { return Position{0, -5}; }, one_iface());
@@ -114,6 +120,7 @@ TEST(Failure, DhcpPoolExhaustionFailsJoin) {
   for (const auto& rec : second_mgr.join_log()) {
     saw_dhcp_failure |= rec.finished &&
                         rec.outcome == core::JoinOutcome::kAssocOnly;
+    EXPECT_NE(rec.outcome, core::JoinOutcome::kEndToEnd);  // never got online
   }
   EXPECT_TRUE(saw_dhcp_failure);
   EXPECT_EQ(ap.network->dhcp().leases_outstanding(), 1u);
@@ -142,6 +149,8 @@ TEST(Failure, FullApDeniesAndSpiderMovesOn) {
   bed.sim.run_until(sec(10));
   ASSERT_EQ(squatter_mgr.links_up(), 1u);
   ASSERT_EQ(squatter_mgr.join_log().front().bssid, ap_full.ap->bssid());
+  EXPECT_EQ(squatter_mgr.join_log().front().outcome,
+            core::JoinOutcome::kEndToEnd);
 
   // The newcomer gets denied there but lands on the other AP.
   core::SpiderConfig cfg = one_iface();
@@ -154,6 +163,11 @@ TEST(Failure, FullApDeniesAndSpiderMovesOn) {
   bed.sim.run_until(sec(40));
   EXPECT_GE(newcomer_mgr.links_up(), 1u);
   EXPECT_GE(ap_full.ap->assoc_denials(), 1u);
+  bool newcomer_online = false;
+  for (const auto& rec : newcomer_mgr.join_log()) {
+    newcomer_online |= rec.outcome == core::JoinOutcome::kEndToEnd;
+  }
+  EXPECT_TRUE(newcomer_online);
 }
 
 TEST(Failure, AllDeadTownTransfersNothing) {
@@ -209,6 +223,9 @@ TEST(Failure, LeaseRenewalKeepsLongLinkAlive) {
   EXPECT_EQ(manager.links_up(), 1u);
   EXPECT_GT(ap.network->dhcp().acks_sent(), acks_before + 1);
   EXPECT_EQ(manager.joins_attempted(), 1u);  // no re-join happened
+  ASSERT_FALSE(manager.join_log().empty());
+  EXPECT_TRUE(manager.join_log().front().finished);
+  EXPECT_EQ(manager.join_log().front().outcome, core::JoinOutcome::kEndToEnd);
 }
 
 TEST(Failure, ReleasedAddressIsReusable) {
@@ -233,6 +250,9 @@ TEST(Failure, ReleasedAddressIsReusable) {
   ASSERT_EQ(first_mgr.links_up(), 0u);
   EXPECT_GE(ap.network->dhcp().releases_received(), 1u);
   EXPECT_EQ(ap.network->dhcp().leases_outstanding(), 0u);
+  ASSERT_FALSE(first_mgr.join_log().empty());
+  EXPECT_EQ(first_mgr.join_log().front().outcome,
+            core::JoinOutcome::kDhcpBound);  // bound, then e2e test failed
 
   core::SpiderDriver second(bed.sim, bed.medium, bed.next_client_mac_block(),
                             [] { return Position{0, -5}; }, one_iface());
@@ -241,6 +261,11 @@ TEST(Failure, ReleasedAddressIsReusable) {
   second_mgr.start();
   bed.sim.run_until(sec(30));
   EXPECT_EQ(second_mgr.links_up(), 1u);
+  bool second_online = false;
+  for (const auto& rec : second_mgr.join_log()) {
+    second_online |= rec.outcome == core::JoinOutcome::kEndToEnd;
+  }
+  EXPECT_TRUE(second_online);
 }
 
 }  // namespace
