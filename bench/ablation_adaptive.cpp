@@ -11,7 +11,7 @@ using namespace spider;
 
 namespace {
 
-trace::ScenarioResult run(double speed, const char* kind) {
+trace::ScenarioConfig variant(double speed, const char* kind) {
   auto cfg = bench::town_scenario(/*seed=*/800);
   cfg.duration = sec(1200);
   cfg.speed_mps = speed;
@@ -24,26 +24,38 @@ trace::ScenarioResult run(double speed, const char* kind) {
     cfg.spider.mode = core::OperationMode::equal_split({1, 6, 11}, msec(600));
     cfg.adaptive = true;
   }
-  return trace::run_scenario_averaged(cfg, 3);
+  return cfg;
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const auto cli = bench::parse_sweep_cli(argc, argv);
   bench::banner("Ablation — speed-adaptive schedule (§4.8 extension)",
                 "static single vs static 3-channel vs adaptive controller");
 
+  const double speeds[] = {2.5, 5.0, 10.0, 15.0, 20.0};
+  std::vector<trace::ScenarioConfig> configs;
+  for (double speed : speeds) {
+    for (const char* kind : {"single", "multi", "adaptive"}) {
+      configs.push_back(variant(speed, kind));
+    }
+  }
+  const auto results =
+      trace::SweepRunner(cli.sweep).run_averaged(configs, 3);
+
   TextTable table({"speed (m/s)", "single thr/conn", "3-chan thr/conn",
                    "adaptive thr/conn"});
-  for (double speed : {2.5, 5.0, 10.0, 15.0, 20.0}) {
-    auto fmt = [](const trace::ScenarioResult& r) {
-      return TextTable::num(r.avg_throughput_kBps, 1) + " KB/s / " +
-             TextTable::percent(r.connectivity);
-    };
-    table.add_row({TextTable::num(speed, 1), fmt(run(speed, "single")),
-                   fmt(run(speed, "multi")), fmt(run(speed, "adaptive"))});
+  auto fmt = [](const trace::ScenarioResult& r) {
+    return TextTable::num(r.avg_throughput_kBps, 1) + " KB/s / " +
+           TextTable::percent(r.connectivity);
+  };
+  for (std::size_t i = 0; i < std::size(speeds); ++i) {
+    table.add_row({TextTable::num(speeds[i], 1), fmt(results[i * 3]),
+                   fmt(results[i * 3 + 1]), fmt(results[i * 3 + 2])});
   }
   table.print(std::cout);
+  bench::maybe_write_perf_csv(cli, results);
   std::printf(
       "\nExpected: adaptive tracks the 3-channel column at low speed (more\n"
       "connectivity) and the single-channel column at high speed (more\n"

@@ -10,7 +10,8 @@
 
 using namespace spider;
 
-int main() {
+int main(int argc, char** argv) {
+  const auto cli = bench::parse_sweep_cli(argc, argv);
   bench::banner("Ablation — AP selection policy",
                 "utility+blacklist vs pure RSSI vs no blacklist");
 
@@ -28,8 +29,7 @@ int main() {
   // A harsher town: 40% of open APs are captive portals (assoc + DHCP
   // fine, no Internet). Only the e2e test detects them; only the utility
   // history remembers them across encounters.
-  TextTable table({"policy", "throughput (KB/s)", "connectivity",
-                   "join attempts", "joins ok", "success rate"});
+  std::vector<trace::ScenarioConfig> configs;
   for (const auto& v : variants) {
     auto cfg = bench::town_scenario(/*seed=*/700);
     cfg.duration = sec(1200);
@@ -40,18 +40,28 @@ int main() {
     cfg.spider.num_interfaces = 1;
     cfg.spider.selector = v.selector;
     cfg.deployment.dead_backhaul_fraction = 0.4;
-    const auto result = trace::run_scenario_averaged(cfg, 3);
+    configs.push_back(cfg);
+  }
+  const auto results =
+      trace::SweepRunner(cli.sweep).run_averaged(configs, 3);
+
+  TextTable table({"policy", "throughput (KB/s)", "connectivity",
+                   "join attempts", "joins ok", "success rate"});
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const auto& result = results[i];
     const double rate =
         result.joins_attempted
             ? static_cast<double>(result.e2e_succeeded) / result.joins_attempted
             : 0.0;
-    table.add_row({v.name, TextTable::num(result.avg_throughput_kBps, 1),
+    table.add_row({variants[i].name,
+                   TextTable::num(result.avg_throughput_kBps, 1),
                    TextTable::percent(result.connectivity),
                    std::to_string(result.joins_attempted),
                    std::to_string(result.e2e_succeeded),
                    TextTable::percent(rate)});
   }
   table.print(std::cout);
+  bench::maybe_write_perf_csv(cli, results);
   std::printf(
       "\nExpected: the history utility concentrates attempts on APs that\n"
       "complete joins, lifting the success rate over RSSI-only selection.\n");

@@ -11,12 +11,10 @@
 
 using namespace spider;
 
-int main() {
+int main(int argc, char** argv) {
+  const auto cli = bench::parse_sweep_cli(argc, argv);
   bench::banner("Ablation — per-channel queues vs per-AP slots",
                 "same stack and town; only the scheduling discipline differs");
-
-  TextTable table({"driver", "channels", "throughput (KB/s)", "connectivity",
-                   "joins ok"});
 
   struct Variant {
     const char* name;
@@ -30,6 +28,7 @@ int main() {
       {"FatVAP-style (AP slots)", trace::DriverKind::kFatVap, false},
   };
 
+  std::vector<trace::ScenarioConfig> configs;
   for (const auto& v : variants) {
     auto cfg = bench::town_scenario(/*seed=*/600);
     cfg.duration = sec(1200);
@@ -43,13 +42,22 @@ int main() {
       cfg.fatvap.channels = {1, 6, 11};
     }
     cfg.fatvap.period = msec(600);
-    const auto result = trace::run_scenario_averaged(cfg, 3);
-    table.add_row({v.name, v.single_channel ? "1" : "3",
+    configs.push_back(cfg);
+  }
+  const auto results =
+      trace::SweepRunner(cli.sweep).run_averaged(configs, 3);
+
+  TextTable table({"driver", "channels", "throughput (KB/s)", "connectivity",
+                   "joins ok"});
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const auto& result = results[i];
+    table.add_row({variants[i].name, variants[i].single_channel ? "1" : "3",
                    TextTable::num(result.avg_throughput_kBps, 1),
                    TextTable::percent(result.connectivity),
                    std::to_string(result.e2e_succeeded)});
   }
   table.print(std::cout);
+  bench::maybe_write_perf_csv(cli, results);
   std::printf(
       "\nExpected: with one channel, per-AP slotting loses throughput to\n"
       "serialisation that channel queues avoid entirely; with three\n"

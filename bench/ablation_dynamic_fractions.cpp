@@ -6,6 +6,7 @@
 #include <cstdio>
 
 #include "bench/bench_util.hpp"
+#include "util/thread_pool.hpp"
 #include "core/dynamic_schedule.hpp"
 #include "core/link_manager.hpp"
 #include "core/spider_driver.hpp"
@@ -63,16 +64,35 @@ Outcome run(bool dynamic, std::uint64_t seed) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const auto cli = bench::parse_sweep_cli(argc, argv);
   bench::banner("Ablation — static vs goodput-weighted multi-channel schedule",
                 "skewed town (70% of APs on ch1), 15-minute drives x3 seeds");
 
+  // Flatten (schedule x seed) into one indexed parallel map; pooling below
+  // walks the results in submission order so the table is byte-identical
+  // for any --jobs.
+  struct Cell {
+    bool dynamic;
+    std::uint64_t seed;
+  };
+  std::vector<Cell> cells;
+  for (bool dynamic : {false, true}) {
+    for (std::uint64_t seed = 990; seed < 993; ++seed) {
+      cells.push_back({dynamic, seed});
+    }
+  }
+  const auto outcomes = util::parallel_map(
+      cli.sweep.jobs, cells.size(),
+      [&cells](std::size_t i) { return run(cells[i].dynamic, cells[i].seed); });
+
   TextTable table({"schedule", "throughput (KB/s)", "connectivity",
                    "rebalances"});
+  std::size_t next = 0;
   for (bool dynamic : {false, true}) {
     Outcome sum;
-    for (std::uint64_t seed = 990; seed < 993; ++seed) {
-      const auto o = run(dynamic, seed);
+    for (int r = 0; r < 3; ++r) {
+      const auto& o = outcomes[next++];
       sum.kBps += o.kBps / 3;
       sum.connectivity += o.connectivity / 3;
       sum.rebalances += o.rebalances;

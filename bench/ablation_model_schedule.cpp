@@ -40,7 +40,8 @@ trace::ScenarioConfig base_cfg(std::uint64_t seed) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const auto cli = bench::parse_sweep_cli(argc, argv);
   bench::banner("Ablation — optimiser-synthesised schedule, executed",
                 "Eqs. 8-10 fractions vs hand-picked modes, x3 seeds");
 
@@ -73,20 +74,29 @@ int main() {
       {"optimiser fractions", core::OperationMode::weighted(suggestion, msec(600))},
   };
 
-  TextTable table({"schedule", "throughput (KB/s)", "connectivity"});
+  std::vector<trace::ScenarioConfig> configs;
   for (const auto& v : variants) {
-    double kBps = 0, conn = 0;
     for (std::uint64_t seed = 990; seed < 993; ++seed) {
       auto cfg = base_cfg(seed);
       cfg.fixed_sites = sites;  // same town for all variants and seeds
       cfg.spider.mode = v.mode;
-      const auto r = trace::run_scenario(cfg);
-      kBps += r.avg_throughput_kBps / 3;
-      conn += r.connectivity / 3;
+      configs.push_back(cfg);
     }
-    table.add_row({v.name, TextTable::num(kBps, 1), TextTable::percent(conn)});
+  }
+  const auto results = trace::SweepRunner(cli.sweep).run(configs);
+
+  TextTable table({"schedule", "throughput (KB/s)", "connectivity"});
+  for (std::size_t i = 0; i < variants.size(); ++i) {
+    double kBps = 0, conn = 0;
+    for (std::size_t r = 0; r < 3; ++r) {
+      kBps += results[i * 3 + r].avg_throughput_kBps / 3;
+      conn += results[i * 3 + r].connectivity / 3;
+    }
+    table.add_row(
+        {variants[i].name, TextTable::num(kBps, 1), TextTable::percent(conn)});
   }
   table.print(std::cout);
+  bench::maybe_write_perf_csv(cli, results);
   std::printf(
       "\nThe synthesised schedule should land at or near the best\n"
       "hand-picked mode: at 10 m/s the optimiser concentrates time on the\n"

@@ -7,6 +7,7 @@
 #include <cstdio>
 
 #include "bench/bench_util.hpp"
+#include "util/thread_pool.hpp"
 #include "core/link_manager.hpp"
 #include "core/spider_driver.hpp"
 #include "trace/testbed.hpp"
@@ -50,17 +51,41 @@ double run(core::PsmRetrieval retrieval, Time dwell, std::uint64_t seed) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const auto cli = bench::parse_sweep_cli(argc, argv);
   bench::banner("Ablation — PSM retrieval: NullData wake vs PS-Poll",
                 "50/50 two-channel schedule, 4 Mbps AP, 60 s download x3 seeds");
 
+  // Flatten (dwell x retrieval x seed) into one indexed parallel map; the
+  // serial summation below consumes the results in a fixed order, so the
+  // printed table is byte-identical for any --jobs.
+  const int dwells[] = {50, 100, 200, 400};
+  struct Cell {
+    core::PsmRetrieval retrieval;
+    Time dwell;
+    std::uint64_t seed;
+  };
+  std::vector<Cell> cells;
+  for (int dwell_ms : dwells) {
+    for (std::uint64_t seed = 995; seed < 998; ++seed) {
+      cells.push_back({core::PsmRetrieval::kWakeNull, msec(dwell_ms), seed});
+      cells.push_back({core::PsmRetrieval::kPsPoll, msec(dwell_ms), seed});
+    }
+  }
+  const auto rates = util::parallel_map(
+      cli.sweep.jobs, cells.size(), [&cells](std::size_t i) {
+        return run(cells[i].retrieval, cells[i].dwell, cells[i].seed);
+      });
+
   TextTable table({"dwell per channel (ms)", "wake-flush (KB/s)",
                    "ps-poll (KB/s)", "wake advantage"});
-  for (int dwell_ms : {50, 100, 200, 400}) {
+  std::size_t next = 0;
+  for (int dwell_ms : dwells) {
+    (void)dwell_ms;
     double wake = 0, poll = 0;
-    for (std::uint64_t seed = 995; seed < 998; ++seed) {
-      wake += run(core::PsmRetrieval::kWakeNull, msec(dwell_ms), seed) / 3;
-      poll += run(core::PsmRetrieval::kPsPoll, msec(dwell_ms), seed) / 3;
+    for (int r = 0; r < 3; ++r) {
+      wake += rates[next++] / 3;
+      poll += rates[next++] / 3;
     }
     table.add_row({std::to_string(dwell_ms), TextTable::num(wake, 1),
                    TextTable::num(poll, 1),

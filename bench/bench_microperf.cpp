@@ -5,10 +5,13 @@
 
 #include <benchmark/benchmark.h>
 
+#include <array>
+
 #include "core/link_manager.hpp"
 #include "core/spider_driver.hpp"
 #include "sim/event_queue.hpp"
 #include "trace/experiment.hpp"
+#include "trace/sweep.hpp"
 #include "trace/testbed.hpp"
 
 using namespace spider;
@@ -29,6 +32,25 @@ void BM_EventQueuePushPop(benchmark::State& state) {
 }
 BENCHMARK(BM_EventQueuePushPop);
 
+void BM_EventQueuePushPopHeavyCallback(benchmark::State& state) {
+  // Callbacks whose captures are expensive to copy. pop_and_run moves the
+  // callback out of the heap entry, so this should track the trivial-capture
+  // benchmark closely; a copying pop would be dominated by the array copy.
+  sim::EventQueue q;
+  std::array<std::uint64_t, 64> payload{};
+  std::int64_t t = 0;
+  for (auto _ : state) {
+    for (int i = 0; i < 64; ++i) {
+      q.push(Time{t + (i * 37) % 1000},
+             [payload] { benchmark::DoNotOptimize(payload[0]); });
+    }
+    while (!q.empty()) q.pop_and_run();
+    t += 1000;
+  }
+  state.SetItemsProcessed(state.iterations() * 64);
+}
+BENCHMARK(BM_EventQueuePushPopHeavyCallback);
+
 void BM_EventHandleCancel(benchmark::State& state) {
   sim::EventQueue q;
   for (auto _ : state) {
@@ -38,6 +60,26 @@ void BM_EventHandleCancel(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_EventHandleCancel);
+
+void BM_EventQueueCancelHeavy(benchmark::State& state) {
+  // Timer-churn pattern: most scheduled events are cancelled before firing
+  // (retransmit timers that are reset on every ack). Compaction keeps the
+  // heap near its live size instead of accreting dead entries.
+  sim::EventQueue q;
+  std::int64_t t = 0;
+  for (auto _ : state) {
+    for (int i = 0; i < 256; ++i) {
+      auto h = q.push(Time{t + 1000 + i}, [] {});
+      if (i % 8 != 0) h.cancel();  // 7 of 8 cancelled
+    }
+    while (!q.empty()) q.pop_and_run();
+    t += 2000;
+  }
+  state.SetItemsProcessed(state.iterations() * 256);
+  state.counters["compactions"] = static_cast<double>(q.perf().compactions);
+  state.counters["heap_peak"] = static_cast<double>(q.perf().heap_peak);
+}
+BENCHMARK(BM_EventQueueCancelHeavy);
 
 void BM_MediumBroadcast(benchmark::State& state) {
   sim::Simulator sim;
@@ -77,6 +119,38 @@ void BM_TownScenarioMinute(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_TownScenarioMinute)->Unit(benchmark::kMillisecond);
+
+void BM_SweepRunnerScaling(benchmark::State& state) {
+  // Eight one-minute scenarios through the sweep runner at various --jobs.
+  // On a multi-core host wall time should drop roughly linearly with jobs
+  // until physical cores run out; results stay in submission order.
+  const auto jobs = static_cast<std::size_t>(state.range(0));
+  std::vector<trace::ScenarioConfig> configs;
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    trace::ScenarioConfig cfg;
+    cfg.seed = seed;
+    cfg.duration = sec(60);
+    cfg.deployment.road_length_m = 1500;
+    cfg.deployment.aps_per_km = 10;
+    cfg.spider.mode = core::OperationMode::single(6);
+    configs.push_back(cfg);
+  }
+  trace::SweepRunner runner({.jobs = jobs});
+  std::uint64_t popped = 0;
+  for (auto _ : state) {
+    const auto results = runner.run(configs);
+    for (const auto& r : results) popped += r.perf.events_popped;
+    benchmark::DoNotOptimize(results.front().total_bytes);
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<int>(configs.size()));
+  state.counters["events_popped"] =
+      static_cast<double>(popped) / static_cast<double>(state.iterations());
+}
+BENCHMARK(BM_SweepRunnerScaling)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Unit(benchmark::kMillisecond);
 
 }  // namespace
 

@@ -6,15 +6,56 @@
 // what their experiment sweeps.
 
 #include <cstdio>
+#include <cstdlib>
 #include <iostream>
 #include <string>
 #include <vector>
 
 #include "trace/experiment.hpp"
+#include "trace/export.hpp"
+#include "trace/sweep.hpp"
 #include "util/stats.hpp"
 #include "util/table.hpp"
 
 namespace spider::bench {
+
+/// Shared CLI flags of the sweep benches:
+///   --jobs N (or --jobs=N)    worker threads; 0 = SPIDER_JOBS env, then
+///                             hardware_concurrency (ThreadPool::default_jobs)
+///   --perf-csv PATH           dump per-run engine counters after the sweep
+/// Unknown arguments are ignored so individual benches can add their own.
+/// Perf counters carry wall-clock values and therefore only ever go to the
+/// CSV, never to stdout: bench stdout must stay byte-identical across
+/// --jobs settings.
+struct SweepCli {
+  trace::SweepOptions sweep;
+  std::string perf_csv;
+};
+
+inline SweepCli parse_sweep_cli(int argc, char** argv) {
+  SweepCli cli;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--jobs" && i + 1 < argc) {
+      cli.sweep.jobs = std::strtoul(argv[++i], nullptr, 10);
+    } else if (arg.rfind("--jobs=", 0) == 0) {
+      cli.sweep.jobs = std::strtoul(arg.c_str() + 7, nullptr, 10);
+    } else if (arg == "--perf-csv" && i + 1 < argc) {
+      cli.perf_csv = argv[++i];
+    } else if (arg.rfind("--perf-csv=", 0) == 0) {
+      cli.perf_csv = arg.substr(11);
+    }
+  }
+  return cli;
+}
+
+inline void maybe_write_perf_csv(const SweepCli& cli,
+                                 const std::vector<trace::ScenarioResult>& results) {
+  if (cli.perf_csv.empty()) return;
+  if (!trace::write_perf_csv(cli.perf_csv, results)) {
+    std::fprintf(stderr, "warning: could not write %s\n", cli.perf_csv.c_str());
+  }
+}
 
 /// The "our town" vehicular environment of §4.1: a downtown road driven
 /// repeatedly at passenger-car speed, open APs concentrated on channels
@@ -42,7 +83,7 @@ inline core::SpiderConfig tuned_spider() {
 }
 
 /// Prints a CDF as fraction-at-or-below over a fixed grid, one row per x.
-inline void print_cdf(const std::string& label, Cdf& cdf,
+inline void print_cdf(const std::string& label, const Cdf& cdf,
                       const std::vector<double>& grid,
                       const std::string& x_label) {
   TextTable t({x_label, "F(x) [" + label + "]", "n=" + std::to_string(cdf.size())});

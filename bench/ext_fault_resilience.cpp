@@ -40,7 +40,7 @@ fault::FaultSchedule make_schedule(int events, Time duration) {
   return s;
 }
 
-std::string ttr_cell(Cdf& ttr) {
+std::string ttr_cell(const Cdf& ttr) {
   if (ttr.empty()) return "-";
   return TextTable::num(ttr.quantile(0.5), 1) + "/" +
          TextTable::num(ttr.quantile(0.9), 1);
@@ -48,7 +48,8 @@ std::string ttr_cell(Cdf& ttr) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const auto cli = bench::parse_sweep_cli(argc, argv);
   bench::banner("Extension — resilience under injected faults",
                 "blackouts, flaps, DHCP stalls/NAKs, burst loss; fixed seed");
 
@@ -66,8 +67,8 @@ int main() {
   const int intensities[] = {0, 8, 16, 32};
   const Time duration = sec(600);
 
-  TextTable table({"driver", "faults", "kB/s", "conn %", "outages",
-                   "recovered", "ttr p50/p90 s"});
+  std::vector<trace::ScenarioConfig> configs;
+  std::vector<const char*> row_labels;
   for (const auto& driver : drivers) {
     for (int events : intensities) {
       auto cfg = bench::town_scenario(/*seed=*/4242);
@@ -88,17 +89,25 @@ int main() {
           core::OperationMode::equal_split({1, 6, 11}, msec(600));
       cfg.spider.resilient_link_policy = driver.resilient;
       cfg.faults = make_schedule(events, duration);
-
-      auto result = trace::run_scenario(cfg);
-      table.add_row({driver.label, std::to_string(result.faults_injected),
-                     TextTable::num(result.avg_throughput_kBps, 1),
-                     TextTable::percent(result.connectivity),
-                     std::to_string(result.outages),
-                     std::to_string(result.recoveries),
-                     ttr_cell(result.recovery_times)});
+      configs.push_back(cfg);
+      row_labels.push_back(driver.label);
     }
   }
+  const auto results = trace::SweepRunner(cli.sweep).run(configs);
+
+  TextTable table({"driver", "faults", "kB/s", "conn %", "outages",
+                   "recovered", "ttr p50/p90 s"});
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const auto& result = results[i];
+    table.add_row({row_labels[i], std::to_string(result.faults_injected),
+                   TextTable::num(result.avg_throughput_kBps, 1),
+                   TextTable::percent(result.connectivity),
+                   std::to_string(result.outages),
+                   std::to_string(result.recoveries),
+                   ttr_cell(result.recovery_times)});
+  }
   table.print(std::cout);
+  bench::maybe_write_perf_csv(cli, results);
   std::printf(
       "\nOutages count windows with zero live links after first connect;\n"
       "a recovery is the next link-up. Spider's interface pool plus the\n"

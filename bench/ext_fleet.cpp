@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "bench/bench_util.hpp"
+#include "util/thread_pool.hpp"
 #include "core/link_manager.hpp"
 #include "core/spider_driver.hpp"
 #include "mobility/mobility.hpp"
@@ -89,20 +90,41 @@ FleetResult run_fleet(int vehicles, std::uint64_t seed) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const auto cli = bench::parse_sweep_cli(argc, argv);
   bench::banner("Extension — fleet scaling",
                 "N Spider vehicles sharing one town's APs, 15-minute drives");
 
+  // Flatten (fleet size x seed) into one indexed parallel map; pooling
+  // below walks the results in submission order so the table is
+  // byte-identical for any --jobs.
+  const int sizes[] = {1, 2, 3, 5};
+  const int seeds = 2;
+  struct Cell {
+    int vehicles;
+    std::uint64_t seed;
+  };
+  std::vector<Cell> cells;
+  for (int n : sizes) {
+    for (std::uint64_t seed = 980; seed < 980 + seeds; ++seed) {
+      cells.push_back({n, seed});
+    }
+  }
+  const auto runs = util::parallel_map(
+      cli.sweep.jobs, cells.size(), [&cells](std::size_t i) {
+        return run_fleet(cells[i].vehicles, cells[i].seed);
+      });
+
   TextTable table({"vehicles", "per-vehicle (KB/s)", "aggregate (KB/s)",
                    "mean connectivity"});
-  for (int n : {1, 2, 3, 5}) {
+  std::size_t next = 0;
+  for (int n : sizes) {
     FleetResult sum;
-    const int seeds = 2;
-    for (std::uint64_t seed = 980; seed < 980 + seeds; ++seed) {
-      const auto r = run_fleet(n, seed);
-      sum.per_vehicle_kBps += r.per_vehicle_kBps / seeds;
-      sum.aggregate_kBps += r.aggregate_kBps / seeds;
-      sum.mean_connectivity += r.mean_connectivity / seeds;
+    for (int r = 0; r < seeds; ++r) {
+      const auto& one = runs[next++];
+      sum.per_vehicle_kBps += one.per_vehicle_kBps / seeds;
+      sum.aggregate_kBps += one.aggregate_kBps / seeds;
+      sum.mean_connectivity += one.mean_connectivity / seeds;
     }
     table.add_row({std::to_string(n), TextTable::num(sum.per_vehicle_kBps, 1),
                    TextTable::num(sum.aggregate_kBps, 1),

@@ -7,7 +7,8 @@
 
 using namespace spider;
 
-int main() {
+int main(int argc, char** argv) {
+  const auto cli = bench::parse_sweep_cli(argc, argv);
   bench::banner("Fig. 11 — CDF of connection durations",
                 "runs of consecutive 1 s bins with data, per configuration");
 
@@ -25,15 +26,22 @@ int main() {
        core::OperationMode::equal_split({1, 6, 11}, msec(600)), 7},
   };
 
+  std::vector<trace::ScenarioConfig> configs;
   for (const auto& v : variants) {
     auto cfg = bench::town_scenario(/*seed=*/200);
     cfg.spider = bench::tuned_spider();
     cfg.spider.mode = v.mode;
     cfg.spider.num_interfaces = v.ifaces;
-    auto result = trace::run_scenario_averaged(cfg, 3);
-    bench::print_cdf(v.name, result.connection_durations,
+    configs.push_back(cfg);
+  }
+  const auto results =
+      trace::SweepRunner(cli.sweep).run_averaged(configs, 3);
+
+  for (std::size_t i = 0; i < configs.size(); ++i) {
+    bench::print_cdf(variants[i].name, results[i].connection_durations,
                      {1, 2, 5, 10, 20, 40, 80, 150, 250},
                      "connection duration (s)");
   }
+  bench::maybe_write_perf_csv(cli, results);
   return 0;
 }

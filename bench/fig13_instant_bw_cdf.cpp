@@ -8,7 +8,8 @@
 
 using namespace spider;
 
-int main() {
+int main(int argc, char** argv) {
+  const auto cli = bench::parse_sweep_cli(argc, argv);
   bench::banner("Fig. 13 — CDF of instantaneous bandwidth",
                 "KB/s over non-empty 1 s bins, per configuration");
 
@@ -26,15 +27,22 @@ int main() {
        core::OperationMode::equal_split({1, 6, 11}, msec(600)), 7},
   };
 
+  std::vector<trace::ScenarioConfig> configs;
   for (const auto& v : variants) {
     auto cfg = bench::town_scenario(/*seed=*/200);
     cfg.spider = bench::tuned_spider();
     cfg.spider.mode = v.mode;
     cfg.spider.num_interfaces = v.ifaces;
-    auto result = trace::run_scenario_averaged(cfg, 3);
-    bench::print_cdf(v.name, result.instantaneous_kBps,
+    configs.push_back(cfg);
+  }
+  const auto results =
+      trace::SweepRunner(cli.sweep).run_averaged(configs, 3);
+
+  for (std::size_t i = 0; i < configs.size(); ++i) {
+    bench::print_cdf(variants[i].name, results[i].instantaneous_kBps,
                      {5, 10, 25, 50, 100, 200, 300, 500, 800, 1200},
                      "bandwidth (KB/s)");
   }
+  bench::maybe_write_perf_csv(cli, results);
   return 0;
 }

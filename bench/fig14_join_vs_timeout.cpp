@@ -11,7 +11,8 @@
 
 using namespace spider;
 
-int main() {
+int main(int argc, char** argv) {
+  const auto cli = bench::parse_sweep_cli(argc, argv);
   bench::banner("Fig. 14 — join time CDF vs DHCP timeout",
                 "join = association + dhcp; town runs x3 seeds");
 
@@ -31,6 +32,7 @@ int main() {
       {"200ms, 3 channels", three, {.retx_timeout = msec(200), .max_sends = 4}},
   };
 
+  std::vector<trace::ScenarioConfig> configs;
   for (const auto& v : variants) {
     auto cfg = bench::town_scenario(/*seed=*/420);
     cfg.duration = sec(1200);
@@ -38,17 +40,23 @@ int main() {
     cfg.spider.mode = v.mode;
     cfg.spider.dhcp = v.dhcp;
     cfg.spider.use_lease_cache = false;
-    const auto result = trace::run_scenario_averaged(cfg, 3);
+    configs.push_back(cfg);
+  }
+  const auto results =
+      trace::SweepRunner(cli.sweep).run_averaged(configs, 3);
 
+  for (std::size_t i = 0; i < configs.size(); ++i) {
+    const auto& result = results[i];
     Cdf join_s;
     for (const auto& rec : result.join_log) {
       if (rec.dhcp_delay) join_s.add(to_seconds(*rec.dhcp_delay));
     }
-    std::printf("\n%s — %zu joins completed of %zu attempts\n", v.label,
-                join_s.size(), result.joins_attempted);
-    bench::print_cdf(v.label, join_s,
+    std::printf("\n%s — %zu joins completed of %zu attempts\n",
+                variants[i].label, join_s.size(), result.joins_attempted);
+    bench::print_cdf(variants[i].label, join_s,
                      {0.25, 0.5, 1, 1.5, 2, 3, 4, 6, 8, 10, 15},
                      "time to join (s)");
   }
+  bench::maybe_write_perf_csv(cli, results);
   return 0;
 }

@@ -9,7 +9,8 @@
 
 using namespace spider;
 
-int main() {
+int main(int argc, char** argv) {
+  const auto cli = bench::parse_sweep_cli(argc, argv);
   bench::banner("Fig. 15 — join delay per scheduling policy",
                 "1 vs 7 interfaces; 1/2/3-channel schedules; timer settings");
 
@@ -43,6 +44,7 @@ int main() {
        ll_100},
   };
 
+  std::vector<trace::ScenarioConfig> configs;
   for (const auto& v : variants) {
     auto cfg = bench::town_scenario(/*seed=*/430);
     cfg.duration = sec(1200);
@@ -52,17 +54,23 @@ int main() {
     cfg.spider.dhcp = v.dhcp;
     cfg.spider.mlme = v.mlme;
     cfg.spider.use_lease_cache = false;
-    const auto result = trace::run_scenario_averaged(cfg, 3);
+    configs.push_back(cfg);
+  }
+  const auto results =
+      trace::SweepRunner(cli.sweep).run_averaged(configs, 3);
 
+  for (std::size_t i = 0; i < configs.size(); ++i) {
+    const auto& result = results[i];
     Cdf join_s;
     for (const auto& rec : result.join_log) {
       if (rec.dhcp_delay) join_s.add(to_seconds(*rec.dhcp_delay));
     }
-    std::printf("\n%s — %zu joins of %zu attempts\n", v.label, join_s.size(),
-                result.joins_attempted);
-    bench::print_cdf(v.label, join_s,
+    std::printf("\n%s — %zu joins of %zu attempts\n", variants[i].label,
+                join_s.size(), result.joins_attempted);
+    bench::print_cdf(variants[i].label, join_s,
                      {0.25, 0.5, 1, 1.5, 2, 3, 4, 6, 8, 10, 15},
                      "time to join (s)");
   }
+  bench::maybe_write_perf_csv(cli, results);
   return 0;
 }

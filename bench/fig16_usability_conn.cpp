@@ -12,7 +12,8 @@
 
 using namespace spider;
 
-int main() {
+int main(int argc, char** argv) {
+  const auto cli = bench::parse_sweep_cli(argc, argv);
   bench::banner("Fig. 16 — user flow durations vs Spider connections",
                 "synthetic mesh-user workload (161 users) vs town runs");
 
@@ -22,12 +23,15 @@ int main() {
   auto single = bench::town_scenario(/*seed=*/200);
   single.spider = bench::tuned_spider();
   single.spider.mode = core::OperationMode::single(1);
-  auto single_result = trace::run_scenario_averaged(single, 3);
 
   auto multi = bench::town_scenario(/*seed=*/200);
   multi.spider = bench::tuned_spider();
   multi.spider.mode = core::OperationMode::equal_split({1, 6, 11}, msec(600));
-  auto multi_result = trace::run_scenario_averaged(multi, 3);
+
+  const auto results =
+      trace::SweepRunner(cli.sweep).run_averaged({single, multi}, 3);
+  const auto& single_result = results[0];
+  const auto& multi_result = results[1];
 
   const std::vector<double> grid = {1, 2, 5, 10, 20, 40, 60, 100};
   TextTable table({"duration (s)", "users' flows F(x)", "Spider multi-AP ch1",
@@ -43,6 +47,7 @@ int main() {
     });
   }
   table.print(std::cout);
+  bench::maybe_write_perf_csv(cli, results);
   std::printf(
       "\nmedians: users %.1f s, Spider ch1 %.1f s, Spider multi-chan %.1f s\n"
       "A flow is supportable when a Spider connection outlives it: Spider's\n"

@@ -11,7 +11,8 @@
 
 using namespace spider;
 
-int main() {
+int main(int argc, char** argv) {
+  const auto cli = bench::parse_sweep_cli(argc, argv);
   bench::banner("Fig. 17 — user inter-connection gaps vs Spider disruptions",
                 "synthetic mesh-user workload vs town runs");
 
@@ -21,12 +22,15 @@ int main() {
   auto single = bench::town_scenario(/*seed=*/200);
   single.spider = bench::tuned_spider();
   single.spider.mode = core::OperationMode::single(1);
-  auto single_result = trace::run_scenario_averaged(single, 3);
 
   auto multi = bench::town_scenario(/*seed=*/200);
   multi.spider = bench::tuned_spider();
   multi.spider.mode = core::OperationMode::equal_split({1, 6, 11}, msec(600));
-  auto multi_result = trace::run_scenario_averaged(multi, 3);
+
+  const auto results =
+      trace::SweepRunner(cli.sweep).run_averaged({single, multi}, 3);
+  const auto& single_result = results[0];
+  const auto& multi_result = results[1];
 
   const std::vector<double> grid = {2, 5, 10, 20, 40, 80, 150, 300};
   TextTable table({"gap (s)", "users' gaps F(x)", "Spider multi-AP ch1",
@@ -42,6 +46,7 @@ int main() {
     });
   }
   table.print(std::cout);
+  bench::maybe_write_perf_csv(cli, results);
 
   const double ks_single =
       ks_distance(users.interconnection_gaps, single_result.disruption_durations);

@@ -1,22 +1,56 @@
 #include "sim/event_queue.hpp"
 
+#include <algorithm>
 #include <cassert>
 #include <utility>
 
 namespace spider::sim {
+namespace {
+
+/// Below this size a rebuild costs more bookkeeping than the dead entries
+/// it would reclaim; lazy top-dropping handles small heaps fine.
+constexpr std::size_t kCompactionFloor = 64;
+
+}  // namespace
+
+EventQueue::EventQueue()
+    : tally_(std::make_shared<EventHandle::QueueTally>()) {}
 
 EventHandle EventQueue::push(Time when, Callback cb) {
-  auto flag = std::make_shared<bool>(false);
-  heap_.push(Entry{when, next_seq_++, std::move(cb), flag});
-  ++live_;
-  return EventHandle{std::move(flag)};
+  auto state = std::make_shared<EventHandle::State>();
+  state->tally = tally_;
+  heap_.push_back(Entry{when, next_seq_++, std::move(cb), state});
+  std::push_heap(heap_.begin(), heap_.end(), Later{});
+  if (heap_.size() > heap_peak_) heap_peak_ = heap_.size();
+  maybe_compact();
+  return EventHandle{std::move(state)};
 }
 
 void EventQueue::drop_cancelled() const {
-  while (!heap_.empty() && *heap_.top().cancelled) {
-    heap_.pop();
-    --live_;
+  while (!heap_.empty() && heap_.front().state->cancelled) {
+    std::pop_heap(heap_.begin(), heap_.end(), Later{});
+    heap_.back().state->in_heap = false;
+    heap_.pop_back();
+    --tally_->cancelled_in_heap;
   }
+}
+
+void EventQueue::maybe_compact() const {
+  if (heap_.size() < kCompactionFloor ||
+      tally_->cancelled_in_heap * 2 <= heap_.size()) {
+    return;
+  }
+  // Mark the dead states first: remove_if leaves moved-from entries (with
+  // null state pointers) in the tail, so they cannot be marked afterwards.
+  for (auto& entry : heap_) {
+    if (entry.state->cancelled) entry.state->in_heap = false;
+  }
+  heap_.erase(std::remove_if(heap_.begin(), heap_.end(),
+                             [](const Entry& e) { return e.state->cancelled; }),
+              heap_.end());
+  std::make_heap(heap_.begin(), heap_.end(), Later{});
+  tally_->cancelled_in_heap = 0;
+  ++compactions_;
 }
 
 bool EventQueue::empty() const {
@@ -26,24 +60,37 @@ bool EventQueue::empty() const {
 
 Time EventQueue::next_time() const {
   drop_cancelled();
-  return heap_.empty() ? Time::max() : heap_.top().when;
+  return heap_.empty() ? Time::max() : heap_.front().when;
 }
 
 Time EventQueue::pop_and_run() {
   drop_cancelled();
   assert(!heap_.empty());
-  // Move the callback out before running: the callback may push new events,
-  // which can reallocate the heap's storage.
-  Entry top = heap_.top();
-  heap_.pop();
-  --live_;
-  top.cb();
-  return top.when;
+  // Detach the entry before running: the callback may push new events
+  // (which would reallocate the heap) or cancel anything, including itself.
+  std::pop_heap(heap_.begin(), heap_.end(), Later{});
+  const Time when = heap_.back().when;
+  Callback cb = std::move(heap_.back().cb);
+  heap_.back().state->in_heap = false;
+  heap_.pop_back();
+  ++popped_;
+  cb();
+  return when;
 }
 
 void EventQueue::clear() {
-  while (!heap_.empty()) heap_.pop();
-  live_ = 0;
+  for (auto& entry : heap_) entry.state->in_heap = false;
+  heap_.clear();
+  tally_->cancelled_in_heap = 0;
+}
+
+PerfCounters EventQueue::perf() const {
+  PerfCounters p;
+  p.events_popped = popped_;
+  p.events_cancelled = tally_->cancelled_total;
+  p.heap_peak = heap_peak_;
+  p.compactions = compactions_;
+  return p;
 }
 
 }  // namespace spider::sim

@@ -3,34 +3,55 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
-#include <queue>
 #include <vector>
 
+#include "sim/perf.hpp"
 #include "util/time.hpp"
 
 namespace spider::sim {
 
 /// Handle for a scheduled event. Holding one allows cancellation; the
-/// handle is cheap to copy (shared ownership of a one-word flag).
+/// handle is cheap to copy (shared ownership of a small control block).
 ///
-/// Cancellation is lazy: the queue keeps the entry but skips it on pop,
-/// which keeps cancel() O(1) — the timer-heavy MAC/DHCP state machines
-/// cancel far more timers than ever fire.
+/// Cancellation is O(1): the entry stays in the heap but is marked dead,
+/// and the queue's live count is decremented immediately through the shared
+/// control block — the timer-heavy MAC/DHCP state machines cancel far more
+/// timers than ever fire. The queue compacts itself when dead entries
+/// dominate, so deep-in-heap cancellations cannot accumulate unboundedly.
 class EventHandle {
  public:
   EventHandle() = default;
 
-  void cancel() {
-    if (cancelled_) *cancelled_ = true;
-  }
-  bool valid() const { return cancelled_ != nullptr; }
-  bool cancelled() const { return cancelled_ && *cancelled_; }
+  void cancel();
+  bool valid() const { return state_ != nullptr; }
+  bool cancelled() const { return state_ && state_->cancelled; }
 
  private:
   friend class EventQueue;
-  explicit EventHandle(std::shared_ptr<bool> flag) : cancelled_(std::move(flag)) {}
-  std::shared_ptr<bool> cancelled_;
+
+  /// Per-queue tally shared by every handle of that queue, so cancel()
+  /// can keep the live count accurate without a back-pointer to the queue
+  /// (which handles may outlive).
+  struct QueueTally {
+    std::size_t cancelled_in_heap = 0;  ///< dead entries still in the heap
+    std::uint64_t cancelled_total = 0;  ///< lifetime cancellations
+  };
+  struct State {
+    bool cancelled = false;
+    bool in_heap = true;  ///< cleared when the entry leaves the heap
+    std::shared_ptr<QueueTally> tally;
+  };
+
+  explicit EventHandle(std::shared_ptr<State> state) : state_(std::move(state)) {}
+  std::shared_ptr<State> state_;
 };
+
+inline void EventHandle::cancel() {
+  if (!state_ || state_->cancelled) return;
+  state_->cancelled = true;
+  ++state_->tally->cancelled_total;
+  if (state_->in_heap) ++state_->tally->cancelled_in_heap;
+}
 
 /// Time-ordered queue of callbacks. Ties are broken by insertion order so
 /// that same-timestamp events run FIFO — this makes frame delivery and
@@ -38,6 +59,8 @@ class EventHandle {
 class EventQueue {
  public:
   using Callback = std::function<void()>;
+
+  EventQueue();
 
   EventHandle push(Time when, Callback cb);
 
@@ -47,19 +70,32 @@ class EventQueue {
   /// Timestamp of the earliest live event; Time::max() when empty.
   Time next_time() const;
 
-  /// Pops and runs the earliest live event, returning its timestamp.
+  /// Pops and runs the earliest live event, returning its timestamp. The
+  /// callback is moved out of the heap (never deep-copied) and the entry is
+  /// removed before it runs, so callbacks may freely push or cancel.
   /// Precondition: !empty().
   Time pop_and_run();
 
   void clear();
-  std::size_t live_size() const { return live_; }
+
+  /// Number of scheduled, not-yet-cancelled events (exact — cancellation
+  /// is accounted for immediately, not when the entry is lazily dropped).
+  std::size_t live_size() const {
+    return heap_.size() - tally_->cancelled_in_heap;
+  }
+  /// Physical heap size including dead (cancelled, undropped) entries.
+  std::size_t heap_size() const { return heap_.size(); }
+
+  /// Lifetime engine counters (wall-clock fields are left zero; callers
+  /// timing a run fill those themselves).
+  PerfCounters perf() const;
 
  private:
   struct Entry {
     Time when;
     std::uint64_t seq;
     Callback cb;
-    std::shared_ptr<bool> cancelled;
+    std::shared_ptr<EventHandle::State> state;
   };
   struct Later {
     bool operator()(const Entry& a, const Entry& b) const {
@@ -69,10 +105,17 @@ class EventQueue {
   };
 
   void drop_cancelled() const;
+  void maybe_compact() const;
 
-  mutable std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
+  // The heap is a plain vector managed with std::push_heap/pop_heap so the
+  // top entry can be moved from and dead entries can be compacted in place
+  // (std::priority_queue exposes neither).
+  mutable std::vector<Entry> heap_;
   std::uint64_t next_seq_ = 0;
-  mutable std::size_t live_ = 0;
+  std::shared_ptr<EventHandle::QueueTally> tally_;
+  mutable std::uint64_t popped_ = 0;
+  mutable std::uint64_t compactions_ = 0;
+  std::size_t heap_peak_ = 0;
 };
 
 }  // namespace spider::sim

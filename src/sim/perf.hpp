@@ -1,0 +1,39 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace spider::sim {
+
+/// Engine-level counters for one simulation run. The event-queue fields are
+/// filled from EventQueue/Simulator accessors; the wall-clock fields are
+/// stamped by whoever timed the run (trace::run_scenario, SweepRunner).
+///
+/// Wall-clock values vary between machines and runs, so they are exported
+/// only through write_perf_csv — never through the deterministic stdout of
+/// a bench, which must stay byte-identical across --jobs settings.
+struct PerfCounters {
+  std::uint64_t events_popped = 0;     ///< callbacks actually dispatched
+  std::uint64_t events_cancelled = 0;  ///< handles cancelled before firing
+  std::size_t heap_peak = 0;           ///< max physical heap size observed
+  std::uint64_t compactions = 0;       ///< cancelled-entry heap rebuilds
+  double sim_seconds = 0.0;            ///< simulated horizon of the run
+  double wall_seconds = 0.0;           ///< host time spent executing it
+
+  /// Simulated-seconds-per-wall-second; 0 when the run was too fast to time.
+  double sim_rate() const {
+    return wall_seconds > 0.0 ? sim_seconds / wall_seconds : 0.0;
+  }
+
+  /// Merge for pooled/averaged runs: totals add, the peak takes the max.
+  void merge(const PerfCounters& other) {
+    events_popped += other.events_popped;
+    events_cancelled += other.events_cancelled;
+    if (other.heap_peak > heap_peak) heap_peak = other.heap_peak;
+    compactions += other.compactions;
+    sim_seconds += other.sim_seconds;
+    wall_seconds += other.wall_seconds;
+  }
+};
+
+}  // namespace spider::sim

@@ -42,11 +42,26 @@ class Simulator {
   std::uint64_t events_executed() const { return executed_; }
   bool pending() const { return !queue_.empty(); }
 
+  /// Fresh process-independent identifier (TCP connection ids, CBR flow
+  /// ids, ...). Scoped to this simulation so concurrent runs on different
+  /// threads stay raceless and every replay of a seed allocates the exact
+  /// same ids regardless of what else the process has run.
+  std::uint64_t allocate_id() { return ++next_id_; }
+
+  /// Engine counters so far: event-queue totals plus the simulated horizon.
+  /// Wall-clock fields are zero; the caller timing the run fills them.
+  PerfCounters perf() const {
+    PerfCounters p = queue_.perf();
+    p.sim_seconds = to_seconds(now_);
+    return p;
+  }
+
  private:
   Time now_{0};
   EventQueue queue_;
   bool stopped_ = false;
   std::uint64_t executed_ = 0;
+  std::uint64_t next_id_ = 0;
 };
 
 /// A restartable periodic timer built on the simulator; used for beacons,

@@ -1,5 +1,6 @@
 #include "trace/experiment.hpp"
 
+#include <chrono>
 #include <optional>
 
 #include "core/spider_driver.hpp"
@@ -37,6 +38,7 @@ void digest_join_log(ScenarioResult& result) {
 }  // namespace
 
 ScenarioResult run_scenario(const ScenarioConfig& config) {
+  const auto wall_start = std::chrono::steady_clock::now();
   TestbedConfig tb_config;
   tb_config.seed = config.seed;
   tb_config.propagation = config.propagation;
@@ -152,16 +154,20 @@ ScenarioResult run_scenario(const ScenarioConfig& config) {
   result.recoveries = resilience.recoveries();
   result.recovery_times = resilience.time_to_recover();
   digest_join_log(result);
+  result.perf = bed.sim.perf();
+  result.perf.wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    wall_start)
+          .count();
   return result;
 }
 
-ScenarioResult run_scenario_averaged(ScenarioConfig config, int runs) {
+ScenarioResult pool_results(const std::vector<ScenarioResult>& runs) {
   ScenarioResult pooled;
-  for (int r = 0; r < runs; ++r) {
-    config.seed += r == 0 ? 0 : 1;
-    ScenarioResult one = run_scenario(config);
-    pooled.avg_throughput_kBps += one.avg_throughput_kBps / runs;
-    pooled.connectivity += one.connectivity / runs;
+  const auto n = static_cast<int>(runs.size());
+  for (const ScenarioResult& one : runs) {
+    pooled.avg_throughput_kBps += one.avg_throughput_kBps / n;
+    pooled.connectivity += one.connectivity / n;
     pooled.total_bytes += one.total_bytes;
     pooled.switches += one.switches;
     for (double x : one.connection_durations.samples()) {
@@ -181,9 +187,20 @@ ScenarioResult run_scenario_averaged(ScenarioConfig config, int runs) {
     }
     pooled.join_log.insert(pooled.join_log.end(), one.join_log.begin(),
                            one.join_log.end());
+    pooled.perf.merge(one.perf);
   }
   digest_join_log(pooled);
   return pooled;
+}
+
+ScenarioResult run_scenario_averaged(ScenarioConfig config, int runs) {
+  std::vector<ScenarioResult> results;
+  results.reserve(runs);
+  for (int r = 0; r < runs; ++r) {
+    config.seed += r == 0 ? 0 : 1;
+    results.push_back(run_scenario(config));
+  }
+  return pool_results(results);
 }
 
 }  // namespace spider::trace

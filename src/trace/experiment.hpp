@@ -10,6 +10,7 @@
 #include "fault/fault.hpp"
 #include "mobility/deployment.hpp"
 #include "net/dhcp_server.hpp"
+#include "sim/perf.hpp"
 #include "trace/testbed.hpp"
 #include "util/stats.hpp"
 
@@ -77,9 +78,21 @@ struct ScenarioResult {
   std::uint64_t outages = 0;
   std::uint64_t recoveries = 0;
   Cdf recovery_times;  ///< seconds, one sample per recovered outage
+
+  /// Engine counters for the run (events popped/cancelled, heap peak,
+  /// wall-clock, sim rate). Wall-clock fields are host-dependent and never
+  /// appear in deterministic bench output; see write_perf_csv.
+  sim::PerfCounters perf;
 };
 
 ScenarioResult run_scenario(const ScenarioConfig& config);
+
+/// Merges per-seed repetitions into one pooled result: scalar metrics are
+/// averaged, counts summed, join logs and CDF samples concatenated in
+/// order, perf counters merged. Shared by run_scenario_averaged and
+/// SweepRunner::run_averaged so serial and parallel sweeps agree to the
+/// byte.
+ScenarioResult pool_results(const std::vector<ScenarioResult>& runs);
 
 /// Averages `runs` seeded repetitions (seed, seed+1, ...) of the scalar
 /// metrics and pools the join logs/CDF samples.

@@ -50,7 +50,7 @@ bool write_join_log_csv(const std::string& path,
   return static_cast<bool>(f);
 }
 
-void write_cdf_csv(std::ostream& os, Cdf& cdf, const std::string& x_label) {
+void write_cdf_csv(std::ostream& os, const Cdf& cdf, const std::string& x_label) {
   os << x_label << ",cdf\n";
   cdf.finalize();
   const auto& samples = cdf.samples();
@@ -63,7 +63,7 @@ void write_cdf_csv(std::ostream& os, Cdf& cdf, const std::string& x_label) {
   }
 }
 
-bool write_cdf_csv(const std::string& path, Cdf& cdf,
+bool write_cdf_csv(const std::string& path, const Cdf& cdf,
                    const std::string& x_label) {
   std::ofstream f(path, std::ios::trunc);
   if (!f) return false;
@@ -77,9 +77,7 @@ void write_resilience_csv(std::ostream& os,
   os << "faults_injected," << recorder.faults_injected() << '\n';
   os << "outages," << recorder.outages() << '\n';
   os << "recoveries," << recorder.recoveries() << '\n';
-  // quantile() sorts lazily, so query through a copy to keep `recorder`
-  // const for callers holding the live object.
-  Cdf ttr = recorder.time_to_recover();
+  const Cdf& ttr = recorder.time_to_recover();
   if (ttr.empty()) return;
   os << "ttr_p50_s," << ttr.quantile(0.5) << '\n';
   os << "ttr_p90_s," << ttr.quantile(0.9) << '\n';
@@ -92,6 +90,26 @@ bool write_resilience_csv(const std::string& path,
   std::ofstream f(path, std::ios::trunc);
   if (!f) return false;
   write_resilience_csv(f, recorder);
+  return static_cast<bool>(f);
+}
+
+void write_perf_csv(std::ostream& os,
+                    const std::vector<ScenarioResult>& results) {
+  os << "run,events_popped,events_cancelled,heap_peak,compactions,sim_s,"
+        "wall_s,sim_per_wall\n";
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const sim::PerfCounters& p = results[i].perf;
+    os << i << ',' << p.events_popped << ',' << p.events_cancelled << ','
+       << p.heap_peak << ',' << p.compactions << ',' << p.sim_seconds << ','
+       << p.wall_seconds << ',' << p.sim_rate() << '\n';
+  }
+}
+
+bool write_perf_csv(const std::string& path,
+                    const std::vector<ScenarioResult>& results) {
+  std::ofstream f(path, std::ios::trunc);
+  if (!f) return false;
+  write_perf_csv(f, results);
   return static_cast<bool>(f);
 }
 

@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "core/link_manager.hpp"
+#include "trace/experiment.hpp"
 #include "trace/metrics.hpp"
 #include "util/stats.hpp"
 
@@ -26,8 +27,8 @@ bool write_join_log_csv(const std::string& path,
                         const std::vector<core::JoinRecord>& log);
 
 /// `x,cdf` over every distinct sample (exact empirical CDF).
-void write_cdf_csv(std::ostream& os, Cdf& cdf, const std::string& x_label);
-bool write_cdf_csv(const std::string& path, Cdf& cdf,
+void write_cdf_csv(std::ostream& os, const Cdf& cdf, const std::string& x_label);
+bool write_cdf_csv(const std::string& path, const Cdf& cdf,
                    const std::string& x_label);
 
 /// `metric,value` rows: faults injected, outages, recoveries, and the
@@ -35,5 +36,14 @@ bool write_cdf_csv(const std::string& path, Cdf& cdf,
 void write_resilience_csv(std::ostream& os, const ResilienceRecorder& recorder);
 bool write_resilience_csv(const std::string& path,
                           const ResilienceRecorder& recorder);
+
+/// One row per sweep result, in submission order:
+/// `run,events_popped,events_cancelled,heap_peak,compactions,sim_s,wall_s,sim_per_wall`.
+/// This is where the host-dependent wall-clock numbers go — they are kept
+/// out of bench stdout so sweep output stays byte-identical across --jobs.
+void write_perf_csv(std::ostream& os,
+                    const std::vector<ScenarioResult>& results);
+bool write_perf_csv(const std::string& path,
+                    const std::vector<ScenarioResult>& results);
 
 }  // namespace spider::trace

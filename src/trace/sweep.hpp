@@ -1,0 +1,47 @@
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "trace/experiment.hpp"
+
+namespace spider::trace {
+
+/// Worker-count selection for a sweep. `jobs == 0` defers to the
+/// SPIDER_JOBS environment variable, then hardware_concurrency (see
+/// util::ThreadPool::default_jobs); benches map their --jobs flag here.
+struct SweepOptions {
+  std::size_t jobs = 0;
+};
+
+/// Replays a list of independent scenarios on a fixed-size thread pool.
+///
+/// Determinism contract (DESIGN.md §7): each scenario owns its Simulator,
+/// EventQueue, and RNG streams, and shares no mutable state with its
+/// siblings, so a run's result depends only on its ScenarioConfig. Results
+/// are returned indexed by submission order, never completion order.
+/// Together these guarantee that every table, CDF, and join log derived
+/// from a sweep is byte-identical for any worker count, including the
+/// serial jobs=1 loop.
+class SweepRunner {
+ public:
+  explicit SweepRunner(SweepOptions options = {});
+
+  /// One result per config, results[i] from configs[i].
+  std::vector<ScenarioResult> run(
+      const std::vector<ScenarioConfig>& configs) const;
+
+  /// Expands each config into `runs` seeded repetitions (seed, seed+1,
+  /// ...), runs all of them on the pool, and pools each group — the
+  /// parallel equivalent of calling run_scenario_averaged per config.
+  std::vector<ScenarioResult> run_averaged(
+      const std::vector<ScenarioConfig>& configs, int runs) const;
+
+  /// The worker count this runner resolves to (>= 1).
+  std::size_t jobs() const { return jobs_; }
+
+ private:
+  std::size_t jobs_;
+};
+
+}  // namespace spider::trace

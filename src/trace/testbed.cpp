@@ -66,7 +66,7 @@ void DownloadHarness::link_up(core::VirtualInterface& vif) {
   ++links_seen_;
   if (extra_.on_link_up) extra_.on_link_up(vif);
   auto client = std::make_unique<tcp::DownloadClient>(
-      sim_, tcp::next_conn_id(), vif.ip(), server_ip_,
+      sim_, sim_.allocate_id(), vif.ip(), server_ip_,
       [&vif](wire::PacketPtr p) { vif.send_packet(std::move(p)); },
       [this](std::size_t bytes) { recorder_.record(sim_.now(), bytes); });
   vif.set_app_handler(

@@ -15,7 +15,7 @@ void VoipHarness::attach(core::LinkManager& manager) {
 
 void VoipHarness::link_up(core::VirtualInterface& vif) {
   ActiveCall call;
-  const std::uint32_t flow = tcp::next_flow_id();
+  const auto flow = static_cast<std::uint32_t>(sim_.allocate_id());
   call.started = sim_.now();
   call.sink = std::make_unique<tcp::CbrSink>(sim_, flow);
 

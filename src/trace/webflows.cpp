@@ -57,7 +57,7 @@ void WebFlowHarness::start_flow(core::VirtualInterface& vif) {
 
   current_vif_ = &vif;
   current_ = std::make_unique<tcp::DownloadClient>(
-      sim_, tcp::next_conn_id(), vif.ip(), server_ip_,
+      sim_, sim_.allocate_id(), vif.ip(), server_ip_,
       [&vif](wire::PacketPtr p) { vif.send_packet(std::move(p)); },
       /*progress=*/nullptr);
   current_->set_byte_limit(log_.back().size_bytes, [this] { flow_completed(); });

@@ -4,11 +4,6 @@
 
 namespace spider::tcp {
 
-std::uint32_t next_flow_id() {
-  static std::uint32_t next = 1;
-  return next++;
-}
-
 CbrSource::CbrSource(sim::Simulator& simulator, std::uint32_t flow_id,
                      wire::Ipv4 src, wire::Ipv4 dst, SendFn send,
                      CbrConfig config)

@@ -121,7 +121,4 @@ class CbrServer {
   sim::PeriodicTimer reap_timer_;
 };
 
-/// Fresh flow-id allocator (mirrors next_conn_id for TCP).
-std::uint32_t next_flow_id();
-
 }  // namespace spider::tcp

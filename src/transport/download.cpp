@@ -2,11 +2,6 @@
 
 namespace spider::tcp {
 
-std::uint64_t next_conn_id() {
-  static std::uint64_t next = 1;
-  return next++;
-}
-
 DownloadServer::DownloadServer(sim::Simulator& simulator, net::Host& host,
                                TcpConfig config, Time reap_idle_after)
     : sim_(simulator),

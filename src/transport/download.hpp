@@ -97,8 +97,4 @@ class DownloadClient {
   sim::EventHandle syn_timer_;
 };
 
-/// Process-wide connection-id allocator (fresh id per join, as a new HTTP
-/// connection would get a fresh source port).
-std::uint64_t next_conn_id();
-
 }  // namespace spider::tcp

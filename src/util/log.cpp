@@ -1,12 +1,15 @@
 #include "util/log.hpp"
 
+#include <atomic>
 #include <cstdio>
 #include <mutex>
 
 namespace spider {
 namespace {
 
-LogLevel g_level = LogLevel::kOff;
+// Atomic so that pool threads running simulations can consult the level
+// while another thread adjusts it (the sweep runner made this concurrent).
+std::atomic<LogLevel> g_level{LogLevel::kOff};
 Log::Sink g_sink;
 std::mutex g_mutex;
 
@@ -24,8 +27,10 @@ const char* level_name(LogLevel level) {
 
 }  // namespace
 
-LogLevel Log::level() { return g_level; }
-void Log::set_level(LogLevel level) { g_level = level; }
+LogLevel Log::level() { return g_level.load(std::memory_order_relaxed); }
+void Log::set_level(LogLevel level) {
+  g_level.store(level, std::memory_order_relaxed);
+}
 void Log::set_sink(Sink sink) {
   std::lock_guard<std::mutex> lock(g_mutex);
   g_sink = std::move(sink);

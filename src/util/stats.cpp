@@ -34,14 +34,14 @@ void Cdf::add(double x) {
   sorted_ = false;
 }
 
-void Cdf::finalize() {
+void Cdf::finalize() const {
   if (!sorted_) {
     std::sort(samples_.begin(), samples_.end());
     sorted_ = true;
   }
 }
 
-double Cdf::fraction_at_or_below(double x) {
+double Cdf::fraction_at_or_below(double x) const {
   finalize();
   if (samples_.empty()) return 0.0;
   const auto it = std::upper_bound(samples_.begin(), samples_.end(), x);
@@ -49,7 +49,7 @@ double Cdf::fraction_at_or_below(double x) {
          static_cast<double>(samples_.size());
 }
 
-double Cdf::quantile(double q) {
+double Cdf::quantile(double q) const {
   finalize();
   if (samples_.empty()) return 0.0;
   q = std::clamp(q, 0.0, 1.0);
@@ -67,7 +67,7 @@ double Cdf::mean() const {
          static_cast<double>(samples_.size());
 }
 
-std::vector<std::pair<double, double>> Cdf::curve(std::size_t points) {
+std::vector<std::pair<double, double>> Cdf::curve(std::size_t points) const {
   finalize();
   std::vector<std::pair<double, double>> out;
   if (samples_.empty() || points == 0) return out;
@@ -84,7 +84,7 @@ std::vector<std::pair<double, double>> Cdf::curve(std::size_t points) {
   return out;
 }
 
-double ks_distance(Cdf& a, Cdf& b) {
+double ks_distance(const Cdf& a, const Cdf& b) {
   a.finalize();
   b.finalize();
   if (a.empty() || b.empty()) return 1.0;

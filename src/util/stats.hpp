@@ -38,31 +38,34 @@ class Cdf {
 
   void add(double x);
   /// Sorts pending samples; called automatically by the query functions.
-  void finalize();
+  /// Logically const: sorting changes the representation, not the
+  /// distribution, so queries work on const (shared, merged) results
+  /// without forcing callers to copy.
+  void finalize() const;
 
   std::size_t size() const { return samples_.size(); }
   bool empty() const { return samples_.empty(); }
 
   /// F(x): fraction of samples <= x.
-  double fraction_at_or_below(double x);
+  double fraction_at_or_below(double x) const;
   /// Inverse CDF; q in [0,1]. q=0.5 is the median.
-  double quantile(double q);
-  double median() { return quantile(0.5); }
+  double quantile(double q) const;
+  double median() const { return quantile(0.5); }
   double mean() const;
 
   /// Evenly spaced (x, F(x)) points across [min, max] for printing a curve.
-  std::vector<std::pair<double, double>> curve(std::size_t points);
+  std::vector<std::pair<double, double>> curve(std::size_t points) const;
 
   const std::vector<double>& samples() const { return samples_; }
 
  private:
-  std::vector<double> samples_;
-  bool sorted_ = true;
+  mutable std::vector<double> samples_;
+  mutable bool sorted_ = true;
 };
 
 /// Two-sample Kolmogorov-Smirnov distance between empirical CDFs; used by
 /// tests to check that generated distributions match their targets and by
 /// the usability analysis (Figs. 16/17) to quantify shape agreement.
-double ks_distance(Cdf& a, Cdf& b);
+double ks_distance(const Cdf& a, const Cdf& b);
 
 }  // namespace spider

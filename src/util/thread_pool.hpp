@@ -1,0 +1,88 @@
+#pragma once
+
+#include <cstddef>
+#include <condition_variable>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace spider::util {
+
+/// Fixed-size worker pool for embarrassingly parallel work (one isolated
+/// simulation per job). Jobs are plain closures; completion is observed
+/// with wait_idle(). The pool is intentionally minimal — no futures, no
+/// work stealing — because the sweep workload is a static list of
+/// long-running, independent tasks.
+class ThreadPool {
+ public:
+  /// `threads == 0` selects default_jobs().
+  explicit ThreadPool(std::size_t threads = 0);
+  ~ThreadPool();
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  void submit(std::function<void()> job);
+
+  /// Blocks until every submitted job has finished.
+  void wait_idle();
+
+  std::size_t size() const { return workers_.size(); }
+
+  /// Worker count used when none is requested: the SPIDER_JOBS environment
+  /// variable if set to a positive integer, otherwise
+  /// hardware_concurrency(), and at least 1.
+  static std::size_t default_jobs();
+
+ private:
+  void worker_loop();
+
+  std::mutex mutex_;
+  std::condition_variable work_ready_;
+  std::condition_variable idle_;
+  std::deque<std::function<void()>> queue_;
+  std::vector<std::thread> workers_;
+  std::size_t active_ = 0;
+  bool stopping_ = false;
+};
+
+/// Runs `fn(0) ... fn(n-1)` on up to `jobs` workers and returns the results
+/// indexed by `i` — the caller-visible order never depends on completion
+/// order, which is what makes parallel sweeps byte-identical to serial
+/// ones. `jobs <= 1` runs inline on the calling thread (no pool, identical
+/// semantics). The first exception thrown by any job is rethrown after all
+/// jobs finish.
+template <typename Fn>
+auto parallel_map(std::size_t jobs, std::size_t n, Fn&& fn)
+    -> std::vector<decltype(fn(std::size_t{0}))> {
+  using Result = decltype(fn(std::size_t{0}));
+  std::vector<Result> results(n);
+  if (jobs == 0) jobs = ThreadPool::default_jobs();
+  if (jobs <= 1 || n <= 1) {
+    for (std::size_t i = 0; i < n; ++i) results[i] = fn(i);
+    return results;
+  }
+
+  std::exception_ptr first_error;
+  std::mutex error_mutex;
+  {
+    ThreadPool pool(std::min(jobs, n));
+    for (std::size_t i = 0; i < n; ++i) {
+      pool.submit([&, i] {
+        try {
+          results[i] = fn(i);
+        } catch (...) {
+          std::lock_guard<std::mutex> lock(error_mutex);
+          if (!first_error) first_error = std::current_exception();
+        }
+      });
+    }
+    pool.wait_idle();
+  }
+  if (first_error) std::rethrow_exception(first_error);
+  return results;
+}
+
+}  // namespace spider::util

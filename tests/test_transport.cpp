@@ -192,7 +192,7 @@ struct DownloadTest : ::testing::Test {
 TEST_F(DownloadTest, SynSpawnsSenderAndStreams) {
   std::uint64_t got = 0;
   auto client = std::make_unique<DownloadClient>(
-      sim, next_conn_id(), client_host.ip(), server.ip(),
+      sim, sim.allocate_id(), client_host.ip(), server.ip(),
       [this](wire::PacketPtr p) { client_host.send(std::move(p)); },
       [&](std::size_t b) { got += b; });
   client_host.set_handler([&](const wire::Packet& p) { client->on_packet(p); });
@@ -207,7 +207,7 @@ TEST_F(DownloadTest, SynRetriesUntilServerReachable) {
   std::uint64_t got = 0;
   bool reachable = false;
   auto client = std::make_unique<DownloadClient>(
-      sim, next_conn_id(), client_host.ip(), server.ip(),
+      sim, sim.allocate_id(), client_host.ip(), server.ip(),
       [&](wire::PacketPtr p) {
         if (reachable) client_host.send(std::move(p));
       },
@@ -226,7 +226,7 @@ TEST_F(DownloadTest, ServerReapsIdleConnections) {
     DownloadServer quick(sim, server, TcpConfig{}, /*reap_idle_after=*/sec(5));
     std::uint64_t got = 0;
     auto client = std::make_unique<DownloadClient>(
-        sim, next_conn_id(), client_host.ip(), server.ip(),
+        sim, sim.allocate_id(), client_host.ip(), server.ip(),
         [this](wire::PacketPtr p) { client_host.send(std::move(p)); },
         [&](std::size_t b) { got += b; });
     client_host.set_handler([&](const wire::Packet& p) { client->on_packet(p); });
@@ -245,11 +245,11 @@ TEST_F(DownloadTest, MultipleParallelDownloads) {
   std::uint64_t got_a = 0, got_b = 0;
   net::Host host_b{wired, wire::Ipv4(3, 3, 3, 3)};
   auto a = std::make_unique<DownloadClient>(
-      sim, next_conn_id(), client_host.ip(), server.ip(),
+      sim, sim.allocate_id(), client_host.ip(), server.ip(),
       [this](wire::PacketPtr p) { client_host.send(std::move(p)); },
       [&](std::size_t b) { got_a += b; });
   auto b = std::make_unique<DownloadClient>(
-      sim, next_conn_id(), host_b.ip(), server.ip(),
+      sim, sim.allocate_id(), host_b.ip(), server.ip(),
       [&](wire::PacketPtr p) { host_b.send(std::move(p)); },
       [&](std::size_t bytes) { got_b += bytes; });
   client_host.set_handler([&](const wire::Packet& p) { a->on_packet(p); });
@@ -262,10 +262,15 @@ TEST_F(DownloadTest, MultipleParallelDownloads) {
   EXPECT_EQ(downloads.total_connections_seen(), 2u);
 }
 
-TEST(ConnId, MonotoneUnique) {
-  const auto a = next_conn_id();
-  const auto b = next_conn_id();
+TEST(ConnId, MonotoneUniquePerSimulator) {
+  sim::Simulator sim;
+  const auto a = sim.allocate_id();
+  const auto b = sim.allocate_id();
   EXPECT_LT(a, b);
+  // A fresh simulator replays the same id sequence: runs are reproducible
+  // regardless of what else the process allocated before.
+  sim::Simulator replay;
+  EXPECT_EQ(replay.allocate_id(), a);
 }
 
 }  // namespace
