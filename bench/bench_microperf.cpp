@@ -6,6 +6,9 @@
 #include <benchmark/benchmark.h>
 
 #include <array>
+#include <chrono>
+#include <cstdio>
+#include <string_view>
 
 #include "core/link_manager.hpp"
 #include "core/spider_driver.hpp"
@@ -103,7 +106,7 @@ void BM_MediumBroadcast(benchmark::State& state) {
   }
   state.SetItemsProcessed(state.iterations() * (n - 1));
 }
-BENCHMARK(BM_MediumBroadcast)->Arg(4)->Arg(16)->Arg(64);
+BENCHMARK(BM_MediumBroadcast)->Arg(4)->Arg(16)->Arg(64)->Arg(128)->Arg(256);
 
 void BM_TownScenarioMinute(benchmark::State& state) {
   // Wall-clock cost of one simulated minute of the full stack.
@@ -152,6 +155,159 @@ BENCHMARK(BM_SweepRunnerScaling)
     ->Arg(4)
     ->Unit(benchmark::kMillisecond);
 
+// ---------------------------------------------------------------------
+// --smoke: a fixed-work self-check of the hot-path engineering, suitable
+// for ctest (label perf-smoke) and sanitizer builds. Prints and writes
+// BENCH_hotpath.json with throughput plus the allocation counters, and
+// fails (non-zero exit) if the handle-free path reports any per-event heap
+// allocation — the zero-allocation contract, enforced in CI rather than
+// eyeballed in profiles. Throughput numbers are informational: sanitizer
+// builds run the same check at a tenth the speed and still pass.
+// ---------------------------------------------------------------------
+
+int run_smoke(const char* json_path) {
+  using Clock = std::chrono::steady_clock;
+  bool ok = true;
+
+  // 1. Timer churn (cancellable path): handles must index the slab, never
+  //    allocate per event; heavy cancellation must stay compacted.
+  sim::EventQueue q;
+  constexpr int kChurnIters = 20000;
+  const auto churn_t0 = Clock::now();
+  std::int64_t t = 0;
+  for (int iter = 0; iter < kChurnIters; ++iter) {
+    for (int i = 0; i < 256; ++i) {
+      auto h = q.push(Time{t + 1000 + i}, [] {});
+      if (i % 8 != 0) h.cancel();
+    }
+    while (!q.empty()) q.pop_and_run();
+    t += 2000;
+  }
+  const double churn_secs =
+      std::chrono::duration<double>(Clock::now() - churn_t0).count();
+  const auto churn_perf = q.perf();
+  const double churn_events_per_sec = kChurnIters * 256.0 / churn_secs;
+  if (churn_perf.callbacks_heap != 0) {
+    std::fprintf(stderr,
+                 "FAIL: timer-churn scheduled %llu callbacks on the heap "
+                 "(inline capacity regression)\n",
+                 static_cast<unsigned long long>(churn_perf.callbacks_heap));
+    ok = false;
+  }
+
+  // 2. Medium fan-out (handle-free path): per-receiver deliveries must ride
+  //    the inline buffer with zero handles and zero heap callbacks.
+  sim::Simulator sim;
+  phy::Medium medium(sim, phy::Propagation({.base_loss = 0.0}), Rng(1));
+  std::vector<std::unique_ptr<phy::Radio>> radios;
+  for (int i = 0; i < 128; ++i) {
+    radios.push_back(std::make_unique<phy::Radio>(
+        medium, wire::MacAddress(i + 1),
+        [i] { return Position{static_cast<double>(i), 0}; }));
+    radios.back()->tune(6);
+  }
+  sim.run_until(msec(10));
+  const std::uint64_t popped_before = sim.perf().events_popped;
+  // Snapshot after setup: the tunes above used cancellable control events
+  // (handles by design). From here on, only the medium's delivery path
+  // runs, and it must not allocate a single handle.
+  const std::uint64_t handles_before = sim.perf().handles_allocated;
+  wire::Frame f;
+  f.type = wire::FrameType::kBeacon;
+  f.dst = wire::MacAddress::broadcast();
+  f.size_bytes = 100;
+  constexpr int kFanoutIters = 4000;
+  const auto fan_t0 = Clock::now();
+  for (int iter = 0; iter < kFanoutIters; ++iter) {
+    wire::Frame frame = f;
+    medium.transmit(*radios[0], std::move(frame));
+    sim.run_until(sim.now() + msec(2));
+  }
+  const double fan_secs =
+      std::chrono::duration<double>(Clock::now() - fan_t0).count();
+  sim::PerfCounters fan_perf = sim.perf();
+  medium.add_perf(fan_perf);
+  const double fanout_per_sec =
+      static_cast<double>(fan_perf.frames_fanout) / fan_secs;
+  if (fan_perf.callbacks_heap != 0) {
+    std::fprintf(stderr,
+                 "FAIL: fan-out scheduled %llu callbacks on the heap "
+                 "(delivery record outgrew the inline buffer)\n",
+                 static_cast<unsigned long long>(fan_perf.callbacks_heap));
+    ok = false;
+  }
+  if (fan_perf.handles_allocated != handles_before) {
+    std::fprintf(stderr,
+                 "FAIL: fan-out allocated %llu handles (deliveries must use "
+                 "the handle-free path)\n",
+                 static_cast<unsigned long long>(fan_perf.handles_allocated -
+                                                 handles_before));
+    ok = false;
+  }
+  if (medium.fanout_scheduled() == 0 ||
+      sim.perf().events_popped == popped_before) {
+    std::fprintf(stderr, "FAIL: fan-out smoke delivered nothing\n");
+    ok = false;
+  }
+
+  std::printf("hotpath smoke: %s\n", ok ? "PASS" : "FAIL");
+  std::printf("  timer churn      %.3g events/s  (callbacks_heap=%llu)\n",
+              churn_events_per_sec,
+              static_cast<unsigned long long>(churn_perf.callbacks_heap));
+  std::printf(
+      "  medium fan-out   %.3g deliveries/s  (handles=%llu heap_cbs=%llu)\n",
+      fanout_per_sec,
+      static_cast<unsigned long long>(fan_perf.handles_allocated -
+                                      handles_before),
+      static_cast<unsigned long long>(fan_perf.callbacks_heap));
+
+  if (json_path != nullptr) {
+    std::FILE* out = std::fopen(json_path, "w");
+    if (out == nullptr) {
+      std::fprintf(stderr, "FAIL: cannot write %s\n", json_path);
+      return 1;
+    }
+    std::fprintf(out,
+                 "{\n"
+                 "  \"events_per_sec\": %.1f,\n"
+                 "  \"fanout_per_sec\": %.1f,\n"
+                 "  \"churn_callbacks_heap\": %llu,\n"
+                 "  \"churn_handles_allocated\": %llu,\n"
+                 "  \"fanout_callbacks_heap\": %llu,\n"
+                 "  \"fanout_handles_allocated\": %llu,\n"
+                 "  \"fanout_scheduled\": %llu,\n"
+                 "  \"pass\": %s\n"
+                 "}\n",
+                 churn_events_per_sec, fanout_per_sec,
+                 static_cast<unsigned long long>(churn_perf.callbacks_heap),
+                 static_cast<unsigned long long>(churn_perf.handles_allocated),
+                 static_cast<unsigned long long>(fan_perf.callbacks_heap),
+                 static_cast<unsigned long long>(fan_perf.handles_allocated -
+                                                 handles_before),
+                 static_cast<unsigned long long>(fan_perf.frames_fanout),
+                 ok ? "true" : "false");
+    std::fclose(out);
+  }
+  return ok ? 0 : 1;
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  const char* json_path = nullptr;
+  bool smoke = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::string_view(argv[i]) == "--smoke") {
+      smoke = true;
+    } else if (std::string_view(argv[i]) == "--json" && i + 1 < argc) {
+      json_path = argv[++i];
+    }
+  }
+  if (smoke) return run_smoke(json_path);
+
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

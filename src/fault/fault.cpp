@@ -70,7 +70,7 @@ void FaultInjector::arm(const FaultSchedule& schedule) {
 
     const std::size_t index = log_.size();
     log_.push_back(InjectedFault{spec});
-    sim_.schedule_at(spec.at, [this, index] { begin(index); });
+    sim_.post_at(spec.at, [this, index] { begin(index); });
   }
 }
 
@@ -122,7 +122,7 @@ void FaultInjector::begin(std::size_t log_index) {
   if (instantaneous(spec.kind)) {
     end(log_index);
   } else {
-    sim_.schedule(spec.duration, [this, log_index] { end(log_index); });
+    sim_.post(spec.duration, [this, log_index] { end(log_index); });
   }
 }
 
@@ -182,7 +182,7 @@ void FaultInjector::burst_tick(std::size_t log_index, bool bad) {
   const Time mean = bad ? spec.burst_mean : spec.gap_mean;
   const Time dwell = sec(rng_.exponential(to_seconds(std::max(mean, usec(1)))));
   const Time next = std::min(sim_.now() + std::max(dwell, usec(1)), fault_end);
-  sim_.schedule_at(next, [this, log_index, bad] { burst_tick(log_index, !bad); });
+  sim_.post_at(next, [this, log_index, bad] { burst_tick(log_index, !bad); });
 }
 
 }  // namespace spider::fault

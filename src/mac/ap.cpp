@@ -131,7 +131,7 @@ void AccessPoint::on_frame(const Frame& frame) {
 
 void AccessPoint::handle_probe(const Frame& frame) {
   const auto requester = frame.src;
-  sim_.schedule(mgmt_delay(), [this, requester] {
+  sim_.post(mgmt_delay(), [this, requester] {
     if (!powered_) return;  // power lost before the response went out
     Frame resp;
     resp.type = FrameType::kProbeResponse;
@@ -146,7 +146,7 @@ void AccessPoint::handle_probe(const Frame& frame) {
 
 void AccessPoint::handle_auth(const Frame& frame) {
   const auto requester = frame.src;
-  sim_.schedule(mgmt_delay(), [this, requester] {
+  sim_.post(mgmt_delay(), [this, requester] {
     if (!powered_) return;
     Frame resp;
     resp.type = FrameType::kAuthResponse;
@@ -164,7 +164,7 @@ void AccessPoint::handle_assoc(const Frame& frame) {
   if (config_.max_clients > 0 && !clients_.contains(requester) &&
       clients_.size() >= config_.max_clients) {
     ++assoc_denials_;
-    sim_.schedule(mgmt_delay(), [this, requester] {
+    sim_.post(mgmt_delay(), [this, requester] {
       if (!powered_) return;
       Frame resp;
       resp.type = FrameType::kAssocResponse;
@@ -184,7 +184,7 @@ void AccessPoint::handle_assoc(const Frame& frame) {
   it->second.last_heard = sim_.now();
   const std::uint16_t aid = it->second.aid;
   ++assoc_grants_;
-  sim_.schedule(mgmt_delay(), [this, requester, aid] {
+  sim_.post(mgmt_delay(), [this, requester, aid] {
     if (!powered_) return;
     Frame resp;
     resp.type = FrameType::kAssocResponse;

@@ -70,7 +70,7 @@ std::optional<wire::Ipv4> DhcpServer::allocate(wire::MacAddress mac) {
 
 void DhcpServer::respond_after(Time delay, DhcpMessage response,
                                wire::MacAddress to) {
-  sim_.schedule(delay, [this, response, to] {
+  sim_.post(delay, [this, response, to] {
     if (!send_) return;
     // DHCP server responses are addressed at L2; the client has no
     // routable IP yet, so src is the server/gateway and dst is broadcast

@@ -23,9 +23,9 @@ void Link::pump() {
       config_.rate.time_for_bytes(static_cast<double>(packet->size_bytes));
   // The link is busy for the serialisation time; the packet additionally
   // rides the propagation delay before reaching the sink.
-  sim_.schedule(serialization, [this, packet = std::move(packet)]() mutable {
+  sim_.post(serialization, [this, packet = std::move(packet)]() mutable {
     busy_ = false;
-    sim_.schedule(config_.delay, [this, packet = std::move(packet)]() mutable {
+    sim_.post(config_.delay, [this, packet = std::move(packet)]() mutable {
       ++delivered_;
       if (sink_) sink_(std::move(packet));
     });

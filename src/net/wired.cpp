@@ -11,7 +11,7 @@ void WiredNetwork::register_subnet(wire::Ipv4 subnet_base, Link& downlink) {
 }
 
 void WiredNetwork::route(wire::PacketPtr packet) {
-  sim_.schedule(core_latency_, [this, packet = std::move(packet)]() mutable {
+  sim_.post(core_latency_, [this, packet = std::move(packet)]() mutable {
     if (auto host = hosts_.find(packet->dst); host != hosts_.end()) {
       ++routed_;
       host->second->receive(*packet);

@@ -1,6 +1,7 @@
 #include "phy/medium.hpp"
 
 #include <algorithm>
+#include <cassert>
 
 #include "phy/radio.hpp"
 
@@ -19,22 +20,88 @@ Medium::Medium(sim::Simulator& simulator, Propagation propagation, Rng rng,
       retry_limit_(retry_limit) {}
 
 void Medium::set_channel_impairment(wire::Channel channel, double extra_loss) {
-  impairments_[channel] = std::clamp(extra_loss, 0.0, 1.0);
+  const double clamped = std::clamp(extra_loss, 0.0, 1.0);
+  if (flat_channel(channel)) {
+    impairment_flat_[static_cast<std::size_t>(channel)] = clamped;
+  } else {
+    impairments_other_[channel] = clamped;
+  }
 }
 
 void Medium::clear_channel_impairment(wire::Channel channel) {
-  impairments_.erase(channel);
+  if (flat_channel(channel)) {
+    impairment_flat_[static_cast<std::size_t>(channel)] = 0.0;
+  } else {
+    impairments_other_.erase(channel);
+  }
 }
 
 double Medium::channel_impairment(wire::Channel channel) const {
-  auto it = impairments_.find(channel);
-  return it == impairments_.end() ? 0.0 : it->second;
+  if (flat_channel(channel)) {
+    return impairment_flat_[static_cast<std::size_t>(channel)];
+  }
+  auto it = impairments_other_.find(channel);
+  return it == impairments_other_.end() ? 0.0 : it->second;
 }
 
-void Medium::attach(Radio& radio) { radios_.push_back(&radio); }
+std::vector<std::uint32_t>& Medium::cohort(wire::Channel channel) {
+  if (flat_channel(channel)) {
+    return cohorts_[static_cast<std::size_t>(channel)];
+  }
+  return cohorts_other_[channel];
+}
+
+void Medium::cohort_insert(wire::Channel channel, std::uint32_t slot) {
+  auto& v = cohort(channel);
+  const std::uint64_t seq = slots_[slot].attach_seq;
+  // Keep the cohort sorted by attach order so the transmit loop visits
+  // same-channel radios in the exact sequence the old whole-table scan
+  // would have (a retuned radio re-enters at its original rank, not at the
+  // back). Cohorts are small (radios per channel), so the shift is cheap.
+  auto it = std::lower_bound(
+      v.begin(), v.end(), seq, [this](std::uint32_t s, std::uint64_t q) {
+        return slots_[s].attach_seq < q;
+      });
+  v.insert(it, slot);
+}
+
+void Medium::cohort_remove(wire::Channel channel, std::uint32_t slot) {
+  auto& v = cohort(channel);
+  v.erase(std::remove(v.begin(), v.end(), slot), v.end());
+}
+
+void Medium::attach(Radio& radio) {
+  std::uint32_t slot;
+  if (!free_slots_.empty()) {
+    slot = free_slots_.back();
+    free_slots_.pop_back();
+  } else {
+    slot = static_cast<std::uint32_t>(slots_.size());
+    slots_.emplace_back();
+  }
+  Slot& s = slots_[slot];
+  s.radio = &radio;
+  ++s.generation;
+  s.attach_seq = next_attach_seq_++;
+  radio.medium_slot_ = slot;
+  cohort_insert(radio.channel(), slot);
+}
 
 void Medium::detach(Radio& radio) {
-  radios_.erase(std::remove(radios_.begin(), radios_.end(), &radio), radios_.end());
+  const std::uint32_t slot = radio.medium_slot_;
+  assert(slot < slots_.size() && slots_[slot].radio == &radio);
+  cohort_remove(radio.channel(), slot);
+  Slot& s = slots_[slot];
+  s.radio = nullptr;
+  // Bump on detach too: in-flight deliveries stamped with the old
+  // generation die immediately, before the slot is ever reused.
+  ++s.generation;
+  free_slots_.push_back(slot);
+}
+
+void Medium::retune(Radio& radio, wire::Channel old_channel) {
+  cohort_remove(old_channel, radio.medium_slot_);
+  cohort_insert(radio.channel(), radio.medium_slot_);
 }
 
 Time Medium::airtime(std::size_t bytes, BitRate rate) {
@@ -44,43 +111,77 @@ Time Medium::airtime(std::size_t bytes, BitRate rate) {
 void Medium::transmit(Radio& sender, wire::Frame frame) {
   ++frames_sent_;
   frame.channel = sender.channel();
+  const auto& rx_cohort = cohort(frame.channel);
+  // The sender is always a member of its own channel cohort.
+  candidates_examined_ += rx_cohort.size() - 1;
+  if (rx_cohort.size() < 2) return;  // nobody else tuned here
+
   const Position tx_pos = sender.position();
   const Time arrival = airtime(frame.size_bytes, sender.config().phy_rate);
   const double impairment = channel_impairment(frame.channel);
 
-  for (Radio* rx : radios_) {
+  // One pooled body cell for every receiver; reception-time fields (rssi)
+  // are patched per delivery just before the upcall. Each scheduled
+  // delivery carries only the cell index plus a POD reception record —
+  // trivially copyable, so it takes the event queue's memcpy fast path and
+  // allocates nothing.
+  std::uint32_t body_idx;
+  if (!free_bodies_.empty()) {
+    body_idx = free_bodies_.back();
+    free_bodies_.pop_back();
+    bodies_[body_idx].frame = std::move(frame);
+  } else {
+    body_idx = static_cast<std::uint32_t>(bodies_.size());
+    bodies_.push_back(BodyCell{std::move(frame), 0});
+  }
+  const wire::Frame& body = bodies_[body_idx].frame;
+
+  for (const std::uint32_t rx_slot : rx_cohort) {
+    Radio* rx = slots_[rx_slot].radio;
     if (rx == &sender) continue;
-    if (rx->channel() != frame.channel) continue;  // early filter; recheck on arrival
     const Position rx_pos = rx->position();
-    if (!propagation_.in_range(tx_pos, rx_pos)) continue;
+    // One sqrt per candidate: range check, loss, and RSSI all reuse it.
+    const double dist = distance(tx_pos, rx_pos);
+    if (!propagation_.in_range_at(dist)) continue;
     // Interference (fault injection) is independent of the distance loss.
-    const double p_prop = propagation_.loss_probability(tx_pos, rx_pos);
+    const double p_prop = propagation_.loss_probability_at(dist);
     const double p_loss = 1.0 - (1.0 - p_prop) * (1.0 - impairment);
 
     // Unicast frames to their addressee enjoy link-layer ARQ; everyone
     // else (and all broadcast traffic) gets a single shot.
-    const bool arq = !frame.dst.is_broadcast() && rx->owns_address(frame.dst);
+    const bool arq = !body.dst.is_broadcast() && rx->owns_address(body.dst);
     const int attempts_allowed = arq ? 1 + retry_limit_ : 1;
     int attempt = 1;
     while (attempt <= attempts_allowed && rng_.chance(p_loss)) ++attempt;
     if (attempt > attempts_allowed) continue;  // lost despite retries
 
-    wire::Frame delivered = frame;
-    delivered.rssi_dbm = propagation_.rssi_dbm(tx_pos, rx_pos);
-    ++frames_delivered_;
+    const double rssi = propagation_.rssi_dbm_at(dist);
+    const std::uint32_t generation = slots_[rx_slot].generation;
+    ++bodies_[body_idx].refs;
+    ++fanout_scheduled_;
     // Each retry costs roughly one more airtime before the frame lands.
     // The receiver must still exist (radios detach from their destructor —
     // an AP can be torn down with frames in flight), be tuned and listening
-    // when the frame ends.
-    sim_.schedule(arrival * attempt, [this, rx, delivered = std::move(delivered)] {
-      if (std::find(radios_.begin(), radios_.end(), rx) == radios_.end()) {
-        return;
+    // when the frame ends; the (slot, generation) stamp checks that in O(1)
+    // and cannot be fooled by a new radio at the old radio's address.
+    sim_.post(arrival * attempt, [this, rx_slot, generation, body_idx, rssi] {
+      const Slot& s = slots_[rx_slot];
+      BodyCell& cell = bodies_[body_idx];
+      if (s.radio == nullptr || s.generation != generation ||
+          !s.radio->listening() || s.radio->channel() != cell.frame.channel) {
+        ++frames_dropped_at_rx_;
+      } else {
+        cell.frame.rssi_dbm = rssi;
+        ++frames_delivered_;
+        s.radio->deliver(cell.frame);
       }
-      if (rx->listening() && rx->channel() == delivered.channel) {
-        rx->deliver(delivered);
-      }
+      // Re-index: the deliver() upcall may have transmitted (growing the
+      // pool); deque references stay valid but be explicit anyway.
+      if (--bodies_[body_idx].refs == 0) free_bodies_.push_back(body_idx);
     });
   }
+  // Everyone missed the loss draw: recycle the cell right away.
+  if (bodies_[body_idx].refs == 0) free_bodies_.push_back(body_idx);
 }
 
 }  // namespace spider::phy

@@ -1,6 +1,8 @@
 #pragma once
 
-#include <functional>
+#include <array>
+#include <cstdint>
+#include <deque>
 #include <unordered_map>
 #include <vector>
 
@@ -35,6 +37,16 @@ class Radio;
 /// from MAC contention (its outdoor cells are sparse); modelling loss as a
 /// distance-dependent Bernoulli process keeps runs deterministic per seed
 /// and is consistent with the paper's own analytical treatment (flat h).
+///
+/// Hot-path engineering (see DESIGN.md §8): radios are held in a
+/// generation-stamped slot registry and indexed per channel, so transmit
+/// touches only same-channel radios and in-flight deliveries validate the
+/// receiver in O(1) (immune to a new radio reusing a detached radio's
+/// address). The frame body is moved once into a refcounted pooled cell;
+/// each scheduled delivery carries only {cell index, slot, generation,
+/// rssi} — a trivially copyable reception record that rides the event
+/// queue's inline buffer via its memcpy fast path, so the whole fan-out
+/// performs zero heap allocations in steady state.
 class Medium {
  public:
   /// Default max retransmissions of a unicast frame. Stock drivers use ~7;
@@ -71,17 +83,87 @@ class Medium {
   static Time airtime(std::size_t bytes, BitRate rate);
 
   std::uint64_t frames_sent() const { return frames_sent_; }
+  /// Frames that actually reached a receiver's upcall (counted at delivery
+  /// time, not when scheduled — a receiver that detaches or retunes while
+  /// the frame is in the air is a drop, not a delivery).
   std::uint64_t frames_delivered() const { return frames_delivered_; }
+  /// In-flight frames that missed because the receiver detached, retuned,
+  /// or was mid-reset when the frame arrived.
+  std::uint64_t frames_dropped_at_rx() const { return frames_dropped_at_rx_; }
+  /// Per-receiver deliveries scheduled (fan-out actually put on the wire).
+  std::uint64_t fanout_scheduled() const { return fanout_scheduled_; }
+  /// Same-channel candidate radios examined across all transmits.
+  std::uint64_t candidates_examined() const { return candidates_examined_; }
+
+  /// Folds the medium's fan-out counters into engine perf counters.
+  void add_perf(sim::PerfCounters& perf) const {
+    perf.frames_fanout += fanout_scheduled_;
+    perf.radio_candidates += candidates_examined_;
+  }
 
  private:
+  friend class Radio;
+
+  /// Slot registry entry. `generation` bumps on every attach *and* detach,
+  /// so an in-flight delivery stamped with (slot, generation) can tell a
+  /// still-attached receiver from any later tenant of the same slot — even
+  /// one allocated at the detached radio's exact address.
+  struct Slot {
+    Radio* radio = nullptr;
+    std::uint32_t generation = 0;
+    std::uint64_t attach_seq = 0;  ///< global attach order, for RNG stability
+  };
+
+  /// Channels below this bound (the whole 2.4 GHz band; the paper sweeps
+  /// {1,6,11}) use flat arrays for the per-channel radio cohort and the
+  /// impairment lookup — no hashing on the transmit path. Anything else
+  /// falls back to maps.
+  static constexpr int kFlatChannels = 15;
+  static bool flat_channel(wire::Channel c) {
+    return c >= 0 && c < kFlatChannels;
+  }
+
+  std::vector<std::uint32_t>& cohort(wire::Channel channel);
+  void cohort_insert(wire::Channel channel, std::uint32_t slot);
+  void cohort_remove(wire::Channel channel, std::uint32_t slot);
+  /// Called by Radio when its tuned channel actually changes.
+  void retune(Radio& radio, wire::Channel old_channel);
+
   sim::Simulator& sim_;
   Propagation propagation_;
   Rng rng_;
   int retry_limit_;
-  std::vector<Radio*> radios_;
-  std::unordered_map<wire::Channel, double> impairments_;
+
+  std::vector<Slot> slots_;
+  std::vector<std::uint32_t> free_slots_;
+  std::uint64_t next_attach_seq_ = 0;
+  /// Per-channel cohorts of slot ids, ordered by attach_seq so transmit
+  /// examines same-channel radios in exactly the order the old full-table
+  /// scan did (RNG draw order is part of the determinism contract).
+  std::array<std::vector<std::uint32_t>, kFlatChannels> cohorts_;
+  std::unordered_map<wire::Channel, std::vector<std::uint32_t>> cohorts_other_;
+
+  std::array<double, kFlatChannels> impairment_flat_{};
+  std::unordered_map<wire::Channel, double> impairments_other_;
+
+  /// One transmitted frame body shared by its whole fan-out. `refs` counts
+  /// scheduled deliveries still in flight (non-atomic: the medium lives on
+  /// one simulation thread); cells are recycled through free_bodies_, so
+  /// steady-state transmits reuse storage instead of allocating. A deque
+  /// keeps cell references stable while a deliver() upcall reentrantly
+  /// transmits (which may grow the pool).
+  struct BodyCell {
+    wire::Frame frame;
+    std::uint32_t refs = 0;
+  };
+  std::deque<BodyCell> bodies_;
+  std::vector<std::uint32_t> free_bodies_;
+
   std::uint64_t frames_sent_ = 0;
   std::uint64_t frames_delivered_ = 0;
+  std::uint64_t frames_dropped_at_rx_ = 0;
+  std::uint64_t fanout_scheduled_ = 0;
+  std::uint64_t candidates_examined_ = 0;
 };
 
 }  // namespace spider::phy

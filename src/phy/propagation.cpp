@@ -1,29 +1,19 @@
 #include "phy/propagation.hpp"
 
-#include <algorithm>
-#include <cmath>
-
 namespace spider::phy {
 
 Propagation::Propagation(PropagationConfig config) : config_(config) {}
 
 bool Propagation::in_range(const Position& a, const Position& b) const {
-  return distance(a, b) <= config_.range_m;
+  return in_range_at(distance(a, b));
 }
 
 double Propagation::loss_probability(const Position& a, const Position& b) const {
-  const double d = distance(a, b);
-  if (d > config_.range_m) return 1.0;
-  if (d <= config_.good_radius_m) return config_.base_loss;
-  const double edge_span = config_.range_m - config_.good_radius_m;
-  const double frac = edge_span <= 0.0 ? 1.0 : (d - config_.good_radius_m) / edge_span;
-  return std::clamp(config_.base_loss + frac * (1.0 - config_.base_loss), 0.0, 1.0);
+  return loss_probability_at(distance(a, b));
 }
 
 double Propagation::rssi_dbm(const Position& a, const Position& b) const {
-  const double d = std::max(1.0, distance(a, b));
-  return config_.tx_power_dbm - 40.0 -
-         10.0 * config_.path_loss_exponent * std::log10(d);
+  return rssi_dbm_at(distance(a, b));
 }
 
 }  // namespace spider::phy

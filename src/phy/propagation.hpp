@@ -1,5 +1,8 @@
 #pragma once
 
+#include <algorithm>
+#include <cmath>
+
 #include "util/units.hpp"
 
 namespace spider::phy {
@@ -34,6 +37,28 @@ class Propagation {
 
   /// Log-distance RSSI estimate in dBm; used for AP-selection tiebreaks.
   double rssi_dbm(const Position& a, const Position& b) const;
+
+  // Distance-based variants for callers that already computed the
+  // separation (the medium's transmit loop needs all three answers for one
+  // candidate; recomputing sqrt three times showed up in profiles). Inline:
+  // they run once per same-channel candidate on every transmit.
+  bool in_range_at(double distance_m) const {
+    return distance_m <= config_.range_m;
+  }
+  double loss_probability_at(double d) const {
+    if (d > config_.range_m) return 1.0;
+    if (d <= config_.good_radius_m) return config_.base_loss;
+    const double edge_span = config_.range_m - config_.good_radius_m;
+    const double frac =
+        edge_span <= 0.0 ? 1.0 : (d - config_.good_radius_m) / edge_span;
+    return std::clamp(config_.base_loss + frac * (1.0 - config_.base_loss),
+                      0.0, 1.0);
+  }
+  double rssi_dbm_at(double distance_m) const {
+    const double d = std::max(1.0, distance_m);
+    return config_.tx_power_dbm - 40.0 -
+           10.0 * config_.path_loss_exponent * std::log10(d);
+  }
 
  private:
   PropagationConfig config_;

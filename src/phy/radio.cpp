@@ -40,8 +40,13 @@ void Radio::begin_reset() {
   switch_event_ = medium_.simulator().schedule(config_.switch_latency, [this] {
     PendingTune tune = std::move(*pending_tune_);
     pending_tune_.reset();
+    const wire::Channel old_channel = channel_;
     channel_ = tune.channel;
     resetting_ = false;
+    // The medium's channel index tracks channel_ exactly: membership moves
+    // at the instant the retune completes, never while frames for the old
+    // channel are still addressed to this radio's cohort entry.
+    if (channel_ != old_channel) medium_.retune(*this, old_channel);
     pump_tx();
     if (tune.done) tune.done();
   });

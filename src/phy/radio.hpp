@@ -1,5 +1,6 @@
 #pragma once
 
+#include <cstdint>
 #include <deque>
 #include <functional>
 #include <optional>
@@ -92,6 +93,8 @@ class Radio {
   std::uint64_t tx_bytes() const { return tx_bytes_; }
 
  private:
+  friend class Medium;
+
   struct PendingTune {
     wire::Channel channel;
     std::function<void()> done;
@@ -101,6 +104,9 @@ class Radio {
   void begin_reset();
 
   Medium& medium_;
+  /// Index into the medium's generation-stamped slot registry; assigned by
+  /// Medium::attach and used for O(1) liveness checks on in-flight frames.
+  std::uint32_t medium_slot_ = 0;
   wire::MacAddress mac_;
   PositionFn position_;
   RadioConfig config_;

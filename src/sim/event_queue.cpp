@@ -2,94 +2,109 @@
 
 #include <algorithm>
 #include <cassert>
-#include <utility>
 
 namespace spider::sim {
-namespace {
 
-/// Below this size a rebuild costs more bookkeeping than the dead entries
-/// it would reclaim; lazy top-dropping handles small heaps fine.
-constexpr std::size_t kCompactionFloor = 64;
+EventQueue::EventQueue() : shared_(new detail::QueueShared(this)) {}
 
-}  // namespace
-
-EventQueue::EventQueue()
-    : tally_(std::make_shared<EventHandle::QueueTally>()) {}
-
-EventHandle EventQueue::push(Time when, Callback cb) {
-  auto state = std::make_shared<EventHandle::State>();
-  state->tally = tally_;
-  heap_.push_back(Entry{when, next_seq_++, std::move(cb), state});
-  std::push_heap(heap_.begin(), heap_.end(), Later{});
-  if (heap_.size() > heap_peak_) heap_peak_ = heap_.size();
-  maybe_compact();
-  return EventHandle{std::move(state)};
+EventQueue::~EventQueue() {
+  clear();
+  shared_->queue = nullptr;
+  shared_->release();
 }
 
-void EventQueue::drop_cancelled() const {
-  while (!heap_.empty() && heap_.front().state->cancelled) {
+EventHandle EventQueue::push(Time when, Callback&& cb) {
+  ++handles_allocated_;
+  const std::uint64_t seq = next_seq_;  // stamped by push_entry
+  EventHandle handle;
+  handle.payload_ = push_entry(when, std::move(cb));
+  handle.seq_ = seq;
+  handle.shared_ = shared_;
+  shared_->add_ref();
+  return handle;
+}
+
+void EventQueue::release_payload(std::uint32_t index) const {
+  Payload& p = payloads_[index];
+  p.cb = Callback{};
+  p.seq = kStaleSeq;
+  p.cancelled = false;
+  free_payloads_.push_back(index);
+}
+
+void EventQueue::drop_cancelled_slow() const {
+  do {
     std::pop_heap(heap_.begin(), heap_.end(), Later{});
-    heap_.back().state->in_heap = false;
+    release_payload(heap_.back().payload);
     heap_.pop_back();
-    --tally_->cancelled_in_heap;
-  }
+    --shared_->cancelled_in_heap;
+  } while (!heap_.empty() && entry_dead(heap_.front()));
 }
 
-void EventQueue::maybe_compact() const {
-  if (heap_.size() < kCompactionFloor ||
-      tally_->cancelled_in_heap * 2 <= heap_.size()) {
-    return;
-  }
-  // Mark the dead states first: remove_if leaves moved-from entries (with
-  // null state pointers) in the tail, so they cannot be marked afterwards.
-  for (auto& entry : heap_) {
-    if (entry.state->cancelled) entry.state->in_heap = false;
+void EventQueue::compact() {
+  // Two passes: disengage dead payloads first (marking entries with a
+  // sentinel), then sweep — remove_if predicates must stay side-effect-free.
+  constexpr std::uint32_t kDeadEntry = ~std::uint32_t{0};
+  for (Entry& e : heap_) {
+    if (entry_dead(e)) {
+      release_payload(e.payload);
+      e.payload = kDeadEntry;
+    }
   }
   heap_.erase(std::remove_if(heap_.begin(), heap_.end(),
-                             [](const Entry& e) { return e.state->cancelled; }),
+                             [](const Entry& e) { return e.payload == kDeadEntry; }),
               heap_.end());
   std::make_heap(heap_.begin(), heap_.end(), Later{});
-  tally_->cancelled_in_heap = 0;
+  shared_->cancelled_in_heap = 0;
   ++compactions_;
-}
-
-bool EventQueue::empty() const {
-  drop_cancelled();
-  return heap_.empty();
-}
-
-Time EventQueue::next_time() const {
-  drop_cancelled();
-  return heap_.empty() ? Time::max() : heap_.front().when;
 }
 
 Time EventQueue::pop_and_run() {
   drop_cancelled();
   assert(!heap_.empty());
-  // Detach the entry before running: the callback may push new events
-  // (which would reallocate the heap) or cancel anything, including itself.
+  // Detach the callback before running: it may push new events (which
+  // would reallocate the slab) or cancel anything, including itself.
   std::pop_heap(heap_.begin(), heap_.end(), Later{});
   const Time when = heap_.back().when;
-  Callback cb = std::move(heap_.back().cb);
-  heap_.back().state->in_heap = false;
+  const std::uint32_t index = heap_.back().payload;
+  Callback cb = std::move(payloads_[index].cb);
+  release_payload(index);
   heap_.pop_back();
   ++popped_;
   cb();
   return when;
 }
 
+bool EventQueue::pop_and_run_until(Time deadline, Time& clock) {
+  drop_cancelled();
+  if (heap_.empty() || heap_.front().when > deadline) return false;
+  std::pop_heap(heap_.begin(), heap_.end(), Later{});
+  const Time when = heap_.back().when;
+  const std::uint32_t index = heap_.back().payload;
+  Callback cb = std::move(payloads_[index].cb);
+  release_payload(index);
+  heap_.pop_back();
+  ++popped_;
+  clock = when;  // advance the caller's clock before dispatch
+  cb();
+  return true;
+}
+
 void EventQueue::clear() {
-  for (auto& entry : heap_) entry.state->in_heap = false;
   heap_.clear();
-  tally_->cancelled_in_heap = 0;
+  payloads_.clear();
+  free_payloads_.clear();
+  shared_->cancelled_in_heap = 0;
 }
 
 PerfCounters EventQueue::perf() const {
   PerfCounters p;
   p.events_popped = popped_;
-  p.events_cancelled = tally_->cancelled_total;
+  p.events_cancelled = shared_->cancelled_total;
   p.heap_peak = heap_peak_;
   p.compactions = compactions_;
+  p.handles_allocated = handles_allocated_;
+  p.callbacks_heap = callbacks_heap_;
   return p;
 }
 

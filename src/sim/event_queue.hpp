@@ -1,87 +1,161 @@
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
-#include <functional>
-#include <memory>
+#include <utility>
 #include <vector>
 
 #include "sim/perf.hpp"
+#include "util/inline_function.hpp"
 #include "util/time.hpp"
 
 namespace spider::sim {
 
+class EventQueue;
+
+namespace detail {
+
+/// Small block shared by the queue and every outstanding handle: the
+/// cancellation tallies plus a back-pointer to the queue that is nulled
+/// when the queue dies, so a handle can always tell whether cancelling is
+/// still meaningful. Intrusively refcounted (non-atomically — a queue and
+/// its handles belong to one simulation, and each simulation runs on one
+/// thread; the sweep runner parallelises across whole simulations, never
+/// within one).
+struct QueueShared {
+  EventQueue* queue;                  ///< null once the queue is destroyed
+  std::size_t cancelled_in_heap = 0;  ///< dead entries still in the heap
+  std::uint64_t cancelled_total = 0;  ///< lifetime cancellations
+  std::uint32_t refs = 1;             ///< queue + live handles
+
+  explicit QueueShared(EventQueue* q) : queue(q) {}
+
+  void add_ref() { ++refs; }
+  void release() {
+    if (--refs == 0) delete this;
+  }
+};
+
+}  // namespace detail
+
 /// Handle for a scheduled event. Holding one allows cancellation; the
-/// handle is cheap to copy (shared ownership of a small control block).
+/// handle is three words — a pointer to the queue's shared block plus the
+/// event's slab index and sequence number — and allocates nothing: the
+/// cancellation flag lives in the queue's payload slab, and the sequence
+/// number distinguishes this event from any later tenant of the same cell.
 ///
 /// Cancellation is O(1): the entry stays in the heap but is marked dead,
-/// and the queue's live count is decremented immediately through the shared
-/// control block — the timer-heavy MAC/DHCP state machines cancel far more
-/// timers than ever fire. The queue compacts itself when dead entries
-/// dominate, so deep-in-heap cancellations cannot accumulate unboundedly.
+/// and the queue's live count is decremented immediately — the timer-heavy
+/// MAC/DHCP state machines cancel far more timers than ever fire. The
+/// queue compacts itself when dead entries dominate, so deep-in-heap
+/// cancellations cannot accumulate unboundedly. Cancelling after the event
+/// fired (or after the queue died) is a safe no-op.
+///
+/// Events that are never cancelled should use the handle-free path
+/// (EventQueue::push_nocancel / Simulator::post), which skips handle
+/// bookkeeping entirely.
 class EventHandle {
  public:
   EventHandle() = default;
+  EventHandle(const EventHandle& other)
+      : shared_(other.shared_), payload_(other.payload_), seq_(other.seq_) {
+    if (shared_) shared_->add_ref();
+  }
+  EventHandle(EventHandle&& other) noexcept
+      : shared_(std::exchange(other.shared_, nullptr)),
+        payload_(other.payload_),
+        seq_(other.seq_) {}
+  EventHandle& operator=(EventHandle other) noexcept {
+    std::swap(shared_, other.shared_);
+    std::swap(payload_, other.payload_);
+    std::swap(seq_, other.seq_);
+    return *this;
+  }
+  ~EventHandle() {
+    if (shared_) shared_->release();
+  }
 
   void cancel();
-  bool valid() const { return state_ != nullptr; }
-  bool cancelled() const { return state_ && state_->cancelled; }
+  bool valid() const { return shared_ != nullptr; }
+  /// True while the event is scheduled and has been cancelled; false once
+  /// the event fired or its entry left the heap.
+  bool cancelled() const;
 
  private:
   friend class EventQueue;
-
-  /// Per-queue tally shared by every handle of that queue, so cancel()
-  /// can keep the live count accurate without a back-pointer to the queue
-  /// (which handles may outlive).
-  struct QueueTally {
-    std::size_t cancelled_in_heap = 0;  ///< dead entries still in the heap
-    std::uint64_t cancelled_total = 0;  ///< lifetime cancellations
-  };
-  struct State {
-    bool cancelled = false;
-    bool in_heap = true;  ///< cleared when the entry leaves the heap
-    std::shared_ptr<QueueTally> tally;
-  };
-
-  explicit EventHandle(std::shared_ptr<State> state) : state_(std::move(state)) {}
-  std::shared_ptr<State> state_;
+  detail::QueueShared* shared_ = nullptr;
+  std::uint32_t payload_ = 0;
+  std::uint64_t seq_ = 0;
 };
-
-inline void EventHandle::cancel() {
-  if (!state_ || state_->cancelled) return;
-  state_->cancelled = true;
-  ++state_->tally->cancelled_total;
-  if (state_->in_heap) ++state_->tally->cancelled_in_heap;
-}
 
 /// Time-ordered queue of callbacks. Ties are broken by insertion order so
 /// that same-timestamp events run FIFO — this makes frame delivery and
 /// timer interleavings deterministic.
+///
+/// Layout (see DESIGN.md §8): the binary heap itself holds only 24-byte
+/// POD keys {when, seq, payload index}; callbacks live in a free-listed
+/// slab beside it. Heap sifts therefore move trivially copyable keys, and
+/// each callback is relocated exactly once (slab → stack on pop) instead
+/// of O(log n) times through the sift path.
 class EventQueue {
  public:
-  using Callback = std::function<void()>;
+  /// Inline-capacity budget for scheduled callbacks. Large enough for every
+  /// hot-path capture in the tree (the medium's delivery record is the
+  /// biggest at ~32 bytes); callbacks_heap in PerfCounters counts the
+  /// fallbacks, so an outgrown capture shows up in --perf-csv rather than
+  /// silently re-introducing per-event mallocs.
+  static constexpr std::size_t kCallbackCapacity = 64;
+  using Callback = util::InlineFunction<kCallbackCapacity>;
 
   EventQueue();
+  ~EventQueue();
+  EventQueue(const EventQueue&) = delete;
+  EventQueue& operator=(const EventQueue&) = delete;
 
-  EventHandle push(Time when, Callback cb);
+  /// Schedules a cancellable event. Allocation-free: the handle indexes the
+  /// queue's own slab.
+  EventHandle push(Time when, Callback&& cb);
+
+  /// Handle-free fast path: schedules an event that can never be cancelled.
+  /// Ordering (including FIFO ties) is identical to push() — both draw
+  /// from the same sequence counter. Inline so a call site's lambda is
+  /// materialised straight into the slab cell instead of bouncing through
+  /// a temporary.
+  void push_nocancel(Time when, Callback&& cb) {
+    push_entry(when, std::move(cb));
+  }
 
   /// True if no live (non-cancelled) event remains.
-  bool empty() const;
+  bool empty() const {
+    drop_cancelled();
+    return heap_.empty();
+  }
 
   /// Timestamp of the earliest live event; Time::max() when empty.
-  Time next_time() const;
+  Time next_time() const {
+    drop_cancelled();
+    return heap_.empty() ? Time::max() : heap_.front().when;
+  }
 
   /// Pops and runs the earliest live event, returning its timestamp. The
-  /// callback is moved out of the heap (never deep-copied) and the entry is
+  /// callback is moved out of the slab (never deep-copied) and the entry is
   /// removed before it runs, so callbacks may freely push or cancel.
   /// Precondition: !empty().
   Time pop_and_run();
+
+  /// Fused form of empty()/next_time()/pop_and_run() for dispatch loops:
+  /// if a live event exists with timestamp <= deadline, stores its
+  /// timestamp in `clock` *before* running it (so the callback observes the
+  /// advanced clock) and returns true; otherwise runs nothing and returns
+  /// false. One front-of-heap inspection per event instead of three.
+  bool pop_and_run_until(Time deadline, Time& clock);
 
   void clear();
 
   /// Number of scheduled, not-yet-cancelled events (exact — cancellation
   /// is accounted for immediately, not when the entry is lazily dropped).
   std::size_t live_size() const {
-    return heap_.size() - tally_->cancelled_in_heap;
+    return heap_.size() - shared_->cancelled_in_heap;
   }
   /// Physical heap size including dead (cancelled, undropped) entries.
   std::size_t heap_size() const { return heap_.size(); }
@@ -91,11 +165,13 @@ class EventQueue {
   PerfCounters perf() const;
 
  private:
+  friend class EventHandle;
+
+  /// Heap key: trivially copyable so sift operations are plain memmoves.
   struct Entry {
     Time when;
     std::uint64_t seq;
-    Callback cb;
-    std::shared_ptr<EventHandle::State> state;
+    std::uint32_t payload;  ///< index into payloads_
   };
   struct Later {
     bool operator()(const Entry& a, const Entry& b) const {
@@ -103,19 +179,97 @@ class EventQueue {
       return a.seq > b.seq;
     }
   };
+  /// A slab cell never holds a fired/cancelled-and-dropped event: seq is
+  /// reset to kStaleSeq on release, so a handle whose seq no longer matches
+  /// knows its event is gone regardless of who occupies the cell now.
+  static constexpr std::uint64_t kStaleSeq = ~std::uint64_t{0};
+  struct Payload {
+    Callback cb;
+    std::uint64_t seq = kStaleSeq;  ///< seq of the occupying entry
+    bool cancelled = false;
+  };
 
-  void drop_cancelled() const;
-  void maybe_compact() const;
+  /// Below this size a rebuild costs more bookkeeping than the dead
+  /// entries it would reclaim; lazy top-dropping handles small heaps fine.
+  static constexpr std::size_t kCompactionFloor = 64;
+
+  bool entry_dead(const Entry& e) const { return payloads_[e.payload].cancelled; }
+  /// Schedules the callback and returns its slab index (seq stamped).
+  std::uint32_t push_entry(Time when, Callback&& cb) {
+    if (cb.heap_allocated()) ++callbacks_heap_;
+    const std::uint64_t seq = next_seq_++;
+    std::uint32_t index;
+    if (!free_payloads_.empty()) {
+      index = free_payloads_.back();
+      free_payloads_.pop_back();
+      Payload& p = payloads_[index];
+      p.cb = std::move(cb);
+      p.seq = seq;
+      p.cancelled = false;
+    } else {
+      index = static_cast<std::uint32_t>(payloads_.size());
+      payloads_.push_back(Payload{std::move(cb), seq, false});
+    }
+    heap_.push_back(Entry{when, seq, index});
+    std::push_heap(heap_.begin(), heap_.end(), Later{});
+    if (heap_.size() > heap_peak_) heap_peak_ = heap_.size();
+    maybe_compact();
+    return index;
+  }
+  /// Disengages a payload cell and recycles its index.
+  void release_payload(std::uint32_t index) const;
+  // Inline fast checks with out-of-line slow paths: these run on every
+  // push/pop, and almost always decide "nothing to do".
+  void drop_cancelled() const {
+    if (!heap_.empty() && entry_dead(heap_.front())) drop_cancelled_slow();
+  }
+  void maybe_compact() {
+    if (heap_.size() >= kCompactionFloor &&
+        shared_->cancelled_in_heap * 2 > heap_.size()) {
+      compact();
+    }
+  }
+  void drop_cancelled_slow() const;
+  void compact();
+
+  /// EventHandle entry points (bounds-checked: clear() may have shrunk the
+  /// slab since the handle was issued).
+  void cancel_event(std::uint32_t payload, std::uint64_t seq) {
+    if (payload >= payloads_.size()) return;  // slab shrunk by clear()
+    Payload& p = payloads_[payload];
+    if (p.seq != seq || p.cancelled) return;  // fired, recycled, or repeated
+    p.cancelled = true;
+    ++shared_->cancelled_total;
+    ++shared_->cancelled_in_heap;
+  }
+  bool event_cancelled(std::uint32_t payload, std::uint64_t seq) const {
+    return payload < payloads_.size() && payloads_[payload].seq == seq &&
+           payloads_[payload].cancelled;
+  }
 
   // The heap is a plain vector managed with std::push_heap/pop_heap so the
-  // top entry can be moved from and dead entries can be compacted in place
-  // (std::priority_queue exposes neither).
+  // top entry can be inspected/removed and dead entries can be compacted in
+  // place (std::priority_queue exposes neither).
   mutable std::vector<Entry> heap_;
+  mutable std::vector<Payload> payloads_;
+  mutable std::vector<std::uint32_t> free_payloads_;
   std::uint64_t next_seq_ = 0;
-  std::shared_ptr<EventHandle::QueueTally> tally_;
+  detail::QueueShared* shared_;
   mutable std::uint64_t popped_ = 0;
-  mutable std::uint64_t compactions_ = 0;
+  std::uint64_t compactions_ = 0;
   std::size_t heap_peak_ = 0;
+  std::uint64_t handles_allocated_ = 0;
+  std::uint64_t callbacks_heap_ = 0;
 };
+
+inline void EventHandle::cancel() {
+  if (!shared_ || shared_->queue == nullptr) return;
+  shared_->queue->cancel_event(payload_, seq_);
+}
+
+inline bool EventHandle::cancelled() const {
+  return shared_ && shared_->queue &&
+         shared_->queue->event_cancelled(payload_, seq_);
+}
 
 }  // namespace spider::sim

@@ -6,8 +6,9 @@
 namespace spider::sim {
 
 /// Engine-level counters for one simulation run. The event-queue fields are
-/// filled from EventQueue/Simulator accessors; the wall-clock fields are
-/// stamped by whoever timed the run (trace::run_scenario, SweepRunner).
+/// filled from EventQueue/Simulator accessors; the medium fields from
+/// phy::Medium::add_perf; the wall-clock fields are stamped by whoever timed
+/// the run (trace::run_scenario, SweepRunner).
 ///
 /// Wall-clock values vary between machines and runs, so they are exported
 /// only through write_perf_csv — never through the deterministic stdout of
@@ -17,6 +18,24 @@ struct PerfCounters {
   std::uint64_t events_cancelled = 0;  ///< handles cancelled before firing
   std::size_t heap_peak = 0;           ///< max physical heap size observed
   std::uint64_t compactions = 0;       ///< cancelled-entry heap rebuilds
+
+  // --- hot-path allocation accounting --------------------------------
+  /// Cancellable schedules (EventHandles issued). Handles index the queue's
+  /// payload slab, so this tracks bookkeeping volume, not mallocs; the
+  /// handle-free path (Simulator::post) contributes nothing here.
+  std::uint64_t handles_allocated = 0;
+  /// Callbacks whose captures exceeded the inline buffer and fell back to
+  /// a heap cell. Zero on the hot path by design; a regression here means a
+  /// capture outgrew EventQueue::kCallbackCapacity.
+  std::uint64_t callbacks_heap = 0;
+
+  // --- medium fan-out accounting --------------------------------------
+  /// Per-receiver deliveries scheduled by phy::Medium::transmit.
+  std::uint64_t frames_fanout = 0;
+  /// Same-channel candidate radios examined across all transmits (the
+  /// channel index makes this the cohort size, not the whole radio table).
+  std::uint64_t radio_candidates = 0;
+
   double sim_seconds = 0.0;            ///< simulated horizon of the run
   double wall_seconds = 0.0;           ///< host time spent executing it
 
@@ -31,6 +50,10 @@ struct PerfCounters {
     events_cancelled += other.events_cancelled;
     if (other.heap_peak > heap_peak) heap_peak = other.heap_peak;
     compactions += other.compactions;
+    handles_allocated += other.handles_allocated;
+    callbacks_heap += other.callbacks_heap;
+    frames_fanout += other.frames_fanout;
+    radio_candidates += other.radio_candidates;
     sim_seconds += other.sim_seconds;
     wall_seconds += other.wall_seconds;
   }

@@ -4,34 +4,27 @@
 
 namespace spider::sim {
 
-EventHandle Simulator::schedule(Time delay, EventQueue::Callback cb) {
+EventHandle Simulator::schedule(Time delay, EventQueue::Callback&& cb) {
   assert(delay >= Time{0});
   return queue_.push(now_ + delay, std::move(cb));
 }
 
-EventHandle Simulator::schedule_at(Time when, EventQueue::Callback cb) {
+EventHandle Simulator::schedule_at(Time when, EventQueue::Callback&& cb) {
   assert(when >= now_);
   return queue_.push(when, std::move(cb));
 }
 
 void Simulator::run_until(Time deadline) {
   stopped_ = false;
-  while (!stopped_ && !queue_.empty() && queue_.next_time() <= deadline) {
-    // Advance the clock before dispatching so the callback observes now().
-    now_ = queue_.next_time();
-    queue_.pop_and_run();
-    ++executed_;
-  }
+  // pop_and_run_until advances now_ before dispatching, so each callback
+  // observes its own timestamp through now().
+  while (!stopped_ && queue_.pop_and_run_until(deadline, now_)) ++executed_;
   if (!stopped_ && now_ < deadline) now_ = deadline;
 }
 
 void Simulator::run_all() {
   stopped_ = false;
-  while (!stopped_ && !queue_.empty()) {
-    now_ = queue_.next_time();
-    queue_.pop_and_run();
-    ++executed_;
-  }
+  while (!stopped_ && queue_.pop_and_run_until(Time::max(), now_)) ++executed_;
 }
 
 void PeriodicTimer::start() {

@@ -1,5 +1,6 @@
 #pragma once
 
+#include <cassert>
 #include <cstdint>
 #include <functional>
 
@@ -23,10 +24,24 @@ class Simulator {
   Time now() const { return now_; }
 
   /// Schedules `cb` to run `delay` after the current time (>= 0).
-  EventHandle schedule(Time delay, EventQueue::Callback cb);
+  EventHandle schedule(Time delay, EventQueue::Callback&& cb);
 
   /// Schedules `cb` at an absolute timestamp (>= now()).
-  EventHandle schedule_at(Time when, EventQueue::Callback cb);
+  EventHandle schedule_at(Time when, EventQueue::Callback&& cb);
+
+  /// Handle-free fast path: like schedule()/schedule_at() but the event can
+  /// never be cancelled, so no EventHandle control block is allocated. Use
+  /// for fire-and-forget work (frame deliveries, packet hops, deferred
+  /// responses); keep schedule() for anything a state machine may cancel.
+  /// Ordering is identical to schedule() — both share one sequence counter.
+  void post(Time delay, EventQueue::Callback&& cb) {
+    assert(delay >= Time{0});
+    queue_.push_nocancel(now_ + delay, std::move(cb));
+  }
+  void post_at(Time when, EventQueue::Callback&& cb) {
+    assert(when >= now_);
+    queue_.push_nocancel(when, std::move(cb));
+  }
 
   /// Runs events until the queue drains or `deadline` passes. The clock is
   /// left at the later of its current value and the deadline (when given),

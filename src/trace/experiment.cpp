@@ -155,6 +155,7 @@ ScenarioResult run_scenario(const ScenarioConfig& config) {
   result.recovery_times = resilience.time_to_recover();
   digest_join_log(result);
   result.perf = bed.sim.perf();
+  bed.medium.add_perf(result.perf);
   result.perf.wall_seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                     wall_start)

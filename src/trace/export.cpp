@@ -95,13 +95,16 @@ bool write_resilience_csv(const std::string& path,
 
 void write_perf_csv(std::ostream& os,
                     const std::vector<ScenarioResult>& results) {
-  os << "run,events_popped,events_cancelled,heap_peak,compactions,sim_s,"
-        "wall_s,sim_per_wall\n";
+  os << "run,events_popped,events_cancelled,heap_peak,compactions,"
+        "handles_allocated,callbacks_heap,frames_fanout,radio_candidates,"
+        "sim_s,wall_s,sim_per_wall\n";
   for (std::size_t i = 0; i < results.size(); ++i) {
     const sim::PerfCounters& p = results[i].perf;
     os << i << ',' << p.events_popped << ',' << p.events_cancelled << ','
-       << p.heap_peak << ',' << p.compactions << ',' << p.sim_seconds << ','
-       << p.wall_seconds << ',' << p.sim_rate() << '\n';
+       << p.heap_peak << ',' << p.compactions << ',' << p.handles_allocated
+       << ',' << p.callbacks_heap << ',' << p.frames_fanout << ','
+       << p.radio_candidates << ',' << p.sim_seconds << ',' << p.wall_seconds
+       << ',' << p.sim_rate() << '\n';
   }
 }
 

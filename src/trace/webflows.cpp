@@ -73,10 +73,8 @@ void WebFlowHarness::flow_completed() {
   current_vif_ = nullptr;
   // Destroying the client inside its own callback stack would free the
   // object mid-call; defer to the next event.
-  sim_.schedule(Time{0}, [this, dead = std::shared_ptr<tcp::DownloadClient>(
-                                    current_.release())]() mutable {
-    dead.reset();
-  });
+  sim_.post(Time{0}, [dead = std::shared_ptr<tcp::DownloadClient>(
+                          current_.release())]() mutable { dead.reset(); });
 
   thinking_ = true;
   const Time think = sec(rng_.exponential(to_seconds(config_.think_mean)));

@@ -1,0 +1,144 @@
+#pragma once
+
+#include <cstddef>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace spider::util {
+
+/// Move-only `void()` callable with small-buffer optimisation.
+///
+/// `std::function` in the event-queue hot path costs a heap allocation for
+/// any capture larger than its implementation-defined SBO (typically two
+/// pointers) plus copy-constructibility of the target. Every scheduled
+/// event in a run goes through that path, so the engine replaces it with
+/// this wrapper: callables up to `Capacity` bytes are stored inline in the
+/// heap entry itself, larger ones fall back to a single heap cell, and the
+/// target only needs to be move-constructible (captures may hold
+/// `unique_ptr`s).
+///
+/// `Capacity` is chosen per call site; the event queue uses 64 bytes, which
+/// fits every callback the simulator schedules today (the largest — the
+/// medium's per-receiver delivery record — is a shared body pointer plus a
+/// POD reception record, ~48 bytes). `heap_allocated()` exposes whether the
+/// fallback fired so perf counters can prove the hot path allocates nothing.
+template <std::size_t Capacity>
+class InlineFunction {
+ public:
+  InlineFunction() noexcept = default;
+
+  template <typename F,
+            typename = std::enable_if_t<
+                !std::is_same_v<std::decay_t<F>, InlineFunction> &&
+                std::is_invocable_r_v<void, std::decay_t<F>&>>>
+  InlineFunction(F&& f) {  // NOLINT: implicit by design, mirrors std::function
+    using Fn = std::decay_t<F>;
+    if constexpr (fits_inline<Fn>) {
+      ::new (static_cast<void*>(buf_)) Fn(std::forward<F>(f));
+      ops_ = &kInlineOps<Fn>;
+    } else {
+      *reinterpret_cast<Fn**>(buf_) = new Fn(std::forward<F>(f));
+      ops_ = &kHeapOps<Fn>;
+    }
+  }
+
+  InlineFunction(InlineFunction&& other) noexcept { steal(other); }
+
+  InlineFunction& operator=(InlineFunction&& other) noexcept {
+    if (this != &other) {
+      reset();
+      steal(other);
+    }
+    return *this;
+  }
+
+  InlineFunction(const InlineFunction&) = delete;
+  InlineFunction& operator=(const InlineFunction&) = delete;
+
+  ~InlineFunction() { reset(); }
+
+  void operator()() { ops_->invoke(buf_); }
+
+  explicit operator bool() const noexcept { return ops_ != nullptr; }
+
+  /// True when the target did not fit in `Capacity` and lives on the heap.
+  bool heap_allocated() const noexcept { return ops_ && ops_->heap; }
+
+  /// Compile-time predicate: would a callable of type Fn be stored inline?
+  template <typename Fn>
+  static constexpr bool fits_inline =
+      sizeof(Fn) <= Capacity && alignof(Fn) <= alignof(std::max_align_t) &&
+      std::is_nothrow_move_constructible_v<Fn>;
+
+ private:
+  struct Ops {
+    void (*invoke)(void* obj);
+    /// Move-constructs dst from src and destroys src (inline) or moves the
+    /// heap pointer (heap fallback). Null for trivially relocatable targets:
+    /// steal() then does one fixed-size memcpy instead of an indirect call —
+    /// the common case, since most scheduled callbacks capture only pointers
+    /// and PODs.
+    void (*relocate)(void* src, void* dst) noexcept;
+    /// Null when destruction is a no-op (trivially destructible target).
+    void (*destroy)(void* obj) noexcept;
+    bool heap;
+  };
+
+  template <typename Fn>
+  struct InlineOps {
+    static void invoke(void* p) { (*static_cast<Fn*>(p))(); }
+    static void relocate(void* src, void* dst) noexcept {
+      ::new (dst) Fn(std::move(*static_cast<Fn*>(src)));
+      static_cast<Fn*>(src)->~Fn();
+    }
+    static void destroy(void* p) noexcept { static_cast<Fn*>(p)->~Fn(); }
+  };
+
+  template <typename Fn>
+  struct HeapOps {
+    static void invoke(void* p) { (**static_cast<Fn**>(p))(); }
+    // No relocate: moving the heap fallback just copies the stored pointer,
+    // which the null-relocate memcpy path in steal() already does.
+    static void destroy(void* p) noexcept { delete *static_cast<Fn**>(p); }
+  };
+
+  template <typename Fn>
+  static constexpr bool is_trivial_inline =
+      std::is_trivially_copyable_v<Fn> && std::is_trivially_destructible_v<Fn>;
+
+  template <typename Fn>
+  static constexpr Ops kInlineOps{
+      &InlineOps<Fn>::invoke,
+      is_trivial_inline<Fn> ? nullptr : &InlineOps<Fn>::relocate,
+      is_trivial_inline<Fn> ? nullptr : &InlineOps<Fn>::destroy, false};
+  template <typename Fn>
+  static constexpr Ops kHeapOps{&HeapOps<Fn>::invoke, nullptr,
+                                &HeapOps<Fn>::destroy, true};
+
+  void steal(InlineFunction& other) noexcept {
+    ops_ = other.ops_;
+    if (ops_) {
+      if (ops_->relocate == nullptr) {
+        // Trivial relocation (or a heap pointer): a fixed-size copy the
+        // compiler turns into straight-line moves, no indirect call.
+        __builtin_memcpy(buf_, other.buf_, Capacity);
+      } else {
+        ops_->relocate(other.buf_, buf_);
+      }
+    }
+    other.ops_ = nullptr;
+  }
+
+  void reset() noexcept {
+    if (ops_) {
+      if (ops_->destroy != nullptr) ops_->destroy(buf_);
+      ops_ = nullptr;
+    }
+  }
+
+  alignas(std::max_align_t) std::byte buf_[Capacity];
+  const Ops* ops_ = nullptr;
+};
+
+}  // namespace spider::util

@@ -1,13 +1,4 @@
 #include "util/units.hpp"
 
-#include <cmath>
-
-namespace spider {
-
-double distance(const Position& a, const Position& b) {
-  const double dx = a.x - b.x;
-  const double dy = a.y - b.y;
-  return std::sqrt(dx * dx + dy * dy);
-}
-
-}  // namespace spider
+// distance() lives in the header now (it is on the medium's per-candidate
+// hot path); this TU intentionally left empty.

@@ -1,5 +1,6 @@
 #pragma once
 
+#include <cmath>
 #include <cstdint>
 
 #include "util/time.hpp"
@@ -44,7 +45,12 @@ struct Position {
   constexpr auto operator<=>(const Position&) const = default;
 };
 
-/// Euclidean distance between two positions, in meters.
-double distance(const Position& a, const Position& b);
+/// Euclidean distance between two positions, in meters. Inline: the
+/// medium calls this once per same-channel candidate on every transmit.
+inline double distance(const Position& a, const Position& b) {
+  const double dx = a.x - b.x;
+  const double dy = a.y - b.y;
+  return std::sqrt(dx * dx + dy * dy);
+}
 
 }  // namespace spider

@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include <memory>
 #include <vector>
 
 #include "phy/medium.hpp"
@@ -263,6 +264,65 @@ TEST(Medium, CountersTrackTraffic) {
   w.sim.run_until(msec(100));
   EXPECT_EQ(w.medium.frames_sent(), 1u);
   EXPECT_EQ(w.medium.frames_delivered(), 1u);
+  EXPECT_EQ(w.medium.frames_dropped_at_rx(), 0u);
+}
+
+TEST(Medium, ReceiverDetachingMidFlightCountsAsDropNotDelivery) {
+  World w;
+  Radio tx(w.medium, wire::MacAddress(1), [] { return Position{0, 0}; });
+  auto rx = std::make_unique<Radio>(w.medium, wire::MacAddress(2),
+                                    [] { return Position{10, 0}; });
+  int received = 0;
+  rx->set_receiver([&](const wire::Frame&) { ++received; });
+  tx.tune(6);
+  rx->tune(6);
+  w.sim.run_until(msec(50));
+  tx.send(small_frame());       // in the air for ~265 us
+  w.sim.run_until(w.sim.now() + usec(50));
+  rx.reset();                   // receiver torn down before arrival
+  w.sim.run_until(sec(1));
+  EXPECT_EQ(received, 0);
+  EXPECT_EQ(w.medium.frames_sent(), 1u);
+  EXPECT_EQ(w.medium.frames_delivered(), 0u);
+  EXPECT_EQ(w.medium.frames_dropped_at_rx(), 1u);
+}
+
+TEST(Medium, ReceiverRetuningMidFlightCountsAsDropNotDelivery) {
+  World w;
+  Radio tx(w.medium, wire::MacAddress(1), [] { return Position{0, 0}; });
+  Radio rx(w.medium, wire::MacAddress(2), [] { return Position{10, 0}; });
+  int received = 0;
+  rx.set_receiver([&](const wire::Frame&) { ++received; });
+  tx.tune(6);
+  rx.tune(6);
+  w.sim.run_until(msec(50));
+  tx.send(small_frame());
+  w.sim.run_until(w.sim.now() + usec(50));
+  rx.tune(11);                  // goes deaf (reset) before the frame lands
+  w.sim.run_until(sec(1));
+  EXPECT_EQ(received, 0);
+  EXPECT_EQ(w.medium.frames_delivered(), 0u);
+  EXPECT_EQ(w.medium.frames_dropped_at_rx(), 1u);
+}
+
+TEST(Medium, FanoutCountersTrackScheduledDeliveries) {
+  World w;
+  Radio tx(w.medium, wire::MacAddress(1), [] { return Position{0, 0}; });
+  Radio rx1(w.medium, wire::MacAddress(2), [] { return Position{10, 0}; });
+  Radio rx2(w.medium, wire::MacAddress(3), [] { return Position{20, 0}; });
+  Radio other(w.medium, wire::MacAddress(4), [] { return Position{5, 0}; });
+  tx.tune(6);
+  rx1.tune(6);
+  rx2.tune(6);
+  other.tune(11);  // different channel: never a candidate
+  w.sim.run_until(msec(50));
+  tx.send(small_frame());
+  w.sim.run_until(msec(100));
+  // Candidates = same-channel cohort minus the sender; both survive the
+  // lossless draw, so both deliveries were scheduled and delivered.
+  EXPECT_EQ(w.medium.candidates_examined(), 2u);
+  EXPECT_EQ(w.medium.fanout_scheduled(), 2u);
+  EXPECT_EQ(w.medium.frames_delivered(), 2u);
 }
 
 }  // namespace
