@@ -7,6 +7,7 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <functional>
 #include <iostream>
 #include <string>
 #include <vector>
@@ -19,32 +20,106 @@
 
 namespace spider::bench {
 
-/// Shared CLI flags of the sweep benches:
-///   --jobs N (or --jobs=N)    worker threads; 0 = SPIDER_JOBS env, then
-///                             hardware_concurrency (ThreadPool::default_jobs)
-///   --perf-csv PATH           dump per-run engine counters after the sweep
-/// Unknown arguments are ignored so individual benches can add their own.
-/// Perf counters carry wall-clock values and therefore only ever go to the
-/// CSV, never to stdout: bench stdout must stay byte-identical across
-/// --jobs settings.
+/// One CLI flag a sweep bench understands. Every flag takes a value,
+/// accepted as `--name VALUE` or `--name=VALUE`; `apply` runs during
+/// parsing with the raw value text.
+struct FlagSpec {
+  std::string name;        // including the leading "--"
+  std::string value_name;  // shown in the usage line, e.g. "N" or "PATH"
+  std::string help;
+  std::function<void(const std::string&)> apply;
+};
+
+/// Shared CLI flags of the sweep benches. Parsing is a declarative flag
+/// table; benches register their own flags via `extra_flags`. Unknown
+/// flags, bare positional arguments, and flags missing their value are
+/// hard errors: usage goes to stderr and the bench exits with status 2.
+///
+///   --jobs N            worker threads; 0 = SPIDER_JOBS env, then
+///                       hardware_concurrency (ThreadPool::default_jobs)
+///   --perf-csv PATH     dump per-run engine counters after the sweep
+///   --trace-jsonl PATH  flight-recorder events, one JSON object per line
+///   --trace-chrome PATH flight-recorder events as Chrome trace-event JSON
+///                       (load in Perfetto / chrome://tracing)
+///   --metrics-csv PATH  merged per-layer event counters as metric,kind,value
+///
+/// Perf counters and traces carry host-dependent values and therefore only
+/// ever go to files, never to stdout: bench stdout must stay byte-identical
+/// across --jobs settings, and any --trace-* flag implies tracing without
+/// touching stdout.
 struct SweepCli {
   trace::SweepOptions sweep;
   std::string perf_csv;
 };
 
-inline SweepCli parse_sweep_cli(int argc, char** argv) {
+inline void print_sweep_usage(const char* argv0,
+                              const std::vector<FlagSpec>& flags) {
+  std::fprintf(stderr, "usage: %s", argv0);
+  for (const FlagSpec& f : flags) {
+    std::fprintf(stderr, " [%s %s]", f.name.c_str(), f.value_name.c_str());
+  }
+  std::fprintf(stderr, "\n");
+  for (const FlagSpec& f : flags) {
+    std::fprintf(stderr, "  %s %s\n      %s\n", f.name.c_str(),
+                 f.value_name.c_str(), f.help.c_str());
+  }
+}
+
+inline SweepCli parse_sweep_cli(int argc, char** argv,
+                                std::vector<FlagSpec> extra_flags = {}) {
   SweepCli cli;
+  std::vector<FlagSpec> flags = {
+      {"--jobs", "N",
+       "worker threads; 0 = SPIDER_JOBS env, then hardware_concurrency",
+       [&cli](const std::string& v) {
+         cli.sweep.jobs = std::strtoul(v.c_str(), nullptr, 10);
+       }},
+      {"--perf-csv", "PATH", "dump per-run engine counters after the sweep",
+       [&cli](const std::string& v) { cli.perf_csv = v; }},
+      {"--trace-jsonl", "PATH",
+       "record a flight recorder per run; write events as JSON lines",
+       [&cli](const std::string& v) { cli.sweep.sinks.jsonl_path = v; }},
+      {"--trace-chrome", "PATH",
+       "record a flight recorder per run; write Chrome trace-event JSON",
+       [&cli](const std::string& v) { cli.sweep.sinks.chrome_path = v; }},
+      {"--metrics-csv", "PATH",
+       "write merged per-layer event counters as metric,kind,value rows",
+       [&cli](const std::string& v) { cli.sweep.sinks.metrics_path = v; }},
+  };
+  for (FlagSpec& f : extra_flags) flags.push_back(std::move(f));
+
+  const auto fail = [&](const std::string& message) {
+    std::fprintf(stderr, "%s: %s\n", argv[0], message.c_str());
+    print_sweep_usage(argv[0], flags);
+    std::exit(2);
+  };
+
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
-    if (arg == "--jobs" && i + 1 < argc) {
-      cli.sweep.jobs = std::strtoul(argv[++i], nullptr, 10);
-    } else if (arg.rfind("--jobs=", 0) == 0) {
-      cli.sweep.jobs = std::strtoul(arg.c_str() + 7, nullptr, 10);
-    } else if (arg == "--perf-csv" && i + 1 < argc) {
-      cli.perf_csv = argv[++i];
-    } else if (arg.rfind("--perf-csv=", 0) == 0) {
-      cli.perf_csv = arg.substr(11);
+    if (arg.rfind("--", 0) != 0) {
+      fail("unexpected argument '" + arg + "'");
     }
+    const std::size_t eq = arg.find('=');
+    const std::string name = arg.substr(0, eq);
+    const FlagSpec* spec = nullptr;
+    for (const FlagSpec& f : flags) {
+      if (f.name == name) {
+        spec = &f;
+        break;
+      }
+    }
+    if (spec == nullptr) {
+      fail("unknown flag '" + name + "'");
+    }
+    std::string value;
+    if (eq != std::string::npos) {
+      value = arg.substr(eq + 1);
+    } else if (i + 1 < argc) {
+      value = argv[++i];
+    } else {
+      fail("flag '" + name + "' expects a value (" + spec->value_name + ")");
+    }
+    spec->apply(value);
   }
   return cli;
 }

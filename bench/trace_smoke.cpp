@@ -1,0 +1,79 @@
+// Flight-recorder smoke: runs a short traced town scenario through the
+// unified ScenarioRunner path and writes all three observability sinks
+// (JSONL, Chrome trace-event JSON, metrics CSV). Stdout carries only
+// sim-derived numbers — per-layer event counts from the merged metrics
+// registry — so it is byte-identical across --jobs like every other bench.
+// Exits non-zero if any sink fails to write or nothing was recorded, which
+// is what the `trace-smoke` ctest checks (including under SPIDER_SANITIZE).
+
+#include <fstream>
+
+#include "bench/bench_util.hpp"
+#include "obs/tracer.hpp"
+
+using namespace spider;
+
+int main(int argc, char** argv) {
+  double duration_s = 300.0;
+  auto cli = bench::parse_sweep_cli(
+      argc, argv,
+      {{"--duration-s", "S", "simulated seconds per run (default 300)",
+        [&duration_s](const std::string& v) {
+          duration_s = std::atof(v.c_str());
+        }}});
+  // A bare `trace_smoke` run still exercises every sink.
+  if (cli.sweep.sinks.jsonl_path.empty()) {
+    cli.sweep.sinks.jsonl_path = "TRACE_smoke.jsonl";
+  }
+  if (cli.sweep.sinks.chrome_path.empty()) {
+    cli.sweep.sinks.chrome_path = "TRACE_smoke.chrome.json";
+  }
+  if (cli.sweep.sinks.metrics_path.empty()) {
+    cli.sweep.sinks.metrics_path = "TRACE_smoke_metrics.csv";
+  }
+
+  bench::banner("Flight-recorder smoke",
+                "short traced runs; JSONL + Chrome + metrics sinks");
+
+  std::vector<trace::ScenarioConfig> configs;
+  for (std::uint64_t seed : {77u, 78u}) {
+    auto cfg = bench::town_scenario(seed);
+    cfg.spider = bench::tuned_spider();
+    // Park all VAPs on channel 1 (where the town concentrates APs) so a
+    // short run still exercises the join/DHCP emit sites, not just the
+    // scheduler's.
+    cfg.spider.mode = core::OperationMode::single(1);
+    cfg.duration = sec(duration_s);
+    configs.push_back(cfg);
+  }
+  const auto results = trace::SweepRunner(cli.sweep).run(configs);
+
+  obs::MetricsRegistry merged;
+  std::size_t recorded = 0;
+  for (const auto& result : results) {
+    merged.merge(result.metrics);
+    for (const auto& tracer : result.traces) recorded += tracer->recorded();
+  }
+
+  TextTable t({"metric", "value"});
+  for (const auto& [name, metric] : merged.entries()) {
+    t.add_row({name, TextTable::num(metric.value, 0)});
+  }
+  t.print(std::cout);
+
+  if (recorded == 0) {
+    std::fprintf(stderr, "error: traced run recorded no events\n");
+    return 1;
+  }
+  for (const std::string& path :
+       {cli.sweep.sinks.jsonl_path, cli.sweep.sinks.chrome_path,
+        cli.sweep.sinks.metrics_path}) {
+    std::ifstream f(path);
+    if (!f || f.peek() == std::ifstream::traits_type::eof()) {
+      std::fprintf(stderr, "error: sink %s missing or empty\n", path.c_str());
+      return 1;
+    }
+  }
+  bench::maybe_write_perf_csv(cli, results);
+  return 0;
+}

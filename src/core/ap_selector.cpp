@@ -4,6 +4,9 @@
 #include <cmath>
 #include <cstdint>
 
+#include "obs/tracer.hpp"
+#include "sim/simulator.hpp"
+
 namespace spider::core {
 
 const char* to_string(JoinOutcome o) {
@@ -33,6 +36,12 @@ void ApSelector::record_outcome(wire::Bssid bssid, JoinOutcome outcome) {
     it->second = (1.0 - config_.recency_weight) * it->second +
                  config_.recency_weight * value;
   }
+  if (trace_sim_) {
+    SPIDER_TRACE(*trace_sim_, .kind = obs::TraceKind::kUtility,
+                 .aux = static_cast<std::uint8_t>(outcome),
+                 .track = obs::track::ap(bssid.raw()), .id = bssid.raw(),
+                 .value = it->second);
+  }
   if (outcome == JoinOutcome::kEndToEnd) {
     // The AP proved itself end-to-end: forgive its history.
     if (auto pit = penalties_.find(bssid); pit != penalties_.end()) {
@@ -48,6 +57,11 @@ void ApSelector::blacklist(wire::Bssid bssid, Time now, bool escalate) {
     // Legacy flat behaviour: overwrite, never grow.
     p.until = now + config_.blacklist_duration;
     p.last_failure = now;
+    if (trace_sim_) {
+      SPIDER_TRACE(*trace_sim_, .kind = obs::TraceKind::kBlacklist,
+                   .track = obs::track::ap(bssid.raw()), .id = bssid.raw(),
+                   .value = to_seconds(p.until));
+    }
     return;
   }
   if (p.streak > 0 && config_.blacklist_decay > Time{0}) {
@@ -65,6 +79,12 @@ void ApSelector::blacklist(wire::Bssid bssid, Time now, bool escalate) {
   p.until = std::max(p.until, now + duration);
   p.last_failure = now;
   ++p.streak;
+  if (trace_sim_) {
+    SPIDER_TRACE(*trace_sim_, .kind = obs::TraceKind::kBlacklist,
+                 .aux = static_cast<std::uint8_t>(std::min(p.streak, 255)),
+                 .track = obs::track::ap(bssid.raw()), .id = bssid.raw(),
+                 .value = to_seconds(p.until));
+  }
 }
 
 bool ApSelector::blacklisted(wire::Bssid bssid, Time now) const {
@@ -83,6 +103,12 @@ void ApSelector::record_flap(wire::Bssid bssid, Time now) {
   const Time extra =
       Time{config_.flap_penalty.count() * static_cast<std::int64_t>(p.flaps)};
   p.until = std::max(p.until, now + extra);
+  if (trace_sim_) {
+    SPIDER_TRACE(*trace_sim_, .kind = obs::TraceKind::kBlacklist,
+                 .aux = static_cast<std::uint8_t>(std::min(p.flaps, 255)),
+                 .track = obs::track::ap(bssid.raw()), .id = bssid.raw(),
+                 .value = to_seconds(p.until));
+  }
 }
 
 int ApSelector::failure_streak(wire::Bssid bssid) const {

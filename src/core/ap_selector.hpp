@@ -9,6 +9,10 @@
 #include "mac/scanner.hpp"
 #include "util/time.hpp"
 
+namespace spider::sim {
+class Simulator;
+}  // namespace spider::sim
+
 namespace spider::core {
 
 /// Terminal outcome of one join attempt, ordered by progress.
@@ -25,6 +29,11 @@ const char* to_string(JoinOutcome o);
 class ApSelector {
  public:
   explicit ApSelector(SelectorConfig config) : config_(config) {}
+
+  /// The selector has no simulator of its own; its owner (LinkManager)
+  /// lends one so utility updates and blacklist decisions reach the flight
+  /// recorder. Null (the default) keeps the selector silent.
+  void bind_tracer(sim::Simulator* simulator) { trace_sim_ = simulator; }
 
   /// Folds a finished attempt into the AP's utility. A full join also
   /// clears the AP's failure streak and flap count.
@@ -69,6 +78,7 @@ class ApSelector {
   double outcome_value(JoinOutcome outcome) const;
 
   SelectorConfig config_;
+  sim::Simulator* trace_sim_ = nullptr;
   std::unordered_map<wire::Bssid, double> utilities_;
   std::unordered_map<wire::Bssid, Penalty> penalties_;
 };

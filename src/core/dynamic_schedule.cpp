@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "obs/tracer.hpp"
+
 namespace spider::core {
 
 DynamicScheduleController::DynamicScheduleController(
@@ -70,6 +72,11 @@ void DynamicScheduleController::tick() {
   }
   if (max_change < config_.rebalance_threshold) return;
 
+  for (const auto& [ch, f] : next.fractions) {
+    SPIDER_TRACE(driver_.simulator(), .kind = obs::TraceKind::kSlotFraction,
+                 .channel = static_cast<std::int16_t>(ch),
+                 .track = obs::track::scheduler(), .value = f);
+  }
   driver_.set_mode(std::move(next));
   ++rebalances_;
 }

@@ -1,5 +1,7 @@
 #include "core/link_manager.hpp"
 
+#include "obs/tracer.hpp"
+
 namespace spider::core {
 
 LinkManager::LinkManager(DriverBase& driver, wire::Ipv4 ping_target)
@@ -7,6 +9,7 @@ LinkManager::LinkManager(DriverBase& driver, wire::Ipv4 ping_target)
       sim_(driver.simulator()),
       ping_target_(ping_target),
       selector_(driver.config().selector) {
+  selector_.bind_tracer(&sim_);
   contexts_.resize(driver_.num_interfaces());
   for (std::size_t i = 0; i < driver_.num_interfaces(); ++i) {
     VirtualInterface& vif = driver_.iface(i);
@@ -148,6 +151,11 @@ void LinkManager::begin_join(std::size_t vif_index,
   ctx.record = join_log_.size();
   join_log_.push_back(record);
 
+  SPIDER_TRACE(sim_, .kind = spider::obs::TraceKind::kJoinStart,
+               .channel = static_cast<std::int16_t>(obs.channel),
+               .track = spider::obs::track::client(vif_index),
+               .id = obs.bssid.raw());
+
   vif.set_link_state(LinkState::kAssociating);
   vif.mlme().start_join(obs.bssid, obs.channel);
 
@@ -254,10 +262,14 @@ void LinkManager::on_link_dead(std::size_t vif_index) {
   if (vif.link_state() == LinkState::kUp) {
     // The join itself succeeded and was already recorded; this is a later
     // loss (drove out of range). Tear down and re-enter the pool.
+    const Time uptime = sim_.now() - contexts_[vif_index].up_since;
+    SPIDER_TRACE(sim_, .kind = obs::TraceKind::kLinkDown,
+                 .channel = static_cast<std::int16_t>(vif.channel()),
+                 .track = obs::track::client(vif_index),
+                 .id = vif.bssid().raw(), .value = to_seconds(uptime));
     if (callbacks_.on_link_down) callbacks_.on_link_down(vif);
     const bool resilient = driver_.config().resilient_link_policy;
     if (resilient) {
-      const Time uptime = sim_.now() - contexts_[vif_index].up_since;
       if (uptime < driver_.config().flap_uptime_threshold) {
         // Came up only to die straight away: that is a flapping AP, not a
         // drive-past. Penalise beyond the ordinary blacklist.
@@ -284,12 +296,22 @@ void LinkManager::finish_attempt(std::size_t vif_index, JoinOutcome outcome,
   if (!record.finished) {
     record.finished = true;
     record.outcome = outcome;
+    SPIDER_TRACE(sim_, .kind = obs::TraceKind::kJoinOutcome,
+                 .aux = static_cast<std::uint8_t>(outcome),
+                 .channel = static_cast<std::int16_t>(record.channel),
+                 .track = obs::track::client(vif_index),
+                 .id = ctx.target.raw(),
+                 .value = to_seconds(sim_.now() - record.started));
     selector_.record_outcome(ctx.target, outcome);
   }
 
   if (stays_up) {
     vif.set_link_state(LinkState::kUp);
     ctx.up_since = sim_.now();
+    SPIDER_TRACE(sim_, .kind = obs::TraceKind::kLinkUp,
+                 .channel = static_cast<std::int16_t>(vif.channel()),
+                 .track = obs::track::client(vif_index),
+                 .id = vif.bssid().raw());
     if (callbacks_.on_link_up) callbacks_.on_link_up(vif);
     return;
   }

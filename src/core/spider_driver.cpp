@@ -2,6 +2,8 @@
 
 #include <cassert>
 
+#include "obs/tracer.hpp"
+
 namespace spider::core {
 
 SpiderDriver::SpiderDriver(sim::Simulator& simulator, phy::Medium& medium,
@@ -75,10 +77,18 @@ Time SpiderDriver::slot_duration(std::size_t slot_index) const {
 void SpiderDriver::begin_slot(std::size_t slot_index) {
   current_slot_ = slot_index;
   const wire::Channel target = mode_.fractions[slot_index].first;
+  SPIDER_TRACE(sim_, .kind = obs::TraceKind::kSlotBegin,
+               .aux = static_cast<std::uint8_t>(slot_index),
+               .channel = static_cast<std::int16_t>(target),
+               .track = obs::track::scheduler(),
+               .value = to_seconds(slot_duration(slot_index)));
   switch_started_ = sim_.now();
   if (channel_active(target)) {
     on_channel_entered(/*record_latency=*/false);
   } else {
+    SPIDER_TRACE(sim_, .kind = obs::TraceKind::kChannelSwitchStart,
+                 .channel = static_cast<std::int16_t>(target),
+                 .track = obs::track::scheduler());
     radio_.tune(target, [this] { on_channel_entered(/*record_latency=*/true); });
   }
 }
@@ -104,7 +114,11 @@ void SpiderDriver::on_channel_entered(bool record_latency) {
     // known, the frames were just queued).
     const Time wake_air =
         woken * phy::Medium::airtime(wire::kNullFrameBytes, config_.radio.phy_rate);
-    switch_latency_.add(to_millis(sim_.now() - switch_started_ + wake_air));
+    const double latency_ms = to_millis(sim_.now() - switch_started_ + wake_air);
+    switch_latency_.add(latency_ms);
+    SPIDER_TRACE(sim_, .kind = obs::TraceKind::kChannelSwitchEnd,
+                 .channel = static_cast<std::int16_t>(channel),
+                 .track = obs::track::scheduler(), .value = latency_ms);
   }
 
   drain_queue(channel);

@@ -1,6 +1,6 @@
 #include "core/virtual_iface.hpp"
 
-
+#include "obs/tracer.hpp"
 
 namespace spider::core {
 
@@ -26,6 +26,9 @@ VirtualInterface::VirtualInterface(sim::Simulator& simulator,
       mlme_(simulator, mac, config.mlme),
       dhcp_(simulator, mac, config.dhcp),
       prober_(simulator, static_cast<std::uint32_t>(index) + 1, config.ping) {
+  // Both state machines report onto this interface's timeline lane.
+  mlme_.set_trace_track(obs::track::client(index));
+  dhcp_.set_trace_track(obs::track::client(index));
   // Management frames go straight to the air, gated on the schedule.
   mlme_.set_send([this](wire::Frame f) {
     return driver_.send_mgmt(std::move(f), mlme_.channel());

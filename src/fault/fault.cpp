@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "obs/tracer.hpp"
+
 namespace spider::fault {
 
 const char* to_string(FaultKind kind) {
@@ -81,6 +83,13 @@ void FaultInjector::begin(std::size_t log_index) {
   entry.active = true;
   ++injected_;
   ++active_;
+  SPIDER_TRACE(sim_, .kind = obs::TraceKind::kFaultBegin,
+               .aux = static_cast<std::uint8_t>(spec.kind),
+               .channel = static_cast<std::int16_t>(
+                   is_channel_fault(spec.kind) ? spec.target : 0),
+               .track = obs::track::fault(),
+               .id = static_cast<std::uint64_t>(spec.target),
+               .value = to_seconds(spec.duration));
   if (observer_) observer_(spec);
 
   ApTarget* t = is_channel_fault(spec.kind) ? nullptr : resolve_ap(spec.target);
@@ -133,6 +142,13 @@ void FaultInjector::end(std::size_t log_index) {
   entry.cleared = sim_.now();
   entry.active = false;
   --active_;
+  SPIDER_TRACE(sim_, .kind = obs::TraceKind::kFaultEnd,
+               .aux = static_cast<std::uint8_t>(spec.kind),
+               .channel = static_cast<std::int16_t>(
+                   is_channel_fault(spec.kind) ? spec.target : 0),
+               .track = obs::track::fault(),
+               .id = static_cast<std::uint64_t>(spec.target),
+               .value = to_seconds(entry.cleared - entry.started));
 
   ApTarget* t = is_channel_fault(spec.kind) ? nullptr : resolve_ap(spec.target);
   switch (spec.kind) {

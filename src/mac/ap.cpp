@@ -2,6 +2,7 @@
 
 #include <utility>
 
+#include "obs/tracer.hpp"
 #include "util/log.hpp"
 
 namespace spider::mac {
@@ -61,6 +62,10 @@ std::size_t AccessPoint::purge_psm_buffers() {
     state.psm_queue.clear();
   }
   psm_drops_ += dropped;
+  SPIDER_TRACE(sim_, .kind = obs::TraceKind::kPsmPurge,
+               .channel = static_cast<std::int16_t>(config_.channel),
+               .track = obs::track::ap(bssid().raw()),
+               .value = static_cast<double>(dropped));
   return dropped;
 }
 
@@ -202,6 +207,11 @@ void AccessPoint::handle_assoc(const Frame& frame) {
 void AccessPoint::handle_ps_transition(ClientState& state, const Frame& frame) {
   const bool was_saving = state.power_save;
   state.power_save = frame.power_mgmt;
+  if (!was_saving && state.power_save) {
+    SPIDER_TRACE(sim_, .kind = obs::TraceKind::kPsmSleep,
+                 .channel = static_cast<std::int16_t>(config_.channel),
+                 .track = obs::track::ap(bssid().raw()), .id = frame.src.raw());
+  }
   if (was_saving && !state.power_save) {
     flush_psm_queue(frame.src, state);
   }
@@ -237,11 +247,16 @@ void AccessPoint::handle_data(const Frame& frame) {
 }
 
 void AccessPoint::flush_psm_queue(wire::MacAddress client, ClientState& state) {
+  const std::size_t flushed = state.psm_queue.size();
   while (!state.psm_queue.empty()) {
     wire::PacketPtr packet = std::move(state.psm_queue.front());
     state.psm_queue.pop_front();
     transmit_data(client, std::move(packet), !state.psm_queue.empty());
   }
+  SPIDER_TRACE(sim_, .kind = obs::TraceKind::kPsmWake,
+               .channel = static_cast<std::int16_t>(config_.channel),
+               .track = obs::track::ap(bssid().raw()), .id = client.raw(),
+               .value = static_cast<double>(flushed));
 }
 
 bool AccessPoint::deliver_to_client(wire::MacAddress client, wire::PacketPtr packet) {

@@ -2,6 +2,8 @@
 
 #include <utility>
 
+#include "obs/tracer.hpp"
+
 namespace spider::mac {
 
 using wire::Frame;
@@ -49,6 +51,9 @@ void ClientMlme::start_join(wire::Bssid bssid, wire::Channel channel) {
   state_ = State::kAuthenticating;
   retries_left_ = config_.max_retries;
   join_started_ = sim_.now();
+  SPIDER_TRACE(sim_, .kind = obs::TraceKind::kAuthStart,
+               .channel = static_cast<std::int16_t>(channel_),
+               .track = trace_track_, .id = bssid_.raw());
   send_current_message();
 }
 
@@ -99,6 +104,9 @@ void ClientMlme::arm_timeout() {
 void ClientMlme::fail(JoinPhase phase) {
   timer_.cancel();
   state_ = State::kIdle;
+  SPIDER_TRACE(sim_, .kind = obs::TraceKind::kAssocFail,
+               .channel = static_cast<std::int16_t>(channel_),
+               .track = trace_track_, .id = bssid_.raw());
   if (callbacks_.on_failed) callbacks_.on_failed(phase);
 }
 
@@ -116,6 +124,9 @@ void ClientMlme::on_frame(const Frame& frame) {
       }
       state_ = State::kAssociating;
       retries_left_ = config_.max_retries;
+      SPIDER_TRACE(sim_, .kind = obs::TraceKind::kAssocStart,
+                   .channel = static_cast<std::int16_t>(channel_),
+                   .track = trace_track_, .id = bssid_.raw());
       send_current_message();
       return;
 
@@ -128,12 +139,19 @@ void ClientMlme::on_frame(const Frame& frame) {
       timer_.cancel();
       state_ = State::kAssociated;
       aid_ = frame.aid;
+      SPIDER_TRACE(sim_, .kind = obs::TraceKind::kAssocOk,
+                   .channel = static_cast<std::int16_t>(channel_),
+                   .track = trace_track_, .id = bssid_.raw(),
+                   .value = static_cast<double>(aid_));
       if (callbacks_.on_associated) callbacks_.on_associated(aid_);
       return;
 
     case FrameType::kDeauth:
     case FrameType::kDisassoc:
       if (state_ == State::kAssociated && frame.src == bssid_) {
+        SPIDER_TRACE(sim_, .kind = obs::TraceKind::kMacLinkLost,
+                     .channel = static_cast<std::int16_t>(channel_),
+                     .track = trace_track_, .id = bssid_.raw());
         abort();
         if (callbacks_.on_link_lost) callbacks_.on_link_lost();
       }

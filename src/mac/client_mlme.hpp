@@ -57,6 +57,9 @@ class ClientMlme {
 
   void set_send(SendFn send) { send_ = std::move(send); }
   void set_callbacks(Callbacks callbacks) { callbacks_ = std::move(callbacks); }
+  /// Flight-recorder lane for this MLME's events (obs::track::client of the
+  /// owning interface). Zero leaves events on the anonymous track.
+  void set_trace_track(std::uint32_t track) { trace_track_ = track; }
   void set_config(const MlmeConfig& config) { config_ = config; }
   const MlmeConfig& config() const { return config_; }
 
@@ -98,6 +101,7 @@ class ClientMlme {
   State state_ = State::kIdle;
   wire::Bssid bssid_;
   wire::Channel channel_ = 0;
+  std::uint32_t trace_track_ = 0;
   std::uint16_t aid_ = 0;
   int retries_left_ = 0;
   Time join_started_{0};

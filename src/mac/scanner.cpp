@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "obs/tracer.hpp"
+
 namespace spider::mac {
 
 Scanner::Scanner(sim::Simulator& simulator, ScannerConfig config)
@@ -31,6 +33,11 @@ void Scanner::on_frame(const wire::Frame& frame) {
     obs.bssid = frame.bssid;
     obs.first_seen = sim_.now();
     obs.rssi_dbm = frame.rssi_dbm;
+    // First sighting only — re-sightings would swamp the ring on long runs.
+    SPIDER_TRACE(sim_, .kind = spider::obs::TraceKind::kScanResult,
+                 .channel = static_cast<std::int16_t>(frame.channel),
+                 .track = spider::obs::track::scanner(),
+                 .id = frame.bssid.raw(), .value = frame.rssi_dbm);
   } else {
     obs.rssi_dbm = config_.rssi_ewma_alpha * frame.rssi_dbm +
                    (1.0 - config_.rssi_ewma_alpha) * obs.rssi_dbm;

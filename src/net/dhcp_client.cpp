@@ -1,5 +1,7 @@
 #include "net/dhcp_client.hpp"
 
+#include "obs/tracer.hpp"
+
 namespace spider::net {
 
 using wire::DhcpMessage;
@@ -25,11 +27,15 @@ void DhcpClient::start(std::optional<Lease> cached) {
     pending_gateway_ = cached->gateway;
     state_ = State::kRequesting;
     sends_left_ = config_.max_sends;
+    SPIDER_TRACE(sim_, .kind = obs::TraceKind::kDhcpRequest, .aux = 1,
+                 .track = trace_track_);
     send_request();
   } else {
     from_cache_ = false;
     state_ = State::kSelecting;
     sends_left_ = config_.max_sends;
+    SPIDER_TRACE(sim_, .kind = obs::TraceKind::kDhcpDiscover,
+                 .track = trace_track_);
     send_discover();
   }
 }
@@ -71,6 +77,8 @@ void DhcpClient::send_renew() {
   if (state_ != State::kBound || !lease_) return;
   if (sim_.now() >= lease_->expires_at) {
     // Expired without a successful renewal: the address is gone.
+    SPIDER_TRACE(sim_, .kind = obs::TraceKind::kDhcpLeaseLost,
+                 .track = trace_track_);
     const auto cb = callbacks_.on_lease_lost;
     abort();
     if (cb) cb();
@@ -98,6 +106,9 @@ void DhcpClient::arm_timer(std::function<void()> on_expiry) {
 void DhcpClient::fail() {
   timer_.cancel();
   state_ = State::kFailed;
+  SPIDER_TRACE(sim_, .kind = obs::TraceKind::kDhcpFail,
+               .aux = static_cast<std::uint8_t>(from_cache_ ? 1 : 0),
+               .track = trace_track_);
   if (callbacks_.on_failed) callbacks_.on_failed();
 }
 
@@ -167,14 +178,24 @@ void DhcpClient::on_packet(const wire::Packet& packet) {
       state_ = State::kBound;
       lease_ = Lease{msg->offered_ip, pending_gateway_, msg->server_id,
                      sim_.now() + msg->lease_duration};
+      SPIDER_TRACE(sim_, .kind = obs::TraceKind::kDhcpBound,
+                   .aux = static_cast<std::uint8_t>(from_cache_ ? 1 : 0),
+                   .track = trace_track_,
+                   .value = to_seconds(msg->lease_duration));
       schedule_renew();
       if (callbacks_.on_bound) callbacks_.on_bound(*lease_);
       return;
     }
 
     case DhcpMessage::Type::kNak:
+      SPIDER_TRACE(sim_, .kind = obs::TraceKind::kDhcpNak,
+                   .aux = static_cast<std::uint8_t>(
+                       state_ == State::kBound && renewing_ ? 1 : 0),
+                   .track = trace_track_);
       if (state_ == State::kBound && renewing_) {
         // Server refused the renewal: the lease is dead now.
+        SPIDER_TRACE(sim_, .kind = obs::TraceKind::kDhcpLeaseLost,
+                     .track = trace_track_);
         const auto cb = callbacks_.on_lease_lost;
         abort();
         if (cb) cb();

@@ -69,6 +69,8 @@ class DhcpClient {
   void set_callbacks(Callbacks callbacks) { callbacks_ = std::move(callbacks); }
   void set_config(const DhcpClientConfig& config) { config_ = config; }
   const DhcpClientConfig& config() const { return config_; }
+  /// Flight-recorder lane (obs::track::client of the owning interface).
+  void set_trace_track(std::uint32_t track) { trace_track_ = track; }
 
   /// Begins acquisition. With a cached lease the client attempts
   /// INIT-REBOOT (straight to REQUEST); a NAK falls back to full DISCOVER.
@@ -103,6 +105,7 @@ class DhcpClient {
   Callbacks callbacks_;
 
   State state_ = State::kIdle;
+  std::uint32_t trace_track_ = 0;
   std::uint32_t xid_ = 0;
   int sends_left_ = 0;
   bool from_cache_ = false;

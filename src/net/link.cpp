@@ -1,5 +1,7 @@
 #include "net/link.hpp"
 
+#include "obs/tracer.hpp"
+
 namespace spider::net {
 
 Link::Link(sim::Simulator& simulator, LinkConfig config)
@@ -8,6 +10,9 @@ Link::Link(sim::Simulator& simulator, LinkConfig config)
 void Link::send(wire::PacketPtr packet) {
   if (queue_.size() >= config_.queue_packets) {
     ++dropped_;
+    SPIDER_TRACE(sim_, .kind = obs::TraceKind::kBackhaulDrop,
+                 .track = obs::track::backhaul(),
+                 .value = static_cast<double>(queue_.size()));
     return;
   }
   queue_.push_back(std::move(packet));

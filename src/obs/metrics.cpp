@@ -1,0 +1,49 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+
+namespace spider::obs {
+
+void MetricsRegistry::count(std::string_view name, double v) {
+  auto it = entries_.find(name);
+  if (it == entries_.end()) {
+    entries_.emplace(std::string(name), Metric{v, Kind::kCounter});
+  } else {
+    it->second.value += v;
+  }
+}
+
+void MetricsRegistry::gauge(std::string_view name, double v) {
+  auto it = entries_.find(name);
+  if (it == entries_.end()) {
+    entries_.emplace(std::string(name), Metric{v, Kind::kGauge});
+  } else {
+    it->second.value = v;
+    it->second.kind = Kind::kGauge;
+  }
+}
+
+double MetricsRegistry::value(std::string_view name) const {
+  auto it = entries_.find(name);
+  return it == entries_.end() ? 0.0 : it->second.value;
+}
+
+bool MetricsRegistry::contains(std::string_view name) const {
+  return entries_.find(name) != entries_.end();
+}
+
+void MetricsRegistry::merge(const MetricsRegistry& other) {
+  for (const auto& [name, metric] : other.entries_) {
+    auto it = entries_.find(name);
+    if (it == entries_.end()) {
+      entries_.emplace(name, metric);
+    } else if (metric.kind == Kind::kGauge) {
+      it->second.value = std::max(it->second.value, metric.value);
+      it->second.kind = Kind::kGauge;
+    } else {
+      it->second.value += metric.value;
+    }
+  }
+}
+
+}  // namespace spider::obs

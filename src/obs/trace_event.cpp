@@ -1,0 +1,85 @@
+#include "obs/trace_event.hpp"
+
+namespace spider::obs {
+
+const char* to_string(TraceKind kind) {
+  switch (kind) {
+    case TraceKind::kChannelSwitchStart: return "channel-switch-start";
+    case TraceKind::kChannelSwitchEnd: return "channel-switch-end";
+    case TraceKind::kImpairmentSet: return "impairment-set";
+    case TraceKind::kImpairmentClear: return "impairment-clear";
+    case TraceKind::kScanResult: return "scan-result";
+    case TraceKind::kAuthStart: return "auth-start";
+    case TraceKind::kAssocStart: return "assoc-start";
+    case TraceKind::kAssocOk: return "assoc-ok";
+    case TraceKind::kAssocFail: return "assoc-fail";
+    case TraceKind::kMacLinkLost: return "mac-link-lost";
+    case TraceKind::kPsmSleep: return "psm-sleep";
+    case TraceKind::kPsmWake: return "psm-wake";
+    case TraceKind::kPsmPurge: return "psm-purge";
+    case TraceKind::kDhcpDiscover: return "dhcp-discover";
+    case TraceKind::kDhcpRequest: return "dhcp-request";
+    case TraceKind::kDhcpBound: return "dhcp-bound";
+    case TraceKind::kDhcpNak: return "dhcp-nak";
+    case TraceKind::kDhcpFail: return "dhcp-fail";
+    case TraceKind::kDhcpLeaseLost: return "dhcp-lease-lost";
+    case TraceKind::kBackhaulDrop: return "backhaul-drop";
+    case TraceKind::kSlotBegin: return "slot-begin";
+    case TraceKind::kSlotFraction: return "slot-fraction";
+    case TraceKind::kJoinStart: return "join-start";
+    case TraceKind::kJoinOutcome: return "join-outcome";
+    case TraceKind::kLinkUp: return "link-up";
+    case TraceKind::kLinkDown: return "link-down";
+    case TraceKind::kBlacklist: return "blacklist";
+    case TraceKind::kUtility: return "utility";
+    case TraceKind::kFaultBegin: return "fault-begin";
+    case TraceKind::kFaultEnd: return "fault-end";
+    case TraceKind::kCount_: break;
+  }
+  return "?";
+}
+
+const char* layer_of(TraceKind kind) {
+  switch (kind) {
+    case TraceKind::kChannelSwitchStart:
+    case TraceKind::kChannelSwitchEnd:
+    case TraceKind::kImpairmentSet:
+    case TraceKind::kImpairmentClear:
+      return "phy";
+    case TraceKind::kScanResult:
+    case TraceKind::kAuthStart:
+    case TraceKind::kAssocStart:
+    case TraceKind::kAssocOk:
+    case TraceKind::kAssocFail:
+    case TraceKind::kMacLinkLost:
+    case TraceKind::kPsmSleep:
+    case TraceKind::kPsmWake:
+    case TraceKind::kPsmPurge:
+      return "mac";
+    case TraceKind::kDhcpDiscover:
+    case TraceKind::kDhcpRequest:
+    case TraceKind::kDhcpBound:
+    case TraceKind::kDhcpNak:
+    case TraceKind::kDhcpFail:
+    case TraceKind::kDhcpLeaseLost:
+    case TraceKind::kBackhaulDrop:
+      return "net";
+    case TraceKind::kSlotBegin:
+    case TraceKind::kSlotFraction:
+    case TraceKind::kJoinStart:
+    case TraceKind::kJoinOutcome:
+    case TraceKind::kLinkUp:
+    case TraceKind::kLinkDown:
+    case TraceKind::kBlacklist:
+    case TraceKind::kUtility:
+      return "core";
+    case TraceKind::kFaultBegin:
+    case TraceKind::kFaultEnd:
+      return "fault";
+    case TraceKind::kCount_:
+      break;
+  }
+  return "?";
+}
+
+}  // namespace spider::obs

@@ -1,0 +1,102 @@
+#pragma once
+
+#include <cstdint>
+
+namespace spider::obs {
+
+/// Everything the flight recorder can witness, one tag per emit site class.
+/// The taxonomy follows the stack: phy (channel residency and impairment),
+/// mac (scan/auth/assoc and PSM buffering), net (DHCP and backhaul), core
+/// (scheduler slots, join lifecycle, AP selection), fault (injector
+/// firings). Adding a kind means also adding its name/layer row in
+/// trace_event.cpp — to_string() and layer_of() are the single source of
+/// truth for sink output and metric names.
+enum class TraceKind : std::uint8_t {
+  // --- phy -----------------------------------------------------------
+  kChannelSwitchStart,  ///< driver leaves a slot; channel = target
+  kChannelSwitchEnd,    ///< card usable on `channel`; value = latency ms
+  kImpairmentSet,       ///< extra loss on `channel`; value = probability
+  kImpairmentClear,     ///< impairment removed from `channel`
+
+  // --- mac -----------------------------------------------------------
+  kScanResult,   ///< first sighting of `id` (bssid) on `channel`; value=rssi
+  kAuthStart,    ///< MLME begins the auth handshake with `id`
+  kAssocStart,   ///< auth accepted, association request sent
+  kAssocOk,      ///< associated; value = AID
+  kAssocFail,    ///< handshake failed (timeout/denial)
+  kMacLinkLost,  ///< deauth/disassoc from the AP
+  kPsmSleep,     ///< AP starts buffering for client `id`
+  kPsmWake,      ///< PSM-clear flush to client `id`; value = frames flushed
+  kPsmPurge,     ///< buffered frames dropped (fault); value = frames lost
+
+  // --- net -----------------------------------------------------------
+  kDhcpDiscover,   ///< fresh DISCOVER exchange begins
+  kDhcpRequest,    ///< REQUEST sent (aux = 1 for cached INIT-REBOOT)
+  kDhcpBound,      ///< lease acquired; value = lease seconds
+  kDhcpNak,        ///< server refused; aux = 1 on a renewal NAK
+  kDhcpFail,       ///< retransmit budget exhausted
+  kDhcpLeaseLost,  ///< bound lease expired or was NAKed on renewal
+  kBackhaulDrop,   ///< wired drop-tail queue overflow; value = queue depth
+
+  // --- core ----------------------------------------------------------
+  kSlotBegin,      ///< scheduler enters slot aux on `channel`; value = dwell s
+  kSlotFraction,   ///< dynamic reschedule: `channel` gets fraction `value`
+  kJoinStart,      ///< link manager targets `id` on `channel`
+  kJoinOutcome,    ///< attempt finished; aux = core::JoinOutcome
+  kLinkUp,         ///< interface reached end-to-end connectivity
+  kLinkDown,       ///< established link torn down
+  kBlacklist,      ///< `id` penalised until value (seconds); aux = streak
+  kUtility,        ///< selector utility of `id` updated to `value`
+
+  // --- fault ---------------------------------------------------------
+  kFaultBegin,  ///< injector fires; aux = fault::FaultKind, id = target
+  kFaultEnd,    ///< fault cleared
+
+  kCount_,  ///< sentinel, keep last
+};
+
+inline constexpr std::size_t kTraceKindCount =
+    static_cast<std::size_t>(TraceKind::kCount_);
+
+/// Stable lowercase tag, e.g. "assoc-ok" (sink output, golden tests).
+const char* to_string(TraceKind kind);
+/// Owning layer, e.g. "mac" (prefix of the derived metric names).
+const char* layer_of(TraceKind kind);
+
+/// Track ids locate an event on a timeline lane: one lane per client VAP,
+/// one per AP, one per channel, plus fixed lanes for cross-cutting actors.
+/// The top byte is the lane family, the low 24 bits the instance.
+namespace track {
+inline constexpr std::uint32_t client(std::size_t vif) {
+  return 0x0100'0000u | static_cast<std::uint32_t>(vif & 0xFF'FFFFu);
+}
+inline constexpr std::uint32_t ap(std::uint64_t bssid_raw) {
+  return 0x0200'0000u | static_cast<std::uint32_t>(bssid_raw & 0xFF'FFFFu);
+}
+inline constexpr std::uint32_t channel(std::int32_t ch) {
+  return 0x0300'0000u | static_cast<std::uint32_t>(ch & 0xFF'FFFF);
+}
+inline constexpr std::uint32_t scheduler() { return 0x0400'0000u; }
+inline constexpr std::uint32_t scanner() { return 0x0400'0001u; }
+inline constexpr std::uint32_t backhaul() { return 0x0400'0002u; }
+inline constexpr std::uint32_t fault() { return 0x0500'0000u; }
+}  // namespace track
+
+/// One recorded event: a 40-byte POD. Field meaning is per-kind (see the
+/// TraceKind comments); unused fields stay zero so identical histories are
+/// memcmp-identical. `t_us` is stamped by Tracer::record from the
+/// simulation clock — never from wall time — which is what makes a trace a
+/// pure function of (config, seed).
+struct TraceEvent {
+  std::int64_t t_us = 0;      ///< simulation time, microseconds
+  TraceKind kind{};
+  std::uint8_t aux = 0;       ///< small per-kind payload (state/outcome/kind)
+  std::int16_t channel = 0;   ///< 802.11 channel, when meaningful
+  std::uint32_t track = 0;    ///< timeline lane (see track::)
+  std::uint64_t id = 0;       ///< BSSID/MAC raw bits or target index
+  double value = 0.0;         ///< per-kind scalar (rssi, latency, fraction)
+};
+
+static_assert(sizeof(TraceEvent) <= 40, "keep the ring entry compact");
+
+}  // namespace spider::obs

@@ -1,0 +1,31 @@
+#include "obs/tracer.hpp"
+
+#include <string>
+
+namespace spider::obs {
+
+std::vector<TraceEvent> Tracer::events() const {
+  std::vector<TraceEvent> out;
+  out.reserve(size_);
+  const std::size_t start = (size_ == ring_.size()) ? head_ : 0;
+  for (std::size_t i = 0; i < size_; ++i) {
+    out.push_back(ring_[(start + i) % ring_.size()]);
+  }
+  return out;
+}
+
+MetricsRegistry Tracer::metrics() const {
+  MetricsRegistry m;
+  for (std::size_t k = 0; k < kTraceKindCount; ++k) {
+    if (counts_[k] == 0) continue;
+    const auto kind = static_cast<TraceKind>(k);
+    m.count(std::string(layer_of(kind)) + "." + to_string(kind),
+            static_cast<double>(counts_[k]));
+  }
+  m.count("obs.recorded", static_cast<double>(recorded_));
+  m.count("obs.overflowed", static_cast<double>(overflowed()));
+  m.gauge("obs.ring_peak", static_cast<double>(size_));
+  return m;
+}
+
+}  // namespace spider::obs

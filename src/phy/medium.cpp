@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cassert>
 
+#include "obs/tracer.hpp"
 #include "phy/radio.hpp"
 
 namespace spider::phy {
@@ -26,6 +27,9 @@ void Medium::set_channel_impairment(wire::Channel channel, double extra_loss) {
   } else {
     impairments_other_[channel] = clamped;
   }
+  SPIDER_TRACE(sim_, .kind = obs::TraceKind::kImpairmentSet,
+               .channel = static_cast<std::int16_t>(channel),
+               .track = obs::track::channel(channel), .value = clamped);
 }
 
 void Medium::clear_channel_impairment(wire::Channel channel) {
@@ -34,6 +38,9 @@ void Medium::clear_channel_impairment(wire::Channel channel) {
   } else {
     impairments_other_.erase(channel);
   }
+  SPIDER_TRACE(sim_, .kind = obs::TraceKind::kImpairmentClear,
+               .channel = static_cast<std::int16_t>(channel),
+               .track = obs::track::channel(channel));
 }
 
 double Medium::channel_impairment(wire::Channel channel) const {

@@ -7,6 +7,10 @@
 #include "sim/event_queue.hpp"
 #include "util/time.hpp"
 
+namespace spider::obs {
+class Tracer;
+}  // namespace spider::obs
+
 namespace spider::sim {
 
 /// The simulation kernel: a clock plus an event queue.
@@ -71,12 +75,20 @@ class Simulator {
     return p;
   }
 
+  /// Optional flight recorder (see obs/tracer.hpp). Null by default so the
+  /// SPIDER_TRACE emit sites scattered through the stack cost one pointer
+  /// load + branch unless a run opts in. Not owned; the installer keeps the
+  /// tracer alive for the simulator's lifetime.
+  void set_tracer(obs::Tracer* tracer) { tracer_ = tracer; }
+  obs::Tracer* tracer() const { return tracer_; }
+
  private:
   Time now_{0};
   EventQueue queue_;
   bool stopped_ = false;
   std::uint64_t executed_ = 0;
   std::uint64_t next_id_ = 0;
+  obs::Tracer* tracer_ = nullptr;
 };
 
 /// A restartable periodic timer built on the simulator; used for beacons,

@@ -2,9 +2,12 @@
 
 #include <chrono>
 #include <optional>
+#include <utility>
 
 #include "core/spider_driver.hpp"
 #include "mobility/mobility.hpp"
+#include "obs/tracer.hpp"
+#include "trace/runner.hpp"
 
 namespace spider::trace {
 
@@ -37,12 +40,19 @@ void digest_join_log(ScenarioResult& result) {
 
 }  // namespace
 
-ScenarioResult run_scenario(const ScenarioConfig& config) {
+namespace detail {
+
+ScenarioResult execute_scenario(const ScenarioConfig& config,
+                                std::shared_ptr<obs::Tracer> tracer) {
   const auto wall_start = std::chrono::steady_clock::now();
   TestbedConfig tb_config;
   tb_config.seed = config.seed;
   tb_config.propagation = config.propagation;
   Testbed bed(tb_config);
+  // Installed before any entity schedules work so the trace covers the
+  // whole run. The recorder only reads the sim clock — never wall time —
+  // so the trace is a pure function of (config, seed).
+  if (tracer) bed.sim.set_tracer(tracer.get());
 
   // Populate the road.
   Rng deploy_rng = bed.fork_rng();
@@ -160,7 +170,18 @@ ScenarioResult run_scenario(const ScenarioConfig& config) {
       std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                     wall_start)
           .count();
+  if (tracer) {
+    bed.sim.set_tracer(nullptr);
+    result.metrics = tracer->metrics();
+    result.traces.push_back(std::move(tracer));
+  }
   return result;
+}
+
+}  // namespace detail
+
+ScenarioResult run_scenario(const ScenarioConfig& config) {
+  return ScenarioRunner().run_one(config);
 }
 
 ScenarioResult pool_results(const std::vector<ScenarioResult>& runs) {
@@ -189,19 +210,18 @@ ScenarioResult pool_results(const std::vector<ScenarioResult>& runs) {
     pooled.join_log.insert(pooled.join_log.end(), one.join_log.begin(),
                            one.join_log.end());
     pooled.perf.merge(one.perf);
+    pooled.metrics.merge(one.metrics);
+    pooled.traces.insert(pooled.traces.end(), one.traces.begin(),
+                         one.traces.end());
   }
   digest_join_log(pooled);
   return pooled;
 }
 
 ScenarioResult run_scenario_averaged(ScenarioConfig config, int runs) {
-  std::vector<ScenarioResult> results;
-  results.reserve(runs);
-  for (int r = 0; r < runs; ++r) {
-    config.seed += r == 0 ? 0 : 1;
-    results.push_back(run_scenario(config));
-  }
-  return pool_results(results);
+  RunnerOptions options;
+  options.repetitions = runs;
+  return ScenarioRunner(options).run_averaged(config);
 }
 
 }  // namespace spider::trace

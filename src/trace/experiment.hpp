@@ -1,5 +1,6 @@
 #pragma once
 
+#include <memory>
 #include <vector>
 
 #include "baseline/fatvap.hpp"
@@ -10,9 +11,14 @@
 #include "fault/fault.hpp"
 #include "mobility/deployment.hpp"
 #include "net/dhcp_server.hpp"
+#include "obs/metrics.hpp"
 #include "sim/perf.hpp"
 #include "trace/testbed.hpp"
 #include "util/stats.hpp"
+
+namespace spider::obs {
+class Tracer;
+}  // namespace spider::obs
 
 namespace spider::trace {
 
@@ -83,19 +89,35 @@ struct ScenarioResult {
   /// wall-clock, sim rate). Wall-clock fields are host-dependent and never
   /// appear in deterministic bench output; see write_perf_csv.
   sim::PerfCounters perf;
+
+  /// Derived per-layer counters from the flight recorder (empty unless the
+  /// run was traced). Pooled results merge these: counters sum, gauges max.
+  obs::MetricsRegistry metrics;
+  /// The raw flight recorders, one per traced run, in seed order. Pooled
+  /// results concatenate them so sinks can render every repetition.
+  std::vector<std::shared_ptr<const obs::Tracer>> traces;
 };
 
+namespace detail {
+/// The single scenario kernel every entrypoint funnels into: assembles the
+/// testbed, installs `tracer` on the simulator when given, runs, harvests.
+ScenarioResult execute_scenario(const ScenarioConfig& config,
+                                std::shared_ptr<obs::Tracer> tracer);
+}  // namespace detail
+
+/// One untraced run. Forwarder over ScenarioRunner (trace/runner.hpp),
+/// which adds repetitions, worker pools, and observer sinks.
 ScenarioResult run_scenario(const ScenarioConfig& config);
 
 /// Merges per-seed repetitions into one pooled result: scalar metrics are
 /// averaged, counts summed, join logs and CDF samples concatenated in
-/// order, perf counters merged. Shared by run_scenario_averaged and
-/// SweepRunner::run_averaged so serial and parallel sweeps agree to the
-/// byte.
+/// order, perf counters and trace metrics merged. Shared by every averaged
+/// entrypoint so serial and parallel sweeps agree to the byte.
 ScenarioResult pool_results(const std::vector<ScenarioResult>& runs);
 
 /// Averages `runs` seeded repetitions (seed, seed+1, ...) of the scalar
-/// metrics and pools the join logs/CDF samples.
+/// metrics and pools the join logs/CDF samples. Forwarder over
+/// ScenarioRunner{repetitions = runs}.
 ScenarioResult run_scenario_averaged(ScenarioConfig config, int runs);
 
 }  // namespace spider::trace

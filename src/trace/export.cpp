@@ -3,6 +3,9 @@
 #include <fstream>
 #include <ostream>
 
+#include "obs/sinks.hpp"
+#include "obs/tracer.hpp"
+
 namespace spider::trace {
 
 namespace {
@@ -12,6 +15,14 @@ std::string ms_or_empty(const std::optional<Time>& t) {
 }
 
 }  // namespace
+
+bool export_csv(const std::string& path,
+                const std::function<void(std::ostream&)>& writer) {
+  std::ofstream f(path, std::ios::trunc);
+  if (!f) return false;
+  writer(f);
+  return static_cast<bool>(f);
+}
 
 void write_timeseries_csv(std::ostream& os, const ThroughputRecorder& recorder) {
   os << "second,bytes\n";
@@ -24,10 +35,8 @@ void write_timeseries_csv(std::ostream& os, const ThroughputRecorder& recorder) 
 
 bool write_timeseries_csv(const std::string& path,
                           const ThroughputRecorder& recorder) {
-  std::ofstream f(path, std::ios::trunc);
-  if (!f) return false;
-  write_timeseries_csv(f, recorder);
-  return static_cast<bool>(f);
+  return export_csv(path,
+                    [&](std::ostream& os) { write_timeseries_csv(os, recorder); });
 }
 
 void write_join_log_csv(std::ostream& os,
@@ -44,10 +53,8 @@ void write_join_log_csv(std::ostream& os,
 
 bool write_join_log_csv(const std::string& path,
                         const std::vector<core::JoinRecord>& log) {
-  std::ofstream f(path, std::ios::trunc);
-  if (!f) return false;
-  write_join_log_csv(f, log);
-  return static_cast<bool>(f);
+  return export_csv(path,
+                    [&](std::ostream& os) { write_join_log_csv(os, log); });
 }
 
 void write_cdf_csv(std::ostream& os, const Cdf& cdf, const std::string& x_label) {
@@ -65,10 +72,8 @@ void write_cdf_csv(std::ostream& os, const Cdf& cdf, const std::string& x_label)
 
 bool write_cdf_csv(const std::string& path, const Cdf& cdf,
                    const std::string& x_label) {
-  std::ofstream f(path, std::ios::trunc);
-  if (!f) return false;
-  write_cdf_csv(f, cdf, x_label);
-  return static_cast<bool>(f);
+  return export_csv(path,
+                    [&](std::ostream& os) { write_cdf_csv(os, cdf, x_label); });
 }
 
 void write_resilience_csv(std::ostream& os,
@@ -87,10 +92,8 @@ void write_resilience_csv(std::ostream& os,
 
 bool write_resilience_csv(const std::string& path,
                           const ResilienceRecorder& recorder) {
-  std::ofstream f(path, std::ios::trunc);
-  if (!f) return false;
-  write_resilience_csv(f, recorder);
-  return static_cast<bool>(f);
+  return export_csv(
+      path, [&](std::ostream& os) { write_resilience_csv(os, recorder); });
 }
 
 void write_perf_csv(std::ostream& os,
@@ -110,10 +113,55 @@ void write_perf_csv(std::ostream& os,
 
 bool write_perf_csv(const std::string& path,
                     const std::vector<ScenarioResult>& results) {
-  std::ofstream f(path, std::ios::trunc);
-  if (!f) return false;
-  write_perf_csv(f, results);
-  return static_cast<bool>(f);
+  return export_csv(path,
+                    [&](std::ostream& os) { write_perf_csv(os, results); });
+}
+
+void write_trace_jsonl(std::ostream& os,
+                       const std::vector<ScenarioResult>& results) {
+  std::size_t run = 0;
+  for (const ScenarioResult& result : results) {
+    for (const auto& tracer : result.traces) {
+      obs::write_jsonl(os, *tracer, run++);
+    }
+  }
+}
+
+bool write_trace_jsonl(const std::string& path,
+                       const std::vector<ScenarioResult>& results) {
+  return export_csv(path,
+                    [&](std::ostream& os) { write_trace_jsonl(os, results); });
+}
+
+void write_trace_chrome(std::ostream& os,
+                        const std::vector<ScenarioResult>& results) {
+  obs::ChromeTraceWriter writer(os);
+  std::size_t run = 0;
+  for (const ScenarioResult& result : results) {
+    for (const auto& tracer : result.traces) {
+      writer.add_run(*tracer, run++);
+    }
+  }
+  writer.finish();
+}
+
+bool write_trace_chrome(const std::string& path,
+                        const std::vector<ScenarioResult>& results) {
+  return export_csv(path,
+                    [&](std::ostream& os) { write_trace_chrome(os, results); });
+}
+
+void write_metrics_csv(std::ostream& os,
+                       const std::vector<ScenarioResult>& results) {
+  obs::MetricsRegistry merged;
+  for (const ScenarioResult& result : results) merged.merge(result.metrics);
+  obs::write_metrics_csv(os, merged);
+}
+
+bool write_metrics_csv(const std::string& path,
+                       const std::vector<ScenarioResult>& results) {
+  return export_csv(path,
+                    [&](std::ostream& os) { write_metrics_csv(os, results); });
 }
 
 }  // namespace spider::trace

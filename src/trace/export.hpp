@@ -1,5 +1,6 @@
 #pragma once
 
+#include <functional>
 #include <iosfwd>
 #include <string>
 #include <vector>
@@ -14,6 +15,12 @@ namespace spider::trace {
 /// CSV exporters for post-processing (plotting the reproduced figures with
 /// external tooling). All writers take a stream overload (unit-testable)
 /// and a path convenience overload; files are truncated.
+
+/// The one open-truncate-write-check recipe behind every path overload:
+/// opens `path` truncated, applies `writer` to the stream, and returns
+/// whether both the open and the writes succeeded.
+bool export_csv(const std::string& path,
+                const std::function<void(std::ostream&)>& writer);
 
 /// `second,bytes` — the ThroughputRecorder's binned timeline.
 void write_timeseries_csv(std::ostream& os, const ThroughputRecorder& recorder);
@@ -45,5 +52,31 @@ void write_perf_csv(std::ostream& os,
                     const std::vector<ScenarioResult>& results);
 bool write_perf_csv(const std::string& path,
                     const std::vector<ScenarioResult>& results);
+
+/// Flight-recorder sinks over a batch of (possibly pooled) results. The
+/// run index restarts from 0 and counts every retained tracer across the
+/// batch in submission order, so sweep output is byte-identical for any
+/// worker count. No-ops (header/empty envelope only) when nothing was
+/// traced.
+
+/// One JSON object per line per retained event (see obs::write_jsonl).
+void write_trace_jsonl(std::ostream& os,
+                       const std::vector<ScenarioResult>& results);
+bool write_trace_jsonl(const std::string& path,
+                       const std::vector<ScenarioResult>& results);
+
+/// Chrome trace-event JSON: one process per traced run, one named thread
+/// lane per VAP / AP / channel (see obs::ChromeTraceWriter).
+void write_trace_chrome(std::ostream& os,
+                        const std::vector<ScenarioResult>& results);
+bool write_trace_chrome(const std::string& path,
+                        const std::vector<ScenarioResult>& results);
+
+/// `metric,kind,value` rows of every result's registry merged (counters
+/// sum, gauges max), in name order.
+void write_metrics_csv(std::ostream& os,
+                       const std::vector<ScenarioResult>& results);
+bool write_metrics_csv(const std::string& path,
+                       const std::vector<ScenarioResult>& results);
 
 }  // namespace spider::trace

@@ -1,0 +1,93 @@
+#include "trace/runner.hpp"
+
+#include <cstdio>
+
+#include "trace/export.hpp"
+#include "util/thread_pool.hpp"
+
+namespace spider::trace {
+
+ScenarioRunner::ScenarioRunner(RunnerOptions options)
+    : options_(options),
+      jobs_(options.jobs != 0 ? options.jobs
+                              : util::ThreadPool::default_jobs()),
+      tracing_(options.tracing || options.sinks.any()) {}
+
+std::vector<ScenarioResult> ScenarioRunner::execute(
+    const std::vector<ScenarioConfig>& expanded) const {
+  return util::parallel_map(jobs_, expanded.size(), [&](std::size_t i) {
+    std::shared_ptr<obs::Tracer> tracer;
+    if (tracing_) {
+      obs::TracerConfig tc = options_.tracer;
+      tc.seed = expanded[i].seed;
+      tracer = std::make_shared<obs::Tracer>(tc);
+    }
+    return detail::execute_scenario(expanded[i], std::move(tracer));
+  });
+}
+
+void ScenarioRunner::write_sinks(
+    const std::vector<ScenarioResult>& results) const {
+  const auto emit = [&](const std::string& path, bool ok) {
+    if (!path.empty() && !ok) {
+      std::fprintf(stderr, "warning: could not write %s\n", path.c_str());
+    }
+  };
+  if (!options_.sinks.jsonl_path.empty()) {
+    emit(options_.sinks.jsonl_path,
+         write_trace_jsonl(options_.sinks.jsonl_path, results));
+  }
+  if (!options_.sinks.chrome_path.empty()) {
+    emit(options_.sinks.chrome_path,
+         write_trace_chrome(options_.sinks.chrome_path, results));
+  }
+  if (!options_.sinks.metrics_path.empty()) {
+    emit(options_.sinks.metrics_path,
+         write_metrics_csv(options_.sinks.metrics_path, results));
+  }
+}
+
+ScenarioResult ScenarioRunner::run_one(const ScenarioConfig& config) const {
+  std::vector<ScenarioResult> results = execute({config});
+  write_sinks(results);
+  return std::move(results.front());
+}
+
+ScenarioResult ScenarioRunner::run_averaged(const ScenarioConfig& config) const {
+  std::vector<ScenarioResult> pooled = run_many_averaged({config});
+  return std::move(pooled.front());
+}
+
+std::vector<ScenarioResult> ScenarioRunner::run_many(
+    const std::vector<ScenarioConfig>& configs) const {
+  std::vector<ScenarioResult> results = execute(configs);
+  write_sinks(results);
+  return results;
+}
+
+std::vector<ScenarioResult> ScenarioRunner::run_many_averaged(
+    const std::vector<ScenarioConfig>& configs) const {
+  const int runs = options_.repetitions < 1 ? 1 : options_.repetitions;
+  std::vector<ScenarioConfig> expanded;
+  expanded.reserve(configs.size() * static_cast<std::size_t>(runs));
+  for (const ScenarioConfig& config : configs) {
+    for (int r = 0; r < runs; ++r) {
+      expanded.push_back(config);
+      expanded.back().seed = config.seed + static_cast<std::uint64_t>(r);
+    }
+  }
+  const std::vector<ScenarioResult> flat = execute(expanded);
+
+  std::vector<ScenarioResult> pooled;
+  pooled.reserve(configs.size());
+  for (std::size_t g = 0; g < configs.size(); ++g) {
+    const auto first = flat.begin() + static_cast<std::ptrdiff_t>(
+                                          g * static_cast<std::size_t>(runs));
+    pooled.push_back(pool_results(std::vector<ScenarioResult>(
+        first, first + static_cast<std::ptrdiff_t>(runs))));
+  }
+  write_sinks(pooled);
+  return pooled;
+}
+
+}  // namespace spider::trace

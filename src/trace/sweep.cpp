@@ -4,39 +4,24 @@
 
 namespace spider::trace {
 
-SweepRunner::SweepRunner(SweepOptions options)
-    : jobs_(options.jobs != 0 ? options.jobs : util::ThreadPool::default_jobs()) {}
+SweepRunner::SweepRunner(SweepOptions options) {
+  options_.jobs = options.jobs != 0 ? options.jobs
+                                    : util::ThreadPool::default_jobs();
+  options_.tracing = options.tracing;
+  options_.tracer = options.tracer;
+  options_.sinks = options.sinks;
+}
 
 std::vector<ScenarioResult> SweepRunner::run(
     const std::vector<ScenarioConfig>& configs) const {
-  return util::parallel_map(jobs_, configs.size(), [&configs](std::size_t i) {
-    return run_scenario(configs[i]);
-  });
+  return ScenarioRunner(options_).run_many(configs);
 }
 
 std::vector<ScenarioResult> SweepRunner::run_averaged(
     const std::vector<ScenarioConfig>& configs, int runs) const {
-  if (runs < 1) runs = 1;
-  // Flatten to (config, repetition) pairs so repetitions of different
-  // configs overlap on the pool instead of serialising per config.
-  std::vector<ScenarioConfig> expanded;
-  expanded.reserve(configs.size() * static_cast<std::size_t>(runs));
-  for (const ScenarioConfig& config : configs) {
-    for (int r = 0; r < runs; ++r) {
-      expanded.push_back(config);
-      expanded.back().seed = config.seed + static_cast<std::uint64_t>(r);
-    }
-  }
-  const std::vector<ScenarioResult> flat = run(expanded);
-
-  std::vector<ScenarioResult> pooled;
-  pooled.reserve(configs.size());
-  for (std::size_t g = 0; g < configs.size(); ++g) {
-    const auto first = flat.begin() + static_cast<std::ptrdiff_t>(g * runs);
-    pooled.push_back(pool_results(std::vector<ScenarioResult>(
-        first, first + static_cast<std::ptrdiff_t>(runs))));
-  }
-  return pooled;
+  RunnerOptions options = options_;
+  options.repetitions = runs;
+  return ScenarioRunner(options).run_many_averaged(configs);
 }
 
 }  // namespace spider::trace

@@ -3,26 +3,28 @@
 #include <cstddef>
 #include <vector>
 
-#include "trace/experiment.hpp"
+#include "trace/runner.hpp"
 
 namespace spider::trace {
 
-/// Worker-count selection for a sweep. `jobs == 0` defers to the
-/// SPIDER_JOBS environment variable, then hardware_concurrency (see
-/// util::ThreadPool::default_jobs); benches map their --jobs flag here.
+/// Sweep-wide options; benches map their CLI flags here. `jobs == 0`
+/// defers to the SPIDER_JOBS environment variable, then
+/// hardware_concurrency (see util::ThreadPool::default_jobs). The trace
+/// fields opt a sweep into the flight recorder and its sinks — tracing is
+/// implied whenever any sink path is set.
 struct SweepOptions {
   std::size_t jobs = 0;
+  bool tracing = false;
+  obs::TracerConfig tracer;
+  SinkOptions sinks;
 };
 
 /// Replays a list of independent scenarios on a fixed-size thread pool.
-///
-/// Determinism contract (DESIGN.md §7): each scenario owns its Simulator,
-/// EventQueue, and RNG streams, and shares no mutable state with its
-/// siblings, so a run's result depends only on its ScenarioConfig. Results
-/// are returned indexed by submission order, never completion order.
-/// Together these guarantee that every table, CDF, and join log derived
-/// from a sweep is byte-identical for any worker count, including the
-/// serial jobs=1 loop.
+/// Thin forwarder over ScenarioRunner (trace/runner.hpp) — the determinism
+/// contract (DESIGN.md §7) lives there: each scenario owns its Simulator,
+/// EventQueue, and RNG streams, results are indexed by submission order,
+/// and every table, CDF, and join log derived from a sweep is
+/// byte-identical for any worker count, including the serial jobs=1 loop.
 class SweepRunner {
  public:
   explicit SweepRunner(SweepOptions options = {});
@@ -38,10 +40,10 @@ class SweepRunner {
       const std::vector<ScenarioConfig>& configs, int runs) const;
 
   /// The worker count this runner resolves to (>= 1).
-  std::size_t jobs() const { return jobs_; }
+  std::size_t jobs() const { return options_.jobs; }
 
  private:
-  std::size_t jobs_;
+  RunnerOptions options_;
 };
 
 }  // namespace spider::trace

@@ -1,0 +1,290 @@
+// Tests for the flight recorder (src/obs) and its integration with the
+// unified ScenarioRunner path. The observability contract under test
+// (DESIGN.md §9): traces are a pure function of (config, seed) —
+// byte-identical across worker counts — and an installed tracer never
+// perturbs the simulation it observes.
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.hpp"
+#include "obs/sinks.hpp"
+#include "obs/tracer.hpp"
+#include "trace/experiment.hpp"
+#include "trace/export.hpp"
+#include "trace/runner.hpp"
+#include "trace/sweep.hpp"
+
+using namespace spider;
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Ring semantics
+
+TEST(Tracer, RecordsInOrderBelowCapacity) {
+  obs::Tracer tracer({.capacity = 8});
+  for (int i = 0; i < 5; ++i) {
+    tracer.record(Time{i * 10},
+                  {.kind = obs::TraceKind::kScanResult,
+                   .id = static_cast<std::uint64_t>(i)});
+  }
+  EXPECT_EQ(tracer.size(), 5u);
+  EXPECT_EQ(tracer.recorded(), 5u);
+  EXPECT_EQ(tracer.overflowed(), 0u);
+  const auto events = tracer.events();
+  ASSERT_EQ(events.size(), 5u);
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    EXPECT_EQ(events[i].id, i);
+    EXPECT_EQ(events[i].t_us, static_cast<std::int64_t>(i) * 10);
+  }
+}
+
+TEST(Tracer, OverflowKeepsNewestAndCountsLost) {
+  obs::Tracer tracer({.capacity = 8});
+  for (int i = 0; i < 20; ++i) {
+    tracer.record(Time{i}, {.kind = obs::TraceKind::kScanResult,
+                            .id = static_cast<std::uint64_t>(i)});
+  }
+  EXPECT_EQ(tracer.size(), 8u);
+  EXPECT_EQ(tracer.recorded(), 20u);
+  EXPECT_EQ(tracer.overflowed(), 12u);
+  const auto events = tracer.events();
+  ASSERT_EQ(events.size(), 8u);
+  // Oldest-first eviction: the ring retains exactly ids 12..19, in order.
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    EXPECT_EQ(events[i].id, 12 + i);
+  }
+  // Per-kind counts are tallied at record() time, outside the ring, so
+  // overflow never skews the derived metrics.
+  EXPECT_EQ(tracer.count_of(obs::TraceKind::kScanResult), 20u);
+  EXPECT_EQ(tracer.metrics().value("obs.overflowed"), 12.0);
+}
+
+TEST(Tracer, ZeroCapacityIsClampedToOne) {
+  obs::Tracer tracer({.capacity = 0});
+  EXPECT_EQ(tracer.capacity(), 1u);
+  tracer.record(Time{1}, {.kind = obs::TraceKind::kFaultBegin});
+  tracer.record(Time{2}, {.kind = obs::TraceKind::kFaultEnd});
+  ASSERT_EQ(tracer.events().size(), 1u);
+  EXPECT_EQ(tracer.events()[0].kind, obs::TraceKind::kFaultEnd);
+}
+
+// ---------------------------------------------------------------------------
+// Metrics registry
+
+TEST(MetricsRegistry, CountersSumAndGaugesMaxOnMerge) {
+  obs::MetricsRegistry a;
+  a.count("mac.assoc-ok", 3);
+  a.gauge("obs.ring_peak", 100);
+  obs::MetricsRegistry b;
+  b.count("mac.assoc-ok", 2);
+  b.count("net.dhcp-bound", 1);
+  b.gauge("obs.ring_peak", 40);
+  a.merge(b);
+  EXPECT_DOUBLE_EQ(a.value("mac.assoc-ok"), 5.0);
+  EXPECT_DOUBLE_EQ(a.value("net.dhcp-bound"), 1.0);
+  EXPECT_DOUBLE_EQ(a.value("obs.ring_peak"), 100.0);
+  EXPECT_EQ(a.size(), 3u);
+}
+
+// ---------------------------------------------------------------------------
+// Traced scenarios
+
+trace::ScenarioConfig tiny_scenario(std::uint64_t seed = 21) {
+  trace::ScenarioConfig cfg;
+  cfg.seed = seed;
+  cfg.duration = sec(60);
+  cfg.deployment.road_length_m = 1200;
+  cfg.deployment.aps_per_km = 8;
+  cfg.spider.mode = core::OperationMode::single(6);
+  return cfg;
+}
+
+// Exact textual digest of everything deterministic in a result (the
+// test_sweep digest, minus wall-clock).
+std::string digest(const trace::ScenarioResult& r) {
+  std::ostringstream out;
+  char buf[64];
+  auto num = [&](double v) {
+    std::snprintf(buf, sizeof(buf), "%.17g,", v);
+    out << buf;
+  };
+  num(r.avg_throughput_kBps);
+  num(r.connectivity);
+  out << r.total_bytes << ',' << r.switches << ',' << r.joins_attempted << ','
+      << r.assoc_succeeded << ',' << r.dhcp_succeeded << ',' << r.e2e_succeeded
+      << ',';
+  for (const Cdf* cdf : {&r.connection_durations, &r.disruption_durations,
+                         &r.instantaneous_kBps}) {
+    out << '[';
+    for (double s : cdf->samples()) num(s);
+    out << ']';
+  }
+  out << r.perf.events_popped << ',' << r.perf.events_cancelled << ','
+      << r.perf.heap_peak << ',';
+  num(r.perf.sim_seconds);
+  return out.str();
+}
+
+TEST(ScenarioRunner, TracingDoesNotPerturbTheSimulation) {
+  const auto cfg = tiny_scenario();
+  const std::string untraced = digest(trace::run_scenario(cfg));
+  const auto traced = trace::ScenarioRunner({.tracing = true}).run_one(cfg);
+  EXPECT_EQ(digest(traced), untraced);
+  ASSERT_EQ(traced.traces.size(), 1u);
+  EXPECT_GT(traced.traces[0]->recorded(), 0u);
+  EXPECT_FALSE(traced.metrics.empty());
+}
+
+TEST(ScenarioRunner, UntracedRunRetainsNoTracer) {
+  const auto result = trace::ScenarioRunner().run_one(tiny_scenario());
+  EXPECT_TRUE(result.traces.empty());
+  EXPECT_TRUE(result.metrics.empty());
+}
+
+TEST(ScenarioRunner, ForwardersMatchRunnerPath) {
+  const auto cfg = tiny_scenario();
+  EXPECT_EQ(digest(trace::run_scenario(cfg)),
+            digest(trace::ScenarioRunner().run_one(cfg)));
+  EXPECT_EQ(digest(trace::run_scenario_averaged(cfg, 2)),
+            digest(trace::ScenarioRunner({.repetitions = 2}).run_averaged(cfg)));
+}
+
+TEST(SweepRunner, JsonlByteIdenticalAcrossWorkerCounts) {
+  std::vector<trace::ScenarioConfig> configs = {tiny_scenario(21),
+                                                tiny_scenario(22)};
+  std::string baseline;
+  for (std::size_t jobs : {std::size_t{1}, std::size_t{8}}) {
+    const auto results =
+        trace::SweepRunner({.jobs = jobs, .tracing = true}).run(configs);
+    std::ostringstream jsonl;
+    trace::write_trace_jsonl(jsonl, results);
+    EXPECT_FALSE(jsonl.str().empty());
+    if (baseline.empty()) {
+      baseline = jsonl.str();
+    } else {
+      EXPECT_EQ(jsonl.str(), baseline) << "jobs=" << jobs;
+    }
+  }
+}
+
+TEST(SweepRunner, ChromeTraceIsBalancedJson) {
+  const auto results =
+      trace::SweepRunner({.jobs = 1, .tracing = true}).run({tiny_scenario()});
+  std::ostringstream os;
+  trace::write_trace_chrome(os, results);
+  const std::string json = os.str();
+  ASSERT_FALSE(json.empty());
+  // Structural smoke: brackets/braces balance and the envelope is the
+  // trace-event array form Perfetto loads.
+  EXPECT_EQ(json.rfind("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[", 0), 0u);
+  long depth = 0;
+  bool in_string = false;
+  for (std::size_t i = 0; i < json.size(); ++i) {
+    const char c = json[i];
+    if (in_string) {
+      if (c == '\\') ++i;
+      else if (c == '"') in_string = false;
+      continue;
+    }
+    if (c == '"') in_string = true;
+    if (c == '{' || c == '[') ++depth;
+    if (c == '}' || c == ']') --depth;
+    ASSERT_GE(depth, 0);
+  }
+  EXPECT_EQ(depth, 0);
+  EXPECT_FALSE(in_string);
+}
+
+// Golden event-kind prefix for a tiny fixed-seed scenario. Pins the emit
+// sites' relative order on the startup path: any re-ordering of the join
+// pipeline's instrumentation (or a dropped emit site) shows up here.
+TEST(Tracer, GoldenEventPrefixForFixedSeed) {
+  const auto cfg = tiny_scenario(/*seed=*/5);
+  const auto result = trace::ScenarioRunner({.tracing = true}).run_one(cfg);
+  ASSERT_EQ(result.traces.size(), 1u);
+  const auto events = result.traces[0]->events();
+  ASSERT_GE(events.size(), 8u);
+  std::string actual;
+  for (std::size_t i = 0; i < 8; ++i) {
+    actual += obs::to_string(events[i].kind);
+    actual += '\n';
+  }
+  const std::string golden =
+      "slot-begin\n"
+      "channel-switch-start\n"
+      "channel-switch-end\n"
+      "scan-result\n"
+      "join-start\n"
+      "auth-start\n"
+      "assoc-start\n"
+      "assoc-ok\n";
+  EXPECT_EQ(actual, golden);
+}
+
+// ---------------------------------------------------------------------------
+// Bench CLI parsing (bench/bench_util.hpp)
+
+char** fake_argv(std::vector<std::string>& storage) {
+  static std::vector<char*> ptrs;
+  ptrs.clear();
+  for (auto& s : storage) ptrs.push_back(s.data());
+  ptrs.push_back(nullptr);
+  return ptrs.data();
+}
+
+TEST(SweepCli, ParsesKnownFlagsInBothForms) {
+  std::vector<std::string> args = {"bench",        "--jobs",
+                                   "4",            "--perf-csv=perf.csv",
+                                   "--trace-jsonl", "t.jsonl",
+                                   "--trace-chrome=t.json",
+                                   "--metrics-csv", "m.csv"};
+  const auto cli =
+      bench::parse_sweep_cli(static_cast<int>(args.size()), fake_argv(args));
+  EXPECT_EQ(cli.sweep.jobs, 4u);
+  EXPECT_EQ(cli.perf_csv, "perf.csv");
+  EXPECT_EQ(cli.sweep.sinks.jsonl_path, "t.jsonl");
+  EXPECT_EQ(cli.sweep.sinks.chrome_path, "t.json");
+  EXPECT_EQ(cli.sweep.sinks.metrics_path, "m.csv");
+}
+
+TEST(SweepCli, BenchRegisteredFlagsApply) {
+  std::vector<std::string> args = {"bench", "--runs=7"};
+  int runs = 0;
+  bench::parse_sweep_cli(
+      static_cast<int>(args.size()), fake_argv(args),
+      {{"--runs", "N", "repetitions",
+        [&runs](const std::string& v) { runs = std::atoi(v.c_str()); }}});
+  EXPECT_EQ(runs, 7);
+}
+
+using SweepCliDeathTest = ::testing::Test;
+
+TEST(SweepCliDeathTest, TrailingJobsWithoutValueIsAnError) {
+  // Regression: a trailing `--jobs` with no value used to be silently
+  // dropped; it must now fail loudly with the usage text.
+  std::vector<std::string> args = {"bench", "--jobs"};
+  EXPECT_EXIT(
+      bench::parse_sweep_cli(static_cast<int>(args.size()), fake_argv(args)),
+      ::testing::ExitedWithCode(2), "expects a value");
+}
+
+TEST(SweepCliDeathTest, UnknownFlagIsAnError) {
+  std::vector<std::string> args = {"bench", "--no-such-flag=1"};
+  EXPECT_EXIT(
+      bench::parse_sweep_cli(static_cast<int>(args.size()), fake_argv(args)),
+      ::testing::ExitedWithCode(2), "unknown flag");
+}
+
+TEST(SweepCliDeathTest, PositionalArgumentIsAnError) {
+  std::vector<std::string> args = {"bench", "stray"};
+  EXPECT_EXIT(
+      bench::parse_sweep_cli(static_cast<int>(args.size()), fake_argv(args)),
+      ::testing::ExitedWithCode(2), "unexpected argument");
+}
+
+}  // namespace
