@@ -1,0 +1,18 @@
+#!/usr/bin/env bash
+# Tier-1 gate: configure, build, run the full test suite, then the two
+# perf/determinism smokes (hot-path allocation contract and the citywide
+# grid-vs-brute-force digest pin). Everything a PR must keep green.
+#
+# Usage: scripts/check_tier1.sh [build-dir]   (default: build)
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+BUILD_DIR="${1:-build}"
+
+cmake -B "$BUILD_DIR" -S .
+cmake --build "$BUILD_DIR" -j
+(cd "$BUILD_DIR" && ctest --output-on-failure -j "$(nproc)")
+"$BUILD_DIR"/bench/bench_microperf --smoke --json "$BUILD_DIR"/BENCH_hotpath.json
+"$BUILD_DIR"/bench/ext_citywide --smoke --json "$BUILD_DIR"/BENCH_citywide_smoke.json
+
+echo "tier-1: all green"

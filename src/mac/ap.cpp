@@ -10,6 +10,19 @@ namespace spider::mac {
 using wire::Frame;
 using wire::FrameType;
 
+namespace {
+
+// APs never move: declaring the radio static keeps it out of the medium's
+// per-timestamp mobile sweep, so city-scale AP populations cost nothing to
+// keep bucketed (DESIGN.md §10).
+phy::RadioConfig stationary_radio() {
+  phy::RadioConfig config;
+  config.mobile = false;
+  return config;
+}
+
+}  // namespace
+
 AccessPoint::AccessPoint(sim::Simulator& simulator, phy::Medium& medium,
                          wire::MacAddress bssid, Position position,
                          ApConfig config, Rng rng)
@@ -17,7 +30,8 @@ AccessPoint::AccessPoint(sim::Simulator& simulator, phy::Medium& medium,
       config_(std::move(config)),
       position_(position),
       rng_(rng),
-      radio_(medium, bssid, [position] { return position; }) {
+      radio_(medium, bssid, [position] { return position; },
+             stationary_radio()) {
   radio_.set_receiver([this](const Frame& f) { on_frame(f); });
   // The AP parks on its channel permanently; the constructor-time tune pays
   // the one-off reset before the experiment starts.

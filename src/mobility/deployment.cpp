@@ -2,18 +2,34 @@
 
 #include <algorithm>
 #include <cmath>
+#include <stdexcept>
 
 namespace spider::mob {
 
-wire::Channel sample_channel(const DeploymentConfig& config, Rng& rng) {
+namespace {
+
+/// Streets run at x (or y) = 0, block, 2*block, ... while inside the city.
+std::int64_t street_count(double extent_m, double block_m) {
+  if (block_m <= 0.0) throw std::invalid_argument("CityGridConfig: block_m must be positive");
+  return static_cast<std::int64_t>(std::floor(extent_m / block_m)) + 1;
+}
+
+}  // namespace
+
+wire::Channel sample_channel(
+    const std::vector<std::pair<wire::Channel, double>>& weights, Rng& rng) {
   double total = 0.0;
-  for (const auto& [ch, w] : config.channel_weights) total += w;
+  for (const auto& [ch, w] : weights) total += w;
   double draw = rng.uniform(0.0, total);
-  for (const auto& [ch, w] : config.channel_weights) {
+  for (const auto& [ch, w] : weights) {
     draw -= w;
     if (draw <= 0.0) return ch;
   }
-  return config.channel_weights.back().first;
+  return weights.back().first;
+}
+
+wire::Channel sample_channel(const DeploymentConfig& config, Rng& rng) {
+  return sample_channel(config.channel_weights, rng);
 }
 
 std::vector<ApSite> generate_deployment(const DeploymentConfig& config,
@@ -51,6 +67,70 @@ std::vector<ApSite> generate_deployment(const DeploymentConfig& config,
     sites.push_back(site);
   }
   return sites;
+}
+
+std::vector<ApSite> generate_city_deployment(const CityGridConfig& config,
+                                             Rng& rng) {
+  const double area_km2 = config.width_m * config.height_m / 1e6;
+  const auto count =
+      static_cast<std::size_t>(std::llround(area_km2 * config.aps_per_km2));
+  const std::int64_t v_streets = street_count(config.width_m, config.block_m);
+  const std::int64_t h_streets = street_count(config.height_m, config.block_m);
+
+  std::vector<ApSite> sites;
+  sites.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    ApSite site;
+    // Buildings line the streets: pick a street, a point along it, and a
+    // lateral setback on a random side. The setback can push a site past a
+    // boundary street, so clamp back into the city rectangle.
+    const bool along_horizontal = rng.chance(0.5);
+    const double lateral =
+        rng.uniform(config.lateral_min_m, config.lateral_max_m) *
+        (rng.chance(0.5) ? 1.0 : -1.0);
+    double x, y;
+    if (along_horizontal) {
+      const auto street = rng.uniform_int(0, h_streets - 1);
+      x = rng.uniform(0.0, config.width_m);
+      y = static_cast<double>(street) * config.block_m + lateral;
+    } else {
+      const auto street = rng.uniform_int(0, v_streets - 1);
+      x = static_cast<double>(street) * config.block_m + lateral;
+      y = rng.uniform(0.0, config.height_m);
+    }
+    site.position = Position{std::clamp(x, 0.0, config.width_m),
+                             std::clamp(y, 0.0, config.height_m)};
+    site.channel = sample_channel(config.channel_weights, rng);
+    site.backhaul =
+        bps(rng.uniform(config.backhaul_min.bps, config.backhaul_max.bps));
+    site.internet_connected = !rng.chance(config.dead_backhaul_fraction);
+    sites.push_back(site);
+  }
+  return sites;
+}
+
+std::vector<Position> city_route_waypoints(const CityGridConfig& config,
+                                           Rng& rng) {
+  const std::int64_t v_streets = street_count(config.width_m, config.block_m);
+  const std::int64_t h_streets = street_count(config.height_m, config.block_m);
+  if (v_streets < 2 || h_streets < 2) {
+    throw std::invalid_argument(
+        "city_route_waypoints: need at least two streets per axis "
+        "(block_m too large for the city extent)");
+  }
+  // Two distinct streets per axis bound a rectangular block tour.
+  const auto lo_v = rng.uniform_int(0, v_streets - 2);
+  const auto hi_v = rng.uniform_int(lo_v + 1, v_streets - 1);
+  const auto lo_h = rng.uniform_int(0, h_streets - 2);
+  const auto hi_h = rng.uniform_int(lo_h + 1, h_streets - 1);
+  const double x0 = static_cast<double>(lo_v) * config.block_m;
+  const double x1 = static_cast<double>(hi_v) * config.block_m;
+  const double y0 = static_cast<double>(lo_h) * config.block_m;
+  const double y1 = static_cast<double>(hi_h) * config.block_m;
+  // Corners in driving order; WaypointLoop closes the final leg back to
+  // the first corner.
+  return {Position{x0, y0}, Position{x1, y0}, Position{x1, y1},
+          Position{x0, y1}};
 }
 
 }  // namespace spider::mob

@@ -55,7 +55,47 @@ struct ApSite {
 /// state.
 std::vector<ApSite> generate_deployment(const DeploymentConfig& config, Rng& rng);
 
+/// Samples a channel from an explicit weight table (weights need not sum
+/// to 1; they are normalised). The table must be non-empty.
+wire::Channel sample_channel(
+    const std::vector<std::pair<wire::Channel, double>>& weights, Rng& rng);
+
 /// Samples a channel from the configured mix.
 wire::Channel sample_channel(const DeploymentConfig& config, Rng& rng);
+
+/// A 2-D city: a rectangular [0,width]x[0,height] area crossed by a
+/// Manhattan mesh of streets every `block_m` metres. APs sit in the
+/// buildings lining the streets (a small lateral offset from a street
+/// line), at a surveyed areal density. This is the city-scale counterpart
+/// of DeploymentConfig's single road, used by bench/ext_citywide to stress
+/// the medium's spatial grid at thousands of APs.
+struct CityGridConfig {
+  double width_m = 2000.0;
+  double height_m = 2000.0;
+  /// Street spacing; streets run at x,y = 0, block_m, 2*block_m, ...
+  double block_m = 250.0;
+  double aps_per_km2 = 50.0;
+  /// Perpendicular offset of AP buildings from their street line.
+  double lateral_min_m = 5.0;
+  double lateral_max_m = 40.0;
+  /// §4.1's measured mix: channels 1/6/11 at 28/33/34%.
+  std::vector<std::pair<wire::Channel, double>> channel_weights = {
+      {1, 0.28}, {6, 0.33}, {11, 0.34}, {3, 0.03}, {9, 0.02}};
+  BitRate backhaul_min = mbps(1);
+  BitRate backhaul_max = mbps(6);
+  double dead_backhaul_fraction = 0.0;
+};
+
+/// Draws a city deployment: each AP picks a street (horizontal or
+/// vertical), a point along it, and a lateral building offset, clamped to
+/// the city bounds. Deterministic per Rng state.
+std::vector<ApSite> generate_city_deployment(const CityGridConfig& config,
+                                             Rng& rng);
+
+/// Draws a rectangular driving loop on the street mesh: two distinct
+/// vertical and two distinct horizontal streets, corners in loop order,
+/// ready for mob::WaypointLoop. Deterministic per Rng state.
+std::vector<Position> city_route_waypoints(const CityGridConfig& config,
+                                           Rng& rng);
 
 }  // namespace spider::mob

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cmath>
 
 #include "obs/tracer.hpp"
 #include "phy/radio.hpp"
@@ -14,11 +15,22 @@ constexpr Time kPlcpOverhead = usec(192);
 }  // namespace
 
 Medium::Medium(sim::Simulator& simulator, Propagation propagation, Rng rng,
-               int retry_limit)
+               MediumConfig config)
     : sim_(simulator),
       propagation_(propagation),
       rng_(rng),
-      retry_limit_(retry_limit) {}
+      config_(config),
+      // Correctness of the 3x3 neighborhood needs cell >= range (a radio at
+      // exactly range_m must land no further than one cell away); clamp
+      // explicit overrides up, and keep a floor for degenerate zero-range
+      // propagation configs so cell_coord never divides by zero.
+      cell_m_(std::max({config.grid_cell_m, propagation_.config().range_m,
+                        1e-3})) {}
+
+Medium::Medium(sim::Simulator& simulator, Propagation propagation, Rng rng,
+               int retry_limit)
+    : Medium(simulator, propagation, rng,
+             MediumConfig{.retry_limit = retry_limit}) {}
 
 void Medium::set_channel_impairment(wire::Channel channel, double extra_loss) {
   const double clamped = std::clamp(extra_loss, 0.0, 1.0);
@@ -77,6 +89,77 @@ void Medium::cohort_remove(wire::Channel channel, std::uint32_t slot) {
   v.erase(std::remove(v.begin(), v.end(), slot), v.end());
 }
 
+std::int32_t Medium::cell_coord(double meters) const {
+  return static_cast<std::int32_t>(std::floor(meters / cell_m_));
+}
+
+Medium::CellMap& Medium::grid(wire::Channel channel) {
+  if (flat_channel(channel)) {
+    return grids_[static_cast<std::size_t>(channel)];
+  }
+  return grids_other_[channel];
+}
+
+void Medium::grid_insert(wire::Channel channel, std::uint32_t slot,
+                         const Position& pos) {
+  Slot& s = slots_[slot];
+  s.cell = cell_of(pos);
+  grid(channel)[s.cell].push_back(slot);
+}
+
+void Medium::grid_remove(wire::Channel channel, std::uint32_t slot) {
+  CellMap& g = grid(channel);
+  auto it = g.find(slots_[slot].cell);
+  assert(it != g.end());
+  auto& v = it->second;
+  v.erase(std::remove(v.begin(), v.end(), slot), v.end());
+  if (v.empty()) g.erase(it);
+}
+
+void Medium::refresh_mobile_buckets() {
+  const Time now = sim_.now();
+  if (now == last_refresh_) return;
+  last_refresh_ = now;
+  for (const std::uint32_t slot : mobile_slots_) {
+    Slot& s = slots_[slot];
+    const std::uint64_t cell = cell_of(s.radio->position());
+    if (cell == s.cell) continue;
+    const wire::Channel channel = s.radio->channel();
+    CellMap& g = grid(channel);
+    auto it = g.find(s.cell);
+    assert(it != g.end());
+    auto& v = it->second;
+    v.erase(std::remove(v.begin(), v.end(), slot), v.end());
+    if (v.empty()) g.erase(it);
+    s.cell = cell;
+    g[cell].push_back(slot);
+    ++grid_rebuckets_;
+  }
+}
+
+void Medium::gather_neighborhood(wire::Channel channel, const Position& pos) {
+  scratch_.clear();
+  CellMap& g = grid(channel);
+  const std::int32_t cx = cell_coord(pos.x);
+  const std::int32_t cy = cell_coord(pos.y);
+  for (std::int32_t dx = -1; dx <= 1; ++dx) {
+    for (std::int32_t dy = -1; dy <= 1; ++dy) {
+      ++grid_cells_scanned_;
+      const auto it = g.find(pack_cell(cx + dx, cy + dy));
+      if (it == g.end()) continue;
+      scratch_.insert(scratch_.end(), it->second.begin(), it->second.end());
+    }
+  }
+  // Order-preservation rule (DESIGN.md §10): the RNG-consuming loss draws
+  // below must replay the brute-force scan's visit order exactly, so the
+  // merged neighborhood is sorted by attach_seq — the order the per-channel
+  // cohort keeps. Cell membership order is irrelevant after this.
+  std::sort(scratch_.begin(), scratch_.end(),
+            [this](std::uint32_t a, std::uint32_t b) {
+              return slots_[a].attach_seq < slots_[b].attach_seq;
+            });
+}
+
 void Medium::attach(Radio& radio) {
   std::uint32_t slot;
   if (!free_slots_.empty()) {
@@ -92,6 +175,11 @@ void Medium::attach(Radio& radio) {
   s.attach_seq = next_attach_seq_++;
   radio.medium_slot_ = slot;
   cohort_insert(radio.channel(), slot);
+  if (grid_enabled()) {
+    grid_insert(radio.channel(), slot, radio.position());
+    s.mobile = radio.config().mobile;
+    if (s.mobile) mobile_slots_.push_back(slot);
+  }
 }
 
 void Medium::detach(Radio& radio) {
@@ -99,6 +187,15 @@ void Medium::detach(Radio& radio) {
   assert(slot < slots_.size() && slots_[slot].radio == &radio);
   cohort_remove(radio.channel(), slot);
   Slot& s = slots_[slot];
+  if (grid_enabled()) {
+    grid_remove(radio.channel(), slot);
+    if (s.mobile) {
+      mobile_slots_.erase(
+          std::remove(mobile_slots_.begin(), mobile_slots_.end(), slot),
+          mobile_slots_.end());
+      s.mobile = false;
+    }
+  }
   s.radio = nullptr;
   // Bump on detach too: in-flight deliveries stamped with the old
   // generation die immediately, before the slot is ever reused.
@@ -109,6 +206,12 @@ void Medium::detach(Radio& radio) {
 void Medium::retune(Radio& radio, wire::Channel old_channel) {
   cohort_remove(old_channel, radio.medium_slot_);
   cohort_insert(radio.channel(), radio.medium_slot_);
+  if (grid_enabled()) {
+    // Re-sampling the position here freshens a mobile radio's bucket for
+    // free; for static radios it is the same cell it attached with.
+    grid_remove(old_channel, radio.medium_slot_);
+    grid_insert(radio.channel(), radio.medium_slot_, radio.position());
+  }
 }
 
 Time Medium::airtime(std::size_t bytes, BitRate rate) {
@@ -118,12 +221,24 @@ Time Medium::airtime(std::size_t bytes, BitRate rate) {
 void Medium::transmit(Radio& sender, wire::Frame frame) {
   ++frames_sent_;
   frame.channel = sender.channel();
-  const auto& rx_cohort = cohort(frame.channel);
-  // The sender is always a member of its own channel cohort.
-  candidates_examined_ += rx_cohort.size() - 1;
-  if (rx_cohort.size() < 2) return;  // nobody else tuned here
-
   const Position tx_pos = sender.position();
+  const std::vector<std::uint32_t>* candidates;
+  if (grid_enabled()) {
+    // Bring every mobile radio's bucket up to this timestamp first, so the
+    // 3x3 neighborhood below cannot miss a receiver that drifted across a
+    // cell boundary since the last transmit. The sender itself is always in
+    // the center cell afterwards (mobile: just refreshed; static: bucketed
+    // at its fixed attach position).
+    refresh_mobile_buckets();
+    gather_neighborhood(frame.channel, tx_pos);
+    candidates = &scratch_;
+  } else {
+    candidates = &cohort(frame.channel);
+  }
+  // The sender is always a member of its own candidate set.
+  candidates_examined_ += candidates->size() - 1;
+  if (candidates->size() < 2) return;  // nobody else in earshot
+
   const Time arrival = airtime(frame.size_bytes, sender.config().phy_rate);
   const double impairment = channel_impairment(frame.channel);
 
@@ -143,7 +258,7 @@ void Medium::transmit(Radio& sender, wire::Frame frame) {
   }
   const wire::Frame& body = bodies_[body_idx].frame;
 
-  for (const std::uint32_t rx_slot : rx_cohort) {
+  for (const std::uint32_t rx_slot : *candidates) {
     Radio* rx = slots_[rx_slot].radio;
     if (rx == &sender) continue;
     const Position rx_pos = rx->position();
@@ -157,7 +272,7 @@ void Medium::transmit(Radio& sender, wire::Frame frame) {
     // Unicast frames to their addressee enjoy link-layer ARQ; everyone
     // else (and all broadcast traffic) gets a single shot.
     const bool arq = !body.dst.is_broadcast() && rx->owns_address(body.dst);
-    const int attempts_allowed = arq ? 1 + retry_limit_ : 1;
+    const int attempts_allowed = arq ? 1 + config_.retry_limit : 1;
     int attempt = 1;
     while (attempt <= attempts_allowed && rng_.chance(p_loss)) ++attempt;
     if (attempt > attempts_allowed) continue;  // lost despite retries

@@ -16,6 +16,36 @@ namespace spider::phy {
 
 class Radio;
 
+/// How Medium::transmit finds candidate receivers on the sender's channel.
+enum class NeighborIndex {
+  /// Linear scan of the whole per-channel cohort. O(radios-on-channel) per
+  /// transmission; kept as the differential-test oracle and the perf
+  /// baseline for the grid.
+  kBruteForce,
+  /// Uniform spatial hash: radios bucket into range-sized cells, transmit
+  /// visits only the 3x3 cell neighborhood of the transmitter. Sub-linear
+  /// in deployment size and byte-identical to the brute-force scan (see
+  /// DESIGN.md §10 for the order-preservation argument).
+  kGrid,
+};
+
+/// Default max retransmissions of a unicast frame. Stock drivers use ~7;
+/// the conservative default of 4 reflects the short-retry behaviour under
+/// mobility. The sender's occupancy for retries is not modelled.
+inline constexpr int kMediumDefaultRetryLimit = 4;
+
+/// Construction-time knobs of the medium. The neighbor index is fixed for
+/// the medium's lifetime — differential tests build one medium per mode.
+struct MediumConfig {
+  NeighborIndex neighbor_index = NeighborIndex::kGrid;
+  /// Grid cell edge in meters. 0 derives it from the propagation range;
+  /// explicit values below the range are clamped up to it (correctness of
+  /// the 3x3 neighborhood requires cell >= range, DESIGN.md §10).
+  double grid_cell_m = 0.0;
+  /// 802.11 ARQ retry budget for unicast frames to their addressee.
+  int retry_limit = kMediumDefaultRetryLimit;
+};
+
 /// The shared wireless medium.
 ///
 /// Radios register themselves and transmit frames; the medium decides who
@@ -42,22 +72,30 @@ class Radio;
 /// generation-stamped slot registry and indexed per channel, so transmit
 /// touches only same-channel radios and in-flight deliveries validate the
 /// receiver in O(1) (immune to a new radio reusing a detached radio's
-/// address). The frame body is moved once into a refcounted pooled cell;
+/// address). At city scale even the per-channel cohort is too big to scan
+/// per frame, so radios additionally bucket into a uniform spatial hash
+/// grid (DESIGN.md §10): transmit visits only the 3x3 range-sized cell
+/// neighborhood of the transmitter, with candidate order — and therefore
+/// every RNG draw and delivered-frame set — byte-identical to the
+/// brute-force scan, which stays available via MediumConfig as the
+/// differential-test oracle. The frame body is moved once into a
+/// refcounted pooled cell;
 /// each scheduled delivery carries only {cell index, slot, generation,
 /// rssi} — a trivially copyable reception record that rides the event
 /// queue's inline buffer via its memcpy fast path, so the whole fan-out
 /// performs zero heap allocations in steady state.
 class Medium {
  public:
-  /// Default max retransmissions of a unicast frame. Stock drivers use ~7;
-  /// the conservative default of 4 reflects the short-retry behaviour under
-  /// mobility. Sweeps (fault-resilience, ARQ ablations) pass their own
-  /// limit to the constructor. The sender's occupancy for retries is not
-  /// modelled.
-  static constexpr int kDefaultRetryLimit = 4;
+  /// Back-compat alias for the ARQ default (see kMediumDefaultRetryLimit).
+  /// Sweeps (fault-resilience, ARQ ablations) pass their own limit via
+  /// MediumConfig or the retry-limit constructor.
+  static constexpr int kDefaultRetryLimit = kMediumDefaultRetryLimit;
 
   Medium(sim::Simulator& simulator, Propagation propagation, Rng rng,
-         int retry_limit = kDefaultRetryLimit);
+         MediumConfig config = {});
+  /// Convenience for callers that only tweak the ARQ budget.
+  Medium(sim::Simulator& simulator, Propagation propagation, Rng rng,
+         int retry_limit);
 
   /// Radios self-register from their constructor/destructor.
   void attach(Radio& radio);
@@ -69,7 +107,10 @@ class Medium {
 
   const Propagation& propagation() const { return propagation_; }
   sim::Simulator& simulator() { return sim_; }
-  int retry_limit() const { return retry_limit_; }
+  int retry_limit() const { return config_.retry_limit; }
+  const MediumConfig& config() const { return config_; }
+  /// Grid cell edge actually in use (propagation range unless overridden).
+  double grid_cell_m() const { return cell_m_; }
 
   /// Fault-injection hook: adds `extra_loss` (in [0,1]) to every frame on
   /// `channel`, combined independently with the propagation loss. One
@@ -94,11 +135,20 @@ class Medium {
   std::uint64_t fanout_scheduled() const { return fanout_scheduled_; }
   /// Same-channel candidate radios examined across all transmits.
   std::uint64_t candidates_examined() const { return candidates_examined_; }
+  /// Grid cells probed by neighborhood queries (9 per grid-mode transmit;
+  /// 0 under brute force).
+  std::uint64_t grid_cells_scanned() const { return grid_cells_scanned_; }
+  /// Mobile radios moved between grid cells by the position-epoch sweep
+  /// (stationary radios never contribute).
+  std::uint64_t grid_rebuckets() const { return grid_rebuckets_; }
 
   /// Folds the medium's fan-out counters into engine perf counters.
   void add_perf(sim::PerfCounters& perf) const {
+    perf.frames_tx += frames_sent_;
     perf.frames_fanout += fanout_scheduled_;
     perf.radio_candidates += candidates_examined_;
+    perf.grid_cells_scanned += grid_cells_scanned_;
+    perf.grid_rebuckets += grid_rebuckets_;
   }
 
  private:
@@ -112,6 +162,8 @@ class Medium {
     Radio* radio = nullptr;
     std::uint32_t generation = 0;
     std::uint64_t attach_seq = 0;  ///< global attach order, for RNG stability
+    std::uint64_t cell = 0;        ///< packed grid cell currently bucketed in
+    bool mobile = false;           ///< member of the position-epoch sweep
   };
 
   /// Channels below this bound (the whole 2.4 GHz band; the paper sweeps
@@ -129,10 +181,40 @@ class Medium {
   /// Called by Radio when its tuned channel actually changes.
   void retune(Radio& radio, wire::Channel old_channel);
 
+  // --- spatial grid (neighbor_index == kGrid) --------------------------
+  /// One hash grid per channel: packed (cx, cy) cell -> slot ids. Cell
+  /// membership is maintained eagerly for static radios (attach / detach /
+  /// retune) and lazily for mobile ones (refresh_mobile_buckets).
+  using CellMap = std::unordered_map<std::uint64_t, std::vector<std::uint32_t>>;
+
+  bool grid_enabled() const {
+    return config_.neighbor_index == NeighborIndex::kGrid;
+  }
+  static std::uint64_t pack_cell(std::int32_t cx, std::int32_t cy) {
+    return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(cx)) << 32) |
+           static_cast<std::uint32_t>(cy);
+  }
+  std::int32_t cell_coord(double meters) const;
+  std::uint64_t cell_of(const Position& pos) const {
+    return pack_cell(cell_coord(pos.x), cell_coord(pos.y));
+  }
+  CellMap& grid(wire::Channel channel);
+  void grid_insert(wire::Channel channel, std::uint32_t slot,
+                   const Position& pos);
+  void grid_remove(wire::Channel channel, std::uint32_t slot);
+  /// Position-epoch sweep: once per distinct sim timestamp, re-sample every
+  /// mobile radio and move the ones that crossed a cell boundary.
+  /// Stationary radios are never touched.
+  void refresh_mobile_buckets();
+  /// Fills scratch_ with the 3x3 neighborhood of `pos` on `channel`,
+  /// sorted by attach_seq (the brute-force visit order).
+  void gather_neighborhood(wire::Channel channel, const Position& pos);
+
   sim::Simulator& sim_;
   Propagation propagation_;
   Rng rng_;
-  int retry_limit_;
+  MediumConfig config_;
+  double cell_m_ = 0.0;
 
   std::vector<Slot> slots_;
   std::vector<std::uint32_t> free_slots_;
@@ -142,6 +224,20 @@ class Medium {
   /// scan did (RNG draw order is part of the determinism contract).
   std::array<std::vector<std::uint32_t>, kFlatChannels> cohorts_;
   std::unordered_map<wire::Channel, std::vector<std::uint32_t>> cohorts_other_;
+
+  std::array<CellMap, kFlatChannels> grids_;
+  std::unordered_map<wire::Channel, CellMap> grids_other_;
+  /// Slots enrolled in the position-epoch sweep, in attach order (order is
+  /// irrelevant for determinism — rebucketing consumes no RNG — but kept
+  /// stable anyway).
+  std::vector<std::uint32_t> mobile_slots_;
+  /// Sim timestamp of the last mobile sweep; positions are pure functions
+  /// of sim time, so buckets refreshed at `now` stay exact until the clock
+  /// advances.
+  Time last_refresh_ = Time{-1};
+  /// Reused candidate buffer for grid queries (cleared per transmit; no
+  /// steady-state allocation once its capacity plateaus).
+  std::vector<std::uint32_t> scratch_;
 
   std::array<double, kFlatChannels> impairment_flat_{};
   std::unordered_map<wire::Channel, double> impairments_other_;
@@ -164,6 +260,8 @@ class Medium {
   std::uint64_t frames_dropped_at_rx_ = 0;
   std::uint64_t fanout_scheduled_ = 0;
   std::uint64_t candidates_examined_ = 0;
+  std::uint64_t grid_cells_scanned_ = 0;
+  std::uint64_t grid_rebuckets_ = 0;
 };
 
 }  // namespace spider::phy

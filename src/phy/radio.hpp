@@ -19,6 +19,14 @@ struct RadioConfig {
   /// measures the full switch (PSM frames + reset) at ~5 ms with the reset
   /// as the dominant term.
   Time switch_latency = msec(4);
+  /// Whether the position callback is time-varying. The medium's spatial
+  /// grid (DESIGN.md §10) re-samples mobile radios whenever sim time
+  /// advances but buckets static radios exactly once at attach/retune —
+  /// this is what keeps thousands of stationary APs free of per-frame
+  /// position sampling. The default is the always-correct conservative
+  /// choice; only declare a radio static when its position callback is a
+  /// constant (APs do), or grid deliveries will miss it after it moves.
+  bool mobile = true;
 };
 
 /// A single physical 802.11 card.

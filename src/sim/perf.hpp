@@ -30,11 +30,19 @@ struct PerfCounters {
   std::uint64_t callbacks_heap = 0;
 
   // --- medium fan-out accounting --------------------------------------
+  /// Frames put on the air (Medium::transmit calls).
+  std::uint64_t frames_tx = 0;
   /// Per-receiver deliveries scheduled by phy::Medium::transmit.
   std::uint64_t frames_fanout = 0;
   /// Same-channel candidate radios examined across all transmits (the
-  /// channel index makes this the cohort size, not the whole radio table).
+  /// channel index makes this the cohort size, not the whole radio table;
+  /// the spatial grid shrinks it further to the 3x3 cell neighborhood).
   std::uint64_t radio_candidates = 0;
+  /// Grid cells probed by neighborhood queries (9 per grid-mode transmit,
+  /// 0 under the brute-force index).
+  std::uint64_t grid_cells_scanned = 0;
+  /// Mobile radios moved between grid cells by the position-epoch sweep.
+  std::uint64_t grid_rebuckets = 0;
 
   double sim_seconds = 0.0;            ///< simulated horizon of the run
   double wall_seconds = 0.0;           ///< host time spent executing it
@@ -52,8 +60,11 @@ struct PerfCounters {
     compactions += other.compactions;
     handles_allocated += other.handles_allocated;
     callbacks_heap += other.callbacks_heap;
+    frames_tx += other.frames_tx;
     frames_fanout += other.frames_fanout;
     radio_candidates += other.radio_candidates;
+    grid_cells_scanned += other.grid_cells_scanned;
+    grid_rebuckets += other.grid_rebuckets;
     sim_seconds += other.sim_seconds;
     wall_seconds += other.wall_seconds;
   }

@@ -1,5 +1,6 @@
 #include "trace/experiment.hpp"
 
+#include <algorithm>
 #include <chrono>
 #include <optional>
 #include <utility>
@@ -48,17 +49,21 @@ ScenarioResult execute_scenario(const ScenarioConfig& config,
   TestbedConfig tb_config;
   tb_config.seed = config.seed;
   tb_config.propagation = config.propagation;
+  tb_config.medium.neighbor_index = config.neighbor_index;
   Testbed bed(tb_config);
   // Installed before any entity schedules work so the trace covers the
   // whole run. The recorder only reads the sim clock — never wall time —
   // so the trace is a pure function of (config, seed).
   if (tracer) bed.sim.set_tracer(tracer.get());
 
-  // Populate the road.
+  // Populate the road (or the city street mesh).
   Rng deploy_rng = bed.fork_rng();
-  const auto sites = config.fixed_sites.empty()
-                         ? mob::generate_deployment(config.deployment, deploy_rng)
-                         : config.fixed_sites;
+  const auto sites =
+      !config.fixed_sites.empty()
+          ? config.fixed_sites
+          : config.city
+              ? mob::generate_city_deployment(*config.city, deploy_rng)
+              : mob::generate_deployment(config.deployment, deploy_rng);
   for (const auto& site : sites) {
     Testbed::ApSpec spec;
     spec.channel = site.channel;
@@ -70,9 +75,43 @@ ScenarioResult execute_scenario(const ScenarioConfig& config,
     bed.add_ap(spec);
   }
 
-  // The vehicle.
-  mob::BackAndForthRoad route(config.deployment.road_length_m, config.speed_mps);
-  auto position = [&route, &sim = bed.sim] { return route.position_at(sim.now()); };
+  // The vehicles. Each client rig owns its route and driver stack; radios
+  // sample routes lazily through position callbacks, so positions stay pure
+  // functions of sim time (the contract the medium's mobile-rebucket epoch
+  // check relies on, DESIGN.md §10).
+  struct ClientRig {
+    std::unique_ptr<mob::MobilityModel> route;
+    /// Phase shift into the route, staggering road clients along the loop.
+    Time offset{0};
+    std::unique_ptr<core::SpiderDriver> spider;
+    std::unique_ptr<base::StockWifiDriver> stock;
+    std::unique_ptr<base::FatVapDriver> fatvap;
+    std::unique_ptr<core::LinkManager> manager;
+    std::unique_ptr<core::AdaptiveModeController> adaptive;
+  };
+  const int clients = std::max(1, config.clients);
+  std::vector<ClientRig> rigs(static_cast<std::size_t>(clients));
+  for (int c = 0; c < clients; ++c) {
+    ClientRig& rig = rigs[static_cast<std::size_t>(c)];
+    if (config.city) {
+      // Each city client tours its own randomly drawn block rectangle. The
+      // forks happen only in city mode, after the deployment fork, so
+      // road-mode runs replay their exact pre-city RNG streams.
+      Rng route_rng = bed.fork_rng();
+      rig.route = std::make_unique<mob::WaypointLoop>(
+          mob::city_route_waypoints(*config.city, route_rng),
+          config.speed_mps);
+    } else {
+      rig.route = std::make_unique<mob::BackAndForthRoad>(
+          config.deployment.road_length_m, config.speed_mps);
+      // Spread road clients evenly along the route (offset 0 for the first
+      // client keeps single-client runs byte-identical to the old path).
+      if (config.speed_mps > 0.0) {
+        rig.offset = sec(config.deployment.road_length_m * c /
+                         (clients * config.speed_mps));
+      }
+    }
+  }
 
   ThroughputRecorder recorder(config.metrics_bin);
   DownloadHarness harness(bed.sim, bed.server_ip(), recorder);
@@ -105,50 +144,79 @@ ScenarioResult execute_scenario(const ScenarioConfig& config,
     });
   }
 
-  // Assemble the chosen driver, run, and harvest. The driver objects live
-  // on the stack of each branch; runs are fully self-contained.
-  switch (config.driver) {
-    case DriverKind::kSpider: {
-      core::SpiderDriver driver(bed.sim, bed.medium, bed.next_client_mac_block(),
-                                position, config.spider);
-      core::LinkManager manager(driver, bed.server_ip());
-      harness.attach(manager);
-      driver.start();
-      manager.start();
-      std::optional<core::AdaptiveModeController> adaptive;
-      if (config.adaptive) {
-        adaptive.emplace(driver, [speed = config.speed_mps] { return speed; },
-                         config.adaptive_config);
-        adaptive->start();
+  // Assemble one driver stack per client. Construction and start order per
+  // rig matches the old single-client path exactly (driver, manager,
+  // harness attach, starts, adaptive), so one-client runs replay the same
+  // event sequence to the byte.
+  for (ClientRig& rig : rigs) {
+    auto position = [route = rig.route.get(), offset = rig.offset,
+                     &sim = bed.sim] {
+      return route->position_at(sim.now() + offset);
+    };
+    switch (config.driver) {
+      case DriverKind::kSpider: {
+        rig.spider = std::make_unique<core::SpiderDriver>(
+            bed.sim, bed.medium, bed.next_client_mac_block(), position,
+            config.spider);
+        rig.manager =
+            std::make_unique<core::LinkManager>(*rig.spider, bed.server_ip());
+        harness.attach(*rig.manager);
+        rig.spider->start();
+        rig.manager->start();
+        if (config.adaptive) {
+          rig.adaptive = std::make_unique<core::AdaptiveModeController>(
+              *rig.spider, [speed = config.speed_mps] { return speed; },
+              config.adaptive_config);
+          rig.adaptive->start();
+        }
+        break;
       }
-      bed.sim.run_until(config.duration);
-      result.join_log = manager.join_log();
-      result.switches = driver.switches();
-      result.switch_latency_ms = driver.switch_latency_stats();
-      break;
+      case DriverKind::kStock: {
+        rig.stock = std::make_unique<base::StockWifiDriver>(
+            bed.sim, bed.medium, bed.next_client_mac_block(), position,
+            config.stock, bed.server_ip());
+        harness.attach(*rig.stock);
+        rig.stock->start();
+        break;
+      }
+      case DriverKind::kFatVap: {
+        rig.fatvap = std::make_unique<base::FatVapDriver>(
+            bed.sim, bed.medium, bed.next_client_mac_block(), position,
+            config.spider, config.fatvap);
+        rig.manager =
+            std::make_unique<core::LinkManager>(*rig.fatvap, bed.server_ip());
+        harness.attach(*rig.manager);
+        rig.fatvap->start();
+        rig.manager->start();
+        break;
+      }
     }
-    case DriverKind::kStock: {
-      base::StockWifiDriver driver(bed.sim, bed.medium,
-                                   bed.next_client_mac_block(), position,
-                                   config.stock, bed.server_ip());
-      harness.attach(driver);
-      driver.start();
-      bed.sim.run_until(config.duration);
-      result.join_log = driver.join_log();
-      result.switches = driver.radio().switches_performed();
-      break;
-    }
-    case DriverKind::kFatVap: {
-      base::FatVapDriver driver(bed.sim, bed.medium, bed.next_client_mac_block(),
-                                position, config.spider, config.fatvap);
-      core::LinkManager manager(driver, bed.server_ip());
-      harness.attach(manager);
-      driver.start();
-      manager.start();
-      bed.sim.run_until(config.duration);
-      result.join_log = manager.join_log();
-      result.switches = driver.radio().switches_performed();
-      break;
+  }
+  bed.sim.run_until(config.duration);
+
+  // Harvest in client order: join logs concatenate, switch counts sum,
+  // latency accumulators merge (parallel Welford).
+  for (ClientRig& rig : rigs) {
+    switch (config.driver) {
+      case DriverKind::kSpider: {
+        const auto& log = rig.manager->join_log();
+        result.join_log.insert(result.join_log.end(), log.begin(), log.end());
+        result.switches += rig.spider->switches();
+        result.switch_latency_ms.merge(rig.spider->switch_latency_stats());
+        break;
+      }
+      case DriverKind::kStock: {
+        const auto& log = rig.stock->join_log();
+        result.join_log.insert(result.join_log.end(), log.begin(), log.end());
+        result.switches += rig.stock->radio().switches_performed();
+        break;
+      }
+      case DriverKind::kFatVap: {
+        const auto& log = rig.manager->join_log();
+        result.join_log.insert(result.join_log.end(), log.begin(), log.end());
+        result.switches += rig.fatvap->radio().switches_performed();
+        break;
+      }
     }
   }
 
@@ -173,6 +241,11 @@ ScenarioResult execute_scenario(const ScenarioConfig& config,
   if (tracer) {
     bed.sim.set_tracer(nullptr);
     result.metrics = tracer->metrics();
+    // Medium-side spatial-grid counters ride along with the trace-derived
+    // metrics so sinks see them next to the per-layer event counts.
+    result.metrics.count("phy.grid_cells_scanned",
+                         bed.medium.grid_cells_scanned());
+    result.metrics.count("phy.grid_rebuckets", bed.medium.grid_rebuckets());
     result.traces.push_back(std::move(tracer));
   }
   return result;
@@ -209,6 +282,7 @@ ScenarioResult pool_results(const std::vector<ScenarioResult>& runs) {
     }
     pooled.join_log.insert(pooled.join_log.end(), one.join_log.begin(),
                            one.join_log.end());
+    pooled.switch_latency_ms.merge(one.switch_latency_ms);
     pooled.perf.merge(one.perf);
     pooled.metrics.merge(one.metrics);
     pooled.traces.insert(pooled.traces.end(), one.traces.begin(),

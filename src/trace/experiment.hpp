@@ -1,6 +1,7 @@
 #pragma once
 
 #include <memory>
+#include <optional>
 #include <vector>
 
 #include "baseline/fatvap.hpp"
@@ -33,12 +34,25 @@ struct ScenarioConfig {
   std::uint64_t seed = 1;
   Time duration = sec(1800);
   double speed_mps = 10.0;
+  /// Independent vehicles sharing the medium and AP population. Along the
+  /// road they start evenly staggered on the same loop; in a city each
+  /// draws its own block tour. Every client runs its own driver stack and
+  /// download harness; result fields pool across clients (join logs
+  /// concatenate in client order, switches sum, latency stats merge).
+  int clients = 1;
 
   mob::DeploymentConfig deployment;
+  /// When set, the AP population and client routes come from a 2-D city
+  /// street mesh (mob::generate_city_deployment) instead of the single
+  /// road. `deployment` is then ignored; `fixed_sites` still wins.
+  std::optional<mob::CityGridConfig> city;
   /// When non-empty, replay these sites instead of generating a deployment
   /// (e.g. loaded from a wardriving CSV via mob::read_sites_csv_file).
   std::vector<mob::ApSite> fixed_sites;
   phy::PropagationConfig propagation;
+  /// Medium neighbor search: the spatial grid by default; brute force is
+  /// the differential-test oracle (results are byte-identical either way).
+  phy::NeighborIndex neighbor_index = phy::NeighborIndex::kGrid;
   net::DhcpServerConfig dhcp_server;
   Time backhaul_delay = msec(10);
 

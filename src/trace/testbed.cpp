@@ -5,7 +5,7 @@ namespace spider::trace {
 Testbed::Testbed(TestbedConfig config)
     : sim(),
       medium(sim, phy::Propagation(config.propagation), Rng(config.seed * 7919 + 1),
-             config.retry_limit),
+             config.medium),
       wired(sim),
       server(wired, config.server_ip),
       downloads(sim, server, config.tcp),

@@ -20,6 +20,23 @@ void OnlineStats::add(double x) {
   m2_ += delta * (x - mean_);
 }
 
+void OnlineStats::merge(const OnlineStats& other) {
+  if (other.n_ == 0) return;
+  if (n_ == 0) {
+    *this = other;
+    return;
+  }
+  const double delta = other.mean_ - mean_;
+  const auto n = static_cast<double>(n_);
+  const auto m = static_cast<double>(other.n_);
+  mean_ += delta * m / (n + m);
+  m2_ += other.m2_ + delta * delta * n * m / (n + m);
+  n_ += other.n_;
+  sum_ += other.sum_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
 double OnlineStats::stddev() const {
   if (n_ < 2) return 0.0;
   return std::sqrt(m2_ / static_cast<double>(n_ - 1));

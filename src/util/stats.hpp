@@ -19,6 +19,11 @@ class OnlineStats {
   double max() const { return n_ == 0 ? 0.0 : max_; }
   double sum() const { return sum_; }
 
+  /// Combine with another accumulator (parallel Welford / Chan et al.).
+  /// Equivalent to having added the other's samples to this one; used to
+  /// pool per-client latency stats into one scenario-level accumulator.
+  void merge(const OnlineStats& other);
+
  private:
   std::size_t n_ = 0;
   double mean_ = 0.0;

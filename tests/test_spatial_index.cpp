@@ -1,0 +1,365 @@
+// Differential tests for the medium's spatial grid index (DESIGN.md §10).
+//
+// The grid is a pure search-space optimisation: for any deployment, traffic
+// pattern, and seed, a grid-indexed medium must produce the byte-identical
+// delivered-frame sequence — same receivers, same timestamps, same ARQ
+// outcomes — as the brute-force per-channel scan, because candidate visit
+// order (and therefore RNG draw order) is preserved. The brute-force path
+// is the oracle; these tests replay randomized worlds through both and
+// diff everything observable.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "phy/medium.hpp"
+#include "phy/propagation.hpp"
+#include "phy/radio.hpp"
+#include "sim/simulator.hpp"
+#include "util/random.hpp"
+
+namespace spider::phy {
+namespace {
+
+constexpr wire::Channel kChannels[3] = {1, 6, 11};
+
+PropagationConfig lossless_config(double range = 100.0) {
+  PropagationConfig c;
+  c.base_loss = 0.0;
+  c.good_radius_m = range;  // no gray zone: in range means delivered
+  c.range_m = range;
+  return c;
+}
+
+MediumConfig indexed(NeighborIndex mode) {
+  MediumConfig mc;
+  mc.neighbor_index = mode;
+  return mc;
+}
+
+wire::Frame broadcast_frame(std::size_t bytes = 100) {
+  wire::Frame f;
+  f.type = wire::FrameType::kBeacon;
+  f.dst = wire::MacAddress::broadcast();
+  f.size_bytes = bytes;
+  return f;
+}
+
+/// Everything observable from one world run. `log` is the delivered-frame
+/// sequence: receiver, sender, size, and delivery timestamp in microseconds,
+/// in upcall order — byte-equality means the simulations were identical.
+struct WorldResult {
+  std::string log;
+  std::uint64_t sent = 0;
+  std::uint64_t delivered = 0;
+  std::uint64_t dropped_at_rx = 0;
+  std::uint64_t fanout = 0;
+  std::uint64_t candidates = 0;
+  std::uint64_t rebuckets = 0;
+};
+
+/// One randomized deployment driven by `seed`, executed under the given
+/// neighbor index. Every stochastic choice — world shape, radio placement,
+/// mobility, channels, the event script, and the medium's loss draws — is a
+/// pure function of (seed, script), so two calls with different `mode`
+/// simulate the same world through different search structures.
+WorldResult run_world(NeighborIndex mode, std::uint64_t seed) {
+  Rng setup(seed);
+  const int n = static_cast<int>(setup.uniform_int(2, 40));
+  const double side = setup.uniform(100.0, 600.0);
+  PropagationConfig pc;
+  pc.range_m = setup.uniform(30.0, 150.0);
+  pc.good_radius_m = pc.range_m * setup.uniform(0.5, 1.0);
+  pc.base_loss = setup.uniform(0.0, 0.3);
+  const double mobile_fraction = setup.uniform(0.0, 1.0);
+
+  sim::Simulator sim;
+  Medium medium(sim, Propagation(pc), Rng(seed * 31 + 7), indexed(mode));
+
+  WorldResult out;
+  std::vector<std::unique_ptr<Radio>> radios;
+  radios.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    const Position start{setup.uniform(0.0, side), setup.uniform(0.0, side)};
+    const bool mobile = setup.chance(mobile_fraction);
+    const double vx = mobile ? setup.uniform(-25.0, 25.0) : 0.0;
+    const double vy = mobile ? setup.uniform(-25.0, 25.0) : 0.0;
+    RadioConfig rc;
+    rc.mobile = mobile;
+    radios.push_back(std::make_unique<Radio>(
+        medium, wire::MacAddress(static_cast<std::uint64_t>(i) + 1),
+        [start, vx, vy, &sim] {
+          const double t = to_seconds(sim.now());
+          return Position{start.x + vx * t, start.y + vy * t};
+        },
+        rc));
+    radios.back()->set_receiver([&out, i, &sim](const wire::Frame& f) {
+      out.log += std::to_string(sim.now().count()) + ":" + std::to_string(i) +
+                 ":" + std::to_string(f.src.raw()) + ":" +
+                 std::to_string(f.size_bytes) + ";";
+    });
+    radios.back()->tune(kChannels[setup.uniform_int(0, 2)]);
+  }
+
+  // Scripted traffic: sends (broadcast and unicast, exercising ARQ),
+  // mid-run retunes, and mid-run detaches (radio destruction with frames
+  // potentially in flight). All draws happen here, before the clock runs,
+  // so the script is identical across modes.
+  constexpr int kEvents = 150;
+  for (int e = 0; e < kEvents; ++e) {
+    const Time at = usec(setup.uniform_int(10'000, 3'000'000));
+    const int kind = static_cast<int>(setup.uniform_int(0, 99));
+    const auto idx = static_cast<std::size_t>(setup.uniform_int(0, n - 1));
+    if (kind < 70) {
+      wire::Frame f;
+      f.type = wire::FrameType::kData;
+      f.src = wire::MacAddress(idx + 1);
+      const auto dst = static_cast<std::uint64_t>(setup.uniform_int(1, n));
+      f.dst = setup.chance(0.5) ? wire::MacAddress::broadcast()
+                                : wire::MacAddress(dst);
+      f.size_bytes = static_cast<std::size_t>(setup.uniform_int(60, 1500));
+      sim.post(at, [&radios, idx, f] {
+        if (radios[idx]) radios[idx]->send(f);
+      });
+    } else if (kind < 90) {
+      const wire::Channel ch = kChannels[setup.uniform_int(0, 2)];
+      sim.post(at, [&radios, idx, ch] {
+        if (radios[idx]) radios[idx]->tune(ch);
+      });
+    } else {
+      sim.post(at, [&radios, idx] { radios[idx].reset(); });
+    }
+  }
+  sim.run_until(sec(4));
+
+  out.sent = medium.frames_sent();
+  out.delivered = medium.frames_delivered();
+  out.dropped_at_rx = medium.frames_dropped_at_rx();
+  out.fanout = medium.fanout_scheduled();
+  out.candidates = medium.candidates_examined();
+  out.rebuckets = medium.grid_rebuckets();
+  return out;
+}
+
+TEST(SpatialIndexDifferential, GridMatchesBruteForceAcross200Deployments) {
+  for (std::uint64_t seed = 1; seed <= 200; ++seed) {
+    const WorldResult grid = run_world(NeighborIndex::kGrid, seed);
+    const WorldResult brute = run_world(NeighborIndex::kBruteForce, seed);
+    ASSERT_EQ(grid.log, brute.log) << "delivered-frame sequence diverged at "
+                                   << "seed " << seed;
+    ASSERT_EQ(grid.sent, brute.sent) << "seed " << seed;
+    ASSERT_EQ(grid.delivered, brute.delivered) << "seed " << seed;
+    ASSERT_EQ(grid.dropped_at_rx, brute.dropped_at_rx) << "seed " << seed;
+    ASSERT_EQ(grid.fanout, brute.fanout) << "seed " << seed;
+    // The search counters are mode-specific by design: the grid may only
+    // ever examine a subset of the brute-force cohort.
+    ASSERT_LE(grid.candidates, brute.candidates) << "seed " << seed;
+    ASSERT_EQ(brute.rebuckets, 0u) << "seed " << seed;
+  }
+}
+
+// --- property: boundary coverage -------------------------------------
+// With cell == range, a radio at exactly range_m from the transmitter sits
+// at most one cell away on each axis, so the 3x3 neighborhood must contain
+// every in-range radio — including radios exactly on cell boundaries and
+// exactly at range_m (in_range_at uses <=, and with good_radius == range
+// the loss there is still base_loss = 0, so "visited" is observable as
+// "delivered").
+
+TEST(SpatialIndexProperty, BoundaryRadiosAtExactRangeAreDelivered) {
+  const double range = 100.0;
+  // Transmitter exactly on a cell corner; receivers on cell boundaries and
+  // at exactly range_m in the axis and diagonal directions, plus a ring of
+  // interior positions. One receiver sits just outside range as a control.
+  const std::vector<Position> receivers = {
+      {range, 0.0},           // cell boundary, exactly at range
+      {0.0, range},           // cell boundary, exactly at range
+      {-range, 0.0},          // negative-coordinate cell, exactly at range
+      {0.0, -range},          // negative-coordinate cell, exactly at range
+      {range / std::sqrt(2.0), range / std::sqrt(2.0)},  // diagonal at range
+      {range, range},         // corner cell, out of range (distance ~141)
+      {50.0, 0.0},  {0.0, 50.0},   {-30.0, -30.0}, {99.0, 0.0},
+      {100.1, 0.0},           // just out of range
+  };
+  std::size_t expected = 0;
+  for (const Position& p : receivers) {
+    if (distance({0.0, 0.0}, p) <= range) ++expected;
+  }
+
+  for (const NeighborIndex mode :
+       {NeighborIndex::kGrid, NeighborIndex::kBruteForce}) {
+    sim::Simulator sim;
+    Medium medium(sim, Propagation(lossless_config(range)), Rng(7),
+                  indexed(mode));
+    RadioConfig rc;
+    rc.mobile = false;
+    Radio tx(medium, wire::MacAddress(1), [] { return Position{0.0, 0.0}; },
+             rc);
+    std::vector<std::unique_ptr<Radio>> rxs;
+    std::size_t received = 0;
+    for (std::size_t i = 0; i < receivers.size(); ++i) {
+      const Position p = receivers[i];
+      rxs.push_back(std::make_unique<Radio>(medium, wire::MacAddress(i + 2),
+                                            [p] { return p; }, rc));
+      rxs.back()->set_receiver([&received](const wire::Frame&) { ++received; });
+      rxs.back()->tune(6);
+    }
+    tx.tune(6);
+    sim.run_until(msec(50));
+    tx.send(broadcast_frame());
+    sim.run_until(msec(100));
+    EXPECT_EQ(received, expected) << "mode " << static_cast<int>(mode);
+    EXPECT_EQ(medium.frames_delivered(), expected)
+        << "mode " << static_cast<int>(mode);
+  }
+}
+
+// --- property: rebucketing is delivery-neutral -----------------------
+// A mobile receiver crossing a cell boundary while frames are in the air
+// must neither lose a frame (its new bucket is found by later transmits;
+// in-flight deliveries validate by (slot, generation), not by cell) nor
+// receive one twice (it leaves its old bucket in the same sweep).
+
+TEST(SpatialIndexProperty, RebucketingNeverDoublesOrDropsDeliveries) {
+  for (const NeighborIndex mode :
+       {NeighborIndex::kGrid, NeighborIndex::kBruteForce}) {
+    sim::Simulator sim;
+    Medium medium(sim, Propagation(lossless_config(100.0)), Rng(11),
+                  indexed(mode));
+    RadioConfig stationary;
+    stationary.mobile = false;
+    Radio tx(medium, wire::MacAddress(1),
+             [] { return Position{150.0, 50.0}; }, stationary);
+    // Crosses the x = 100 cell boundary at t = 0.1 s while staying well
+    // inside the transmitter's range throughout.
+    Radio rx(medium, wire::MacAddress(2), [&sim] {
+      return Position{95.0 + 50.0 * to_seconds(sim.now()), 50.0};
+    });
+    int received = 0;
+    rx.set_receiver([&received](const wire::Frame&) { ++received; });
+    tx.tune(6);
+    rx.tune(6);
+    sim.run_until(msec(90));
+    // 40 frames straddling the crossing, half an airtime apart: several are
+    // in flight at the moment the sweep rebuckets the receiver.
+    constexpr int kFrames = 40;
+    for (int i = 0; i < kFrames; ++i) {
+      sim.post(usec(500) * i, [&tx] { tx.send(broadcast_frame(1500)); });
+    }
+    sim.run_until(msec(200));
+    EXPECT_EQ(received, kFrames) << "mode " << static_cast<int>(mode);
+    EXPECT_EQ(medium.frames_dropped_at_rx(), 0u)
+        << "mode " << static_cast<int>(mode);
+    EXPECT_EQ(medium.frames_delivered(), static_cast<std::uint64_t>(kFrames))
+        << "mode " << static_cast<int>(mode);
+    if (mode == NeighborIndex::kGrid) {
+      EXPECT_GT(medium.grid_rebuckets(), 0u);
+    }
+  }
+}
+
+TEST(SpatialIndexProperty, StationaryWorldNeverRebuckets) {
+  sim::Simulator sim;
+  Medium medium(sim, Propagation(lossless_config(100.0)), Rng(3),
+                indexed(NeighborIndex::kGrid));
+  RadioConfig stationary;
+  stationary.mobile = false;
+  std::vector<std::unique_ptr<Radio>> radios;
+  for (int i = 0; i < 10; ++i) {
+    const Position p{static_cast<double>(i) * 40.0, 0.0};
+    radios.push_back(std::make_unique<Radio>(
+        medium, wire::MacAddress(static_cast<std::uint64_t>(i) + 1),
+        [p] { return p; }, stationary));
+    radios.back()->tune(6);
+  }
+  sim.run_until(msec(50));
+  for (int i = 0; i < 20; ++i) {
+    sim.post(msec(10) * i, [&radios, i] {
+      radios[static_cast<std::size_t>(i) % radios.size()]->send(
+          broadcast_frame());
+    });
+  }
+  sim.run_until(sec(1));
+  EXPECT_GT(medium.frames_delivered(), 0u);
+  EXPECT_EQ(medium.grid_rebuckets(), 0u);
+}
+
+// --- property: the grid actually prunes ------------------------------
+// On a spread-out deployment most of the cohort is out of range; the grid
+// must examine strictly fewer candidates while delivering exactly the same
+// frames.
+
+TEST(SpatialIndexProperty, GridExaminesFewerCandidatesOnSpreadDeployment) {
+  WorldResult results[2];
+  int slot = 0;
+  for (const NeighborIndex mode :
+       {NeighborIndex::kGrid, NeighborIndex::kBruteForce}) {
+    sim::Simulator sim;
+    Medium medium(sim, Propagation(lossless_config(100.0)), Rng(5),
+                  indexed(mode));
+    RadioConfig stationary;
+    stationary.mobile = false;
+    std::vector<std::unique_ptr<Radio>> radios;
+    constexpr int kRadios = 60;
+    for (int i = 0; i < kRadios; ++i) {
+      const Position p{static_cast<double>(i) * 80.0, 0.0};
+      radios.push_back(std::make_unique<Radio>(
+          medium, wire::MacAddress(static_cast<std::uint64_t>(i) + 1),
+          [p] { return p; }, stationary));
+      radios.back()->tune(6);
+    }
+    sim.run_until(msec(50));
+    for (int i = 0; i < kRadios; ++i) {
+      sim.post(msec(2) * i, [&radios, i] {
+        radios[static_cast<std::size_t>(i)]->send(broadcast_frame());
+      });
+    }
+    sim.run_until(sec(1));
+    results[slot].delivered = medium.frames_delivered();
+    results[slot].candidates = medium.candidates_examined();
+    ++slot;
+  }
+  EXPECT_EQ(results[0].delivered, results[1].delivered);
+  EXPECT_GT(results[1].candidates, 4 * results[0].candidates)
+      << "grid pruned too little on a 4.7 km line of 100 m cells";
+}
+
+// --- configuration ---------------------------------------------------
+
+TEST(SpatialIndexConfig, CellSizeClampsUpToPropagationRange) {
+  sim::Simulator sim;
+  MediumConfig mc;
+  mc.grid_cell_m = 10.0;  // below range: unsound, must clamp up
+  Medium clamped(sim, Propagation(lossless_config(100.0)), Rng(1), mc);
+  EXPECT_DOUBLE_EQ(clamped.grid_cell_m(), 100.0);
+
+  mc.grid_cell_m = 250.0;  // above range: honored (coarser is always sound)
+  Medium coarse(sim, Propagation(lossless_config(100.0)), Rng(1), mc);
+  EXPECT_DOUBLE_EQ(coarse.grid_cell_m(), 250.0);
+
+  Medium derived(sim, Propagation(lossless_config(100.0)), Rng(1));
+  EXPECT_DOUBLE_EQ(derived.grid_cell_m(), 100.0);
+  EXPECT_EQ(derived.config().neighbor_index, NeighborIndex::kGrid);
+}
+
+TEST(SpatialIndexConfig, BruteForceScansNoCells) {
+  sim::Simulator sim;
+  Medium medium(sim, Propagation(lossless_config(100.0)), Rng(1),
+                indexed(NeighborIndex::kBruteForce));
+  Radio tx(medium, wire::MacAddress(1), [] { return Position{0.0, 0.0}; });
+  Radio rx(medium, wire::MacAddress(2), [] { return Position{50.0, 0.0}; });
+  tx.tune(6);
+  rx.tune(6);
+  sim.run_until(msec(50));
+  tx.send(broadcast_frame());
+  sim.run_until(msec(100));
+  EXPECT_EQ(medium.frames_delivered(), 1u);
+  EXPECT_EQ(medium.grid_cells_scanned(), 0u);
+  EXPECT_EQ(medium.grid_rebuckets(), 0u);
+}
+
+}  // namespace
+}  // namespace spider::phy
