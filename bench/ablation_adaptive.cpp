@@ -42,7 +42,7 @@ int main(int argc, char** argv) {
     }
   }
   const auto results =
-      trace::SweepRunner(cli.sweep).run_averaged(configs, 3);
+      cli.run_averaged(configs, 3);
 
   TextTable table({"speed (m/s)", "single thr/conn", "3-chan thr/conn",
                    "adaptive thr/conn"});

@@ -43,7 +43,7 @@ int main(int argc, char** argv) {
     configs.push_back(cfg);
   }
   const auto results =
-      trace::SweepRunner(cli.sweep).run_averaged(configs, 3);
+      cli.run_averaged(configs, 3);
 
   TextTable table({"policy", "throughput (KB/s)", "connectivity",
                    "join attempts", "joins ok", "success rate"});

@@ -45,7 +45,7 @@ int main(int argc, char** argv) {
     configs.push_back(cfg);
   }
   const auto results =
-      trace::SweepRunner(cli.sweep).run_averaged(configs, 3);
+      cli.run_averaged(configs, 3);
 
   TextTable table({"driver", "channels", "throughput (KB/s)", "connectivity",
                    "joins ok"});

@@ -83,7 +83,7 @@ int main(int argc, char** argv) {
       configs.push_back(cfg);
     }
   }
-  const auto results = trace::SweepRunner(cli.sweep).run(configs);
+  const auto results = cli.run(configs);
 
   TextTable table({"schedule", "throughput (KB/s)", "connectivity"});
   for (std::size_t i = 0; i < variants.size(); ++i) {

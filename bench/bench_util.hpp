@@ -5,6 +5,7 @@
 // paper's experimental constants (§4.1) so individual benches only override
 // what their experiment sweeps.
 
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <functional>
@@ -12,6 +13,7 @@
 #include <string>
 #include <vector>
 
+#include "sim/cancel.hpp"
 #include "trace/experiment.hpp"
 #include "trace/export.hpp"
 #include "trace/sweep.hpp"
@@ -19,6 +21,24 @@
 #include "util/table.hpp"
 
 namespace spider::bench {
+
+/// Process-wide cooperative stop token for bench binaries, tripped by
+/// SIGINT/SIGTERM (installed by parse_sweep_cli). The sweep runner polls
+/// it between and inside runs, so ^C during an hours-long sweep drains
+/// promptly instead of losing everything.
+inline sim::CancelToken& interrupt_token() {
+  static sim::CancelToken token;
+  return token;
+}
+
+namespace detail {
+inline void on_interrupt_signal(int) { interrupt_token().request_cancel(); }
+}  // namespace detail
+
+inline void install_interrupt_handlers() {
+  std::signal(SIGINT, detail::on_interrupt_signal);
+  std::signal(SIGTERM, detail::on_interrupt_signal);
+}
 
 /// One CLI flag a sweep bench understands. Every flag takes a value,
 /// accepted as `--name VALUE` or `--name=VALUE`; `apply` runs during
@@ -50,6 +70,58 @@ struct FlagSpec {
 struct SweepCli {
   trace::SweepOptions sweep;
   std::string perf_csv;
+
+  /// Validates every config up front; malformed sweeps print the issues
+  /// and exit 2 instead of asserting (or silently misbehaving) mid-run.
+  void check(const std::vector<trace::ScenarioConfig>& configs) const {
+    for (std::size_t i = 0; i < configs.size(); ++i) {
+      const std::vector<trace::ConfigIssue> issues = configs[i].validate();
+      if (!issues.empty()) {
+        std::fprintf(stderr, "invalid scenario (sweep index %zu): %s\n", i,
+                     trace::join_issues(issues).c_str());
+        std::exit(2);
+      }
+    }
+  }
+
+  /// Validated sweep with graceful-interrupt semantics: on SIGINT/SIGTERM
+  /// the sweep drains, partial sinks are flushed, a completed/total count
+  /// goes to stderr, and the bench exits 130 — stdout never carries a
+  /// partial table that could be mistaken for a full run.
+  std::vector<trace::ScenarioResult> run(
+      const std::vector<trace::ScenarioConfig>& configs) const {
+    check(configs);
+    std::vector<trace::ScenarioResult> results =
+        trace::SweepRunner(sweep).run(configs);
+    exit_if_interrupted(results);
+    return results;
+  }
+
+  std::vector<trace::ScenarioResult> run_averaged(
+      const std::vector<trace::ScenarioConfig>& configs, int runs) const {
+    check(configs);
+    std::vector<trace::ScenarioResult> results =
+        trace::SweepRunner(sweep).run_averaged(configs, runs);
+    exit_if_interrupted(results);
+    return results;
+  }
+
+  void exit_if_interrupted(
+      const std::vector<trace::ScenarioResult>& results) const {
+    if (sweep.cancel == nullptr || !sweep.cancel->cancel_requested()) return;
+    std::size_t done = 0;
+    for (const trace::ScenarioResult& r : results) done += r.completed;
+    // Trace sinks were already flushed by the runner; add the perf CSV
+    // for the runs that did finish.
+    if (!perf_csv.empty() && !trace::write_perf_csv(perf_csv, results)) {
+      std::fprintf(stderr, "warning: could not write %s\n", perf_csv.c_str());
+    }
+    std::fprintf(stderr,
+                 "interrupted: %zu/%zu runs completed; partial output "
+                 "flushed\n",
+                 done, results.size());
+    std::exit(130);
+  }
 };
 
 inline void print_sweep_usage(const char* argv0,
@@ -68,6 +140,8 @@ inline void print_sweep_usage(const char* argv0,
 inline SweepCli parse_sweep_cli(int argc, char** argv,
                                 std::vector<FlagSpec> extra_flags = {}) {
   SweepCli cli;
+  install_interrupt_handlers();
+  cli.sweep.cancel = &interrupt_token();
   std::vector<FlagSpec> flags = {
       {"--jobs", "N",
        "worker threads; 0 = SPIDER_JOBS env, then hardware_concurrency",

@@ -114,8 +114,7 @@ int main(int argc, char** argv) {
         city_config(cell, phy::NeighborIndex::kBruteForce, duration));
   }
 
-  trace::SweepRunner runner(cli.sweep);
-  const auto results = runner.run(configs);
+  const auto results = cli.run(configs);
 
   bool ok = true;
   if (smoke) {

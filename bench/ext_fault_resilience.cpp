@@ -93,7 +93,7 @@ int main(int argc, char** argv) {
       row_labels.push_back(driver.label);
     }
   }
-  const auto results = trace::SweepRunner(cli.sweep).run(configs);
+  const auto results = cli.run(configs);
 
   TextTable table({"driver", "faults", "kB/s", "conn %", "outages",
                    "recovered", "ttr p50/p90 s"});

@@ -57,7 +57,7 @@ int main(int argc, char** argv) {
     configs.push_back(cfg);
   }
   const auto results =
-      trace::SweepRunner(cli.sweep).run_averaged(configs, 3);
+      cli.run_averaged(configs, 3);
 
   for (std::size_t i = 0; i < configs.size(); ++i) {
     const auto& result = results[i];

@@ -28,7 +28,7 @@ int main(int argc, char** argv) {
   multi.spider.mode = core::OperationMode::equal_split({1, 6, 11}, msec(600));
 
   const auto results =
-      trace::SweepRunner(cli.sweep).run_averaged({single, multi}, 3);
+      cli.run_averaged({single, multi}, 3);
   const auto& single_result = results[0];
   const auto& multi_result = results[1];
 

@@ -46,7 +46,7 @@ int main(int argc, char** argv) {
     cfg.duration = sec(duration_s);
     configs.push_back(cfg);
   }
-  const auto results = trace::SweepRunner(cli.sweep).run(configs);
+  const auto results = cli.run(configs);
 
   obs::MetricsRegistry merged;
   std::size_t recorded = 0;

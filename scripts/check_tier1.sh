@@ -1,7 +1,12 @@
 #!/usr/bin/env bash
-# Tier-1 gate: configure, build, run the full test suite, then the two
-# perf/determinism smokes (hot-path allocation contract and the citywide
-# grid-vs-brute-force digest pin). Everything a PR must keep green.
+# Tier-1 gate: configure, build, run the full test suite, then the
+# perf/determinism smokes (hot-path allocation contract, the citywide
+# grid-vs-brute-force digest pin, and the sim-as-a-service robustness
+# pin). Everything a PR must keep green.
+#
+# Every ctest invocation carries a per-test timeout: the suite now
+# exercises servers, watchdogs, and cancellation, and a regression there
+# must fail the gate, not wedge it.
 #
 # Usage: scripts/check_tier1.sh [build-dir]   (default: build)
 set -euo pipefail
@@ -11,8 +16,9 @@ BUILD_DIR="${1:-build}"
 
 cmake -B "$BUILD_DIR" -S .
 cmake --build "$BUILD_DIR" -j
-(cd "$BUILD_DIR" && ctest --output-on-failure -j "$(nproc)")
+(cd "$BUILD_DIR" && ctest --output-on-failure -j "$(nproc)" --timeout 300)
 "$BUILD_DIR"/bench/bench_microperf --smoke --json "$BUILD_DIR"/BENCH_hotpath.json
 "$BUILD_DIR"/bench/ext_citywide --smoke --json "$BUILD_DIR"/BENCH_citywide_smoke.json
+(cd "$BUILD_DIR" && bench/serve_smoke --seeds 1000 --json BENCH_serve_smoke.json)
 
 echo "tier-1: all green"

@@ -1,6 +1,9 @@
 #include "obs/metrics.hpp"
 
 #include <algorithm>
+#include <ostream>
+
+#include "util/json.hpp"
 
 namespace spider::obs {
 
@@ -30,6 +33,18 @@ double MetricsRegistry::value(std::string_view name) const {
 
 bool MetricsRegistry::contains(std::string_view name) const {
   return entries_.find(name) != entries_.end();
+}
+
+void MetricsRegistry::write_json(std::ostream& os) const {
+  os << '{';
+  bool first = true;
+  for (const auto& [name, metric] : entries_) {
+    if (!first) os << ',';
+    first = false;
+    os << '"' << util::json_escape(name) << "\":"
+       << util::json_number(metric.value);
+  }
+  os << '}';
 }
 
 void MetricsRegistry::merge(const MetricsRegistry& other) {

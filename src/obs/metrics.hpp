@@ -1,5 +1,6 @@
 #pragma once
 
+#include <iosfwd>
 #include <map>
 #include <string>
 #include <string_view>
@@ -38,6 +39,11 @@ class MetricsRegistry {
   const std::map<std::string, Metric, std::less<>>& entries() const {
     return entries_;
   }
+
+  /// One-line JSON object `{"name":value,...}` in name order, doubles in
+  /// exact-round-trip form — the scenario server's live metrics endpoint
+  /// streams this inside its response envelope.
+  void write_json(std::ostream& os) const;
 
  private:
   std::map<std::string, Metric, std::less<>> entries_;

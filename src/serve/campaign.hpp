@@ -1,0 +1,100 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "serve/protocol.hpp"
+#include "sim/cancel.hpp"
+#include "trace/experiment.hpp"
+
+namespace spider::serve {
+
+/// Aggregate statistics of a seed campaign. absorb() must be called in
+/// ascending-seed order — OnlineStats::merge is order-sensitive in the
+/// last bits, and the campaign's merge-equals-serial guarantee is defined
+/// against the serial pass's ascending order.
+struct CampaignStats {
+  std::size_t runs = 0;
+  OnlineStats throughput_kBps;  ///< across runs' average throughput
+  OnlineStats connectivity;     ///< across runs' connectivity fraction
+  OnlineStats switch_latency_ms;  ///< merged per-run accumulators
+  std::uint64_t total_bytes = 0;
+  std::uint64_t switches = 0;
+  std::uint64_t joins_attempted = 0;
+  std::uint64_t assoc_succeeded = 0;
+  std::uint64_t dhcp_succeeded = 0;
+  std::uint64_t e2e_succeeded = 0;
+
+  void absorb(const RunStats& run);
+
+  /// Exact-round-trip textual digest of every aggregate — two campaigns
+  /// (or a campaign and a serial sweep) agree iff their digests are
+  /// byte-identical.
+  std::string digest() const;
+};
+
+/// One seed that exhausted its attempts (or was cancelled / rejected).
+struct SeedFailure {
+  std::uint64_t seed = 0;
+  std::string kind;     ///< wire error kind or "unreachable"/"cancelled"
+  std::string message;
+};
+
+struct CampaignConfig {
+  /// Socket paths of the scenario servers to shard across (≥ 1). Each
+  /// server gets `clients_per_server` worker threads, all feeding from one
+  /// shared seed queue, so a dead server's share fails over to the rest.
+  std::vector<std::string> servers;
+  std::size_t clients_per_server = 1;
+
+  trace::ScenarioConfig base;   ///< template; seed is overridden per run
+  std::uint64_t first_seed = 1;
+  std::size_t num_seeds = 0;    ///< seeds first_seed .. first_seed+num-1
+
+  double deadline_ms = 0.0;     ///< per-run server-side deadline (0 = none)
+  /// Client-side wait for a response before the seed is re-dispatched
+  /// (covers both slow servers and dead ones).
+  double response_timeout_ms = 60000.0;
+  int max_attempts = 5;         ///< per seed, across all servers
+  double backoff_initial_ms = 10.0;  ///< doubles per attempt, capped below
+  double backoff_max_ms = 500.0;
+
+  /// JSONL journal: one {"seed":N,"result":{...}} line per completed seed,
+  /// appended and flushed as results arrive. On start, seeds already in
+  /// the journal are not re-run (resume after a crash or ^C). Empty
+  /// disables journaling.
+  std::string journal_path;
+
+  /// Campaign-wide stop (e.g. SIGINT): pending seeds are reported as
+  /// "cancelled" failures and workers return promptly. Not owned.
+  sim::CancelToken* cancel = nullptr;
+};
+
+struct CampaignReport {
+  std::size_t completed = 0;  ///< seeds with a result (including resumed)
+  std::size_t resumed = 0;    ///< of those, satisfied from the journal
+  std::size_t retries = 0;    ///< re-dispatch count across all seeds
+  std::vector<SeedFailure> failures;
+  CampaignStats merged;       ///< ascending-seed merge of all results
+
+  bool ok() const { return failures.empty(); }
+};
+
+/// Runs the seed campaign described by `config` against the given servers.
+/// Fault-tolerance contract (DESIGN.md §11): per-seed retry with
+/// exponential backoff, "overloaded" rejections honoured via their
+/// retry_after hint, timed-out / failed / unreachable dispatches re-queued
+/// for any live server, and completed seeds journaled so an interrupted
+/// campaign resumes instead of recomputing.
+CampaignReport run_campaign(const CampaignConfig& config);
+
+/// The serial oracle: the same seeds run in-process through
+/// trace::ScenarioRunner and merged in ascending order. A campaign over
+/// any number of servers/workers must produce a byte-identical digest.
+CampaignStats serial_campaign_stats(const trace::ScenarioConfig& base,
+                                    std::uint64_t first_seed,
+                                    std::size_t num_seeds,
+                                    std::size_t jobs = 0);
+
+}  // namespace spider::serve

@@ -1,0 +1,121 @@
+#include "serve/client.hpp"
+
+#include <errno.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cstring>
+#include <utility>
+
+namespace spider::serve {
+
+LineClient::LineClient(LineClient&& other) noexcept
+    : fd_(std::exchange(other.fd_, -1)), inbox_(std::move(other.inbox_)) {}
+
+LineClient& LineClient::operator=(LineClient&& other) noexcept {
+  if (this != &other) {
+    disconnect();
+    fd_ = std::exchange(other.fd_, -1);
+    inbox_ = std::move(other.inbox_);
+  }
+  return *this;
+}
+
+bool LineClient::connect_to(const std::string& socket_path,
+                            std::string* error) {
+  const auto fail = [&](const std::string& why) {
+    if (error != nullptr) *error = why;
+    disconnect();
+    return false;
+  };
+  disconnect();
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (socket_path.empty() || socket_path.size() >= sizeof(addr.sun_path)) {
+    return fail("socket path empty or longer than sun_path");
+  }
+  std::memcpy(addr.sun_path, socket_path.c_str(), socket_path.size() + 1);
+  fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd_ < 0) return fail("socket(): " + std::string(strerror(errno)));
+  if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    return fail("connect(" + socket_path +
+                "): " + std::string(strerror(errno)));
+  }
+  return true;
+}
+
+void LineClient::disconnect() {
+  if (fd_ >= 0) ::close(fd_);
+  fd_ = -1;
+  inbox_.clear();
+}
+
+bool LineClient::send_line(const std::string& line) {
+  if (fd_ < 0) return false;
+  std::string framed = line;
+  framed += '\n';
+  std::size_t off = 0;
+  while (off < framed.size()) {
+    const ssize_t n = ::send(fd_, framed.data() + off, framed.size() - off,
+                             MSG_NOSIGNAL);
+    if (n > 0) {
+      off += static_cast<std::size_t>(n);
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    disconnect();
+    return false;
+  }
+  return true;
+}
+
+std::optional<std::string> LineClient::recv_line(double timeout_ms) {
+  using clock = std::chrono::steady_clock;
+  const bool bounded = timeout_ms >= 0.0;
+  const clock::time_point deadline =
+      clock::now() + std::chrono::microseconds(
+                         static_cast<std::int64_t>(timeout_ms * 1e3));
+  for (;;) {
+    const std::size_t nl = inbox_.find('\n');
+    if (nl != std::string::npos) {
+      std::string line = inbox_.substr(0, nl);
+      inbox_.erase(0, nl + 1);
+      if (!line.empty() && line.back() == '\r') line.pop_back();
+      return line;
+    }
+    if (fd_ < 0) return std::nullopt;
+
+    int wait_ms = -1;
+    if (bounded) {
+      const auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
+          deadline - clock::now());
+      if (left.count() <= 0) return std::nullopt;  // timeout, still connected
+      wait_ms = static_cast<int>(left.count()) + 1;
+    }
+    pollfd p{fd_, POLLIN, 0};
+    const int ready = ::poll(&p, 1, wait_ms);
+    if (ready == 0) return std::nullopt;  // timeout
+    if (ready < 0) {
+      if (errno == EINTR) continue;
+      disconnect();
+      return std::nullopt;
+    }
+    char buf[4096];
+    const ssize_t n = ::read(fd_, buf, sizeof(buf));
+    if (n > 0) {
+      inbox_.append(buf, static_cast<std::size_t>(n));
+      continue;
+    }
+    if (n < 0 && (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK)) {
+      continue;
+    }
+    disconnect();  // EOF or hard error; a buffered line may still be left
+    if (inbox_.find('\n') != std::string::npos) continue;
+    return std::nullopt;
+  }
+}
+
+}  // namespace spider::serve

@@ -1,0 +1,39 @@
+#pragma once
+
+#include <optional>
+#include <string>
+
+namespace spider::serve {
+
+/// Blocking newline-delimited-JSON client for a ScenarioServer socket.
+/// One connection, one thread: the campaign runner opens one LineClient
+/// per server worker thread. recv_line carries a timeout so a client can
+/// distinguish a slow run from a dead server and re-dispatch the seed.
+class LineClient {
+ public:
+  LineClient() = default;
+  ~LineClient() { disconnect(); }
+
+  LineClient(const LineClient&) = delete;
+  LineClient& operator=(const LineClient&) = delete;
+  LineClient(LineClient&& other) noexcept;
+  LineClient& operator=(LineClient&& other) noexcept;
+
+  /// Connects to the Unix stream socket at `socket_path`.
+  bool connect_to(const std::string& socket_path, std::string* error = nullptr);
+  void disconnect();
+  bool connected() const { return fd_ >= 0; }
+
+  /// Sends `line` + '\n'. False when the connection is dead.
+  bool send_line(const std::string& line);
+
+  /// Blocks up to timeout_ms (<0 = forever) for one complete line.
+  /// nullopt on timeout or connection death — connected() tells which.
+  std::optional<std::string> recv_line(double timeout_ms = -1.0);
+
+ private:
+  int fd_ = -1;
+  std::string inbox_;
+};
+
+}  // namespace spider::serve

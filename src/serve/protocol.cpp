@@ -1,0 +1,284 @@
+#include "serve/protocol.hpp"
+
+#include <cmath>
+#include <sstream>
+
+namespace spider::serve {
+
+using util::Json;
+using util::json_escape;
+using util::json_number;
+
+RunStats RunStats::from_result(const trace::ScenarioResult& result) {
+  RunStats s;
+  s.completed = result.completed;
+  s.avg_throughput_kBps = result.avg_throughput_kBps;
+  s.connectivity = result.connectivity;
+  s.total_bytes = result.total_bytes;
+  s.switches = result.switches;
+  s.joins_attempted = result.joins_attempted;
+  s.assoc_succeeded = result.assoc_succeeded;
+  s.dhcp_succeeded = result.dhcp_succeeded;
+  s.e2e_succeeded = result.e2e_succeeded;
+  s.switch_latency_ms = result.switch_latency_ms;
+  s.sim_seconds = result.perf.sim_seconds;
+  s.events_popped = result.perf.events_popped;
+  return s;
+}
+
+void RunStats::write_json(std::ostream& os) const {
+  os << "{\"completed\":" << (completed ? "true" : "false")
+     << ",\"avg_throughput_kBps\":" << json_number(avg_throughput_kBps)
+     << ",\"connectivity\":" << json_number(connectivity)
+     << ",\"total_bytes\":" << total_bytes << ",\"switches\":" << switches
+     << ",\"joins_attempted\":" << joins_attempted
+     << ",\"assoc_succeeded\":" << assoc_succeeded
+     << ",\"dhcp_succeeded\":" << dhcp_succeeded
+     << ",\"e2e_succeeded\":" << e2e_succeeded << ",\"switch_latency_ms\":{"
+     << "\"n\":" << switch_latency_ms.count()
+     << ",\"mean\":" << json_number(switch_latency_ms.mean())
+     << ",\"m2\":" << json_number(switch_latency_ms.m2())
+     << ",\"min\":" << json_number(switch_latency_ms.min())
+     << ",\"max\":" << json_number(switch_latency_ms.max())
+     << ",\"sum\":" << json_number(switch_latency_ms.sum()) << '}'
+     << ",\"sim_seconds\":" << json_number(sim_seconds)
+     << ",\"events_popped\":" << events_popped << '}';
+}
+
+std::optional<RunStats> RunStats::from_json(const Json& json) {
+  if (!json.is_object()) return std::nullopt;
+  RunStats s;
+  const auto number = [&json](const char* key, double fallback) {
+    const Json* v = json.find(key);
+    return v != nullptr ? v->number_or(fallback) : fallback;
+  };
+  const Json* completed = json.find("completed");
+  s.completed = completed != nullptr && completed->bool_or(false);
+  s.avg_throughput_kBps = number("avg_throughput_kBps", 0.0);
+  s.connectivity = number("connectivity", 0.0);
+  s.total_bytes = static_cast<std::uint64_t>(number("total_bytes", 0.0));
+  s.switches = static_cast<std::uint64_t>(number("switches", 0.0));
+  s.joins_attempted =
+      static_cast<std::uint64_t>(number("joins_attempted", 0.0));
+  s.assoc_succeeded =
+      static_cast<std::uint64_t>(number("assoc_succeeded", 0.0));
+  s.dhcp_succeeded = static_cast<std::uint64_t>(number("dhcp_succeeded", 0.0));
+  s.e2e_succeeded = static_cast<std::uint64_t>(number("e2e_succeeded", 0.0));
+  s.sim_seconds = number("sim_seconds", 0.0);
+  s.events_popped = static_cast<std::uint64_t>(number("events_popped", 0.0));
+  const Json* lat = json.find("switch_latency_ms");
+  if (lat != nullptr && lat->is_object()) {
+    const auto lat_num = [lat](const char* key) {
+      const Json* v = lat->find(key);
+      return v != nullptr ? v->number_or(0.0) : 0.0;
+    };
+    s.switch_latency_ms = OnlineStats::from_moments(
+        static_cast<std::size_t>(lat_num("n")), lat_num("mean"),
+        lat_num("m2"), lat_num("min"), lat_num("max"), lat_num("sum"));
+  }
+  return s;
+}
+
+namespace {
+
+const char* to_wire(trace::DriverKind kind) {
+  switch (kind) {
+    case trace::DriverKind::kSpider: return "spider";
+    case trace::DriverKind::kStock: return "stock";
+    case trace::DriverKind::kFatVap: return "fatvap";
+  }
+  return "?";
+}
+
+bool driver_from_wire(const std::string& name, trace::DriverKind* out) {
+  if (name == "spider") *out = trace::DriverKind::kSpider;
+  else if (name == "stock") *out = trace::DriverKind::kStock;
+  else if (name == "fatvap") *out = trace::DriverKind::kFatVap;
+  else return false;
+  return true;
+}
+
+bool set_error(std::string* error, const std::string& message) {
+  if (error != nullptr) *error = message;
+  return false;
+}
+
+}  // namespace
+
+void write_scenario_json(std::ostream& os,
+                         const trace::ScenarioConfig& config) {
+  os << "{\"seed\":" << config.seed
+     << ",\"duration_s\":" << json_number(to_seconds(config.duration))
+     << ",\"speed_mps\":" << json_number(config.speed_mps)
+     << ",\"clients\":" << config.clients
+     << ",\"metrics_bin_s\":" << json_number(to_seconds(config.metrics_bin))
+     << ",\"driver\":\"" << to_wire(config.driver) << '"'
+     << ",\"adaptive\":" << (config.adaptive ? "true" : "false")
+     << ",\"num_interfaces\":" << config.spider.num_interfaces
+     << ",\"mode\":{\"period_ms\":"
+     << json_number(to_millis(config.spider.mode.period)) << ",\"fractions\":[";
+  bool first = true;
+  for (const auto& [channel, fraction] : config.spider.mode.fractions) {
+    if (!first) os << ',';
+    first = false;
+    os << '[' << channel << ',' << json_number(fraction) << ']';
+  }
+  os << "]}"
+     << ",\"neighbor_index\":\""
+     << (config.neighbor_index == phy::NeighborIndex::kGrid ? "grid"
+                                                            : "brute")
+     << '"' << ",\"grid_cell_m\":" << json_number(config.grid_cell_m);
+  if (config.city) {
+    os << ",\"city\":{\"width_m\":" << json_number(config.city->width_m)
+       << ",\"height_m\":" << json_number(config.city->height_m)
+       << ",\"block_m\":" << json_number(config.city->block_m)
+       << ",\"aps_per_km2\":" << json_number(config.city->aps_per_km2) << '}';
+  } else {
+    os << ",\"road_length_m\":" << json_number(config.deployment.road_length_m)
+       << ",\"aps_per_km\":" << json_number(config.deployment.aps_per_km);
+  }
+  os << '}';
+}
+
+std::string scenario_to_json(const trace::ScenarioConfig& config) {
+  std::ostringstream os;
+  write_scenario_json(os, config);
+  return os.str();
+}
+
+bool parse_scenario(const Json& json, trace::ScenarioConfig* config,
+                    std::string* error) {
+  if (!json.is_object()) {
+    return set_error(error, "scenario must be a JSON object");
+  }
+  trace::ScenarioConfig out;  // protocol defaults = library defaults
+  for (const auto& [key, value] : json.members()) {
+    if (key == "seed") {
+      out.seed = static_cast<std::uint64_t>(value.number_or(1.0));
+    } else if (key == "duration_s") {
+      out.duration = sec(value.number_or(0.0));
+    } else if (key == "speed_mps") {
+      out.speed_mps = value.number_or(-1.0);
+    } else if (key == "clients") {
+      out.clients = static_cast<int>(value.number_or(0.0));
+    } else if (key == "metrics_bin_s") {
+      out.metrics_bin = sec(value.number_or(0.0));
+    } else if (key == "driver") {
+      if (!value.is_string() ||
+          !driver_from_wire(value.string_value(), &out.driver)) {
+        return set_error(error, "driver must be spider|stock|fatvap");
+      }
+    } else if (key == "adaptive") {
+      out.adaptive = value.bool_or(false);
+    } else if (key == "num_interfaces") {
+      out.spider.num_interfaces =
+          static_cast<std::size_t>(value.number_or(0.0));
+    } else if (key == "mode") {
+      const Json* period = value.find("period_ms");
+      const Json* fractions = value.find("fractions");
+      if (!value.is_object() || period == nullptr || fractions == nullptr ||
+          !fractions->is_array()) {
+        return set_error(error, "mode needs period_ms and fractions");
+      }
+      core::OperationMode mode;
+      mode.period = msec(static_cast<std::int64_t>(period->number_or(0.0)));
+      for (const Json& pair : fractions->elements()) {
+        if (!pair.is_array() || pair.elements().size() != 2) {
+          return set_error(error, "mode fraction entries are [channel,frac]");
+        }
+        mode.fractions.emplace_back(
+            static_cast<wire::Channel>(pair.elements()[0].number_or(0.0)),
+            pair.elements()[1].number_or(0.0));
+      }
+      out.spider.mode = mode;
+    } else if (key == "neighbor_index") {
+      const std::string name = value.string_or("");
+      if (name == "grid") {
+        out.neighbor_index = phy::NeighborIndex::kGrid;
+      } else if (name == "brute") {
+        out.neighbor_index = phy::NeighborIndex::kBruteForce;
+      } else {
+        return set_error(error, "neighbor_index must be grid|brute");
+      }
+    } else if (key == "grid_cell_m") {
+      out.grid_cell_m = value.number_or(-1.0);
+    } else if (key == "road_length_m") {
+      out.deployment.road_length_m = value.number_or(0.0);
+    } else if (key == "aps_per_km") {
+      out.deployment.aps_per_km = value.number_or(-1.0);
+    } else if (key == "city") {
+      mob::CityGridConfig city;
+      if (!value.is_object()) {
+        return set_error(error, "city must be a JSON object");
+      }
+      for (const auto& [ckey, cvalue] : value.members()) {
+        if (ckey == "width_m") city.width_m = cvalue.number_or(0.0);
+        else if (ckey == "height_m") city.height_m = cvalue.number_or(0.0);
+        else if (ckey == "block_m") city.block_m = cvalue.number_or(0.0);
+        else if (ckey == "aps_per_km2") {
+          city.aps_per_km2 = cvalue.number_or(-1.0);
+        } else {
+          return set_error(error, "unknown city key '" + ckey + "'");
+        }
+      }
+      out.city = city;
+    } else {
+      // Strict: a dropped key would silently run a different experiment
+      // than the client intended.
+      return set_error(error, "unknown scenario key '" + key + "'");
+    }
+  }
+  *config = std::move(out);
+  return true;
+}
+
+std::string make_ok_run_response(const std::string& id,
+                                 const RunStats& stats) {
+  std::ostringstream os;
+  os << "{\"id\":\"" << json_escape(id) << "\",\"ok\":true,\"result\":";
+  stats.write_json(os);
+  os << '}';
+  return os.str();
+}
+
+namespace {
+
+std::string error_envelope(const std::string& id, const char* kind,
+                           const std::string& message, double retry_after_ms,
+                           const RunStats* partial) {
+  std::ostringstream os;
+  os << "{\"id\":\"" << json_escape(id)
+     << "\",\"ok\":false,\"error\":{\"kind\":\"" << kind << "\",\"message\":\""
+     << json_escape(message) << "\"}";
+  if (retry_after_ms > 0.0) {
+    os << ",\"retry_after_ms\":" << json_number(retry_after_ms);
+  }
+  if (partial != nullptr) {
+    os << ",\"partial\":";
+    partial->write_json(os);
+  }
+  os << '}';
+  return os.str();
+}
+
+}  // namespace
+
+std::string make_error_response(const std::string& id,
+                                const trace::RunError& error,
+                                double retry_after_ms,
+                                const RunStats* partial) {
+  return error_envelope(id, to_string(error.kind), error.message,
+                        retry_after_ms, partial);
+}
+
+std::string make_reject_response(const std::string& id, const char* kind,
+                                 const std::string& message,
+                                 double retry_after_ms) {
+  return error_envelope(id, kind, message, retry_after_ms, nullptr);
+}
+
+std::string make_pong_response(const std::string& id) {
+  return "{\"id\":\"" + json_escape(id) + "\",\"ok\":true,\"pong\":true}";
+}
+
+}  // namespace spider::serve

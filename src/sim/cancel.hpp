@@ -1,0 +1,102 @@
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+
+namespace spider::sim {
+
+/// Why a run was asked to stop. kNone means the token never tripped.
+enum class CancelReason : int {
+  kNone = 0,
+  kCancelled = 1,         ///< explicit request (client gone, operator stop)
+  kDeadlineExceeded = 2,  ///< armed wall-clock deadline passed
+};
+
+const char* to_string(CancelReason reason);
+
+/// Cooperative cancellation + wall-clock deadline token.
+///
+/// A token is shared between the party that bounds a run (server watchdog,
+/// signal handler, campaign client) and the simulator executing it: the
+/// simulator polls `should_stop()` every few thousand events and returns
+/// early when the token trips, leaving the run's partial state harvestable.
+/// Polling never touches simulation state, so a run that completes is
+/// byte-identical whether or not a token was installed (pinned by tests).
+///
+/// The trip is set-once (first reason wins) and every member is lock-free,
+/// so tokens may be tripped from signal handlers and watchdog threads while
+/// the simulator thread polls.
+class CancelToken {
+ public:
+  CancelToken() = default;
+
+  /// Arms (or re-arms) the deadline `after` from now. Zero or negative
+  /// durations trip on the next poll.
+  void arm_deadline_after(std::chrono::nanoseconds after) {
+    deadline_ns_.store(now_ns() + after.count(), std::memory_order_relaxed);
+  }
+  void disarm_deadline() {
+    deadline_ns_.store(kNoDeadline, std::memory_order_relaxed);
+  }
+  bool deadline_armed() const {
+    return deadline_ns_.load(std::memory_order_relaxed) != kNoDeadline;
+  }
+
+  /// Trips the token with `reason`. Returns true when this call performed
+  /// the (only) trip; later calls are no-ops so the first reason sticks.
+  bool request_cancel(CancelReason reason = CancelReason::kCancelled) {
+    int expected = 0;
+    return state_.compare_exchange_strong(expected, static_cast<int>(reason),
+                                          std::memory_order_relaxed);
+  }
+
+  /// True once the token has tripped. Does NOT poll the clock — use this
+  /// from wait loops that rely on an external watchdog to enforce
+  /// deadlines (keeps the reaper observable and singular).
+  bool cancel_requested() const {
+    return state_.load(std::memory_order_relaxed) != 0;
+  }
+
+  /// Polls the armed deadline, tripping the token (kDeadlineExceeded) when
+  /// it has passed. Returns true when this call performed the trip — a
+  /// watchdog counts its reaps with this.
+  bool trip_if_expired() {
+    if (state_.load(std::memory_order_relaxed) != 0) return false;
+    const std::int64_t d = deadline_ns_.load(std::memory_order_relaxed);
+    if (d == kNoDeadline || now_ns() < d) return false;
+    return request_cancel(CancelReason::kDeadlineExceeded);
+  }
+
+  /// The simulator's per-check predicate: tripped already, or the armed
+  /// deadline has passed (tripping it lazily, so deadlines hold even
+  /// without a watchdog thread).
+  bool should_stop() {
+    if (state_.load(std::memory_order_relaxed) != 0) return true;
+    return trip_if_expired();
+  }
+
+  CancelReason reason() const {
+    return static_cast<CancelReason>(state_.load(std::memory_order_relaxed));
+  }
+
+  /// Re-arms a spent token (tests and pooled token reuse). Not safe while
+  /// a run is still polling the token.
+  void reset() {
+    state_.store(0, std::memory_order_relaxed);
+    deadline_ns_.store(kNoDeadline, std::memory_order_relaxed);
+  }
+
+ private:
+  static std::int64_t now_ns() {
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(
+               std::chrono::steady_clock::now().time_since_epoch())
+        .count();
+  }
+  static constexpr std::int64_t kNoDeadline = INT64_MAX;
+
+  std::atomic<int> state_{0};
+  std::atomic<std::int64_t> deadline_ns_{kNoDeadline};
+};
+
+}  // namespace spider::sim

@@ -16,15 +16,50 @@ EventHandle Simulator::schedule_at(Time when, EventQueue::Callback&& cb) {
 
 void Simulator::run_until(Time deadline) {
   stopped_ = false;
+  interrupted_ = false;
   // pop_and_run_until advances now_ before dispatching, so each callback
-  // observes its own timestamp through now().
-  while (!stopped_ && queue_.pop_and_run_until(deadline, now_)) ++executed_;
+  // observes its own timestamp through now(). The cancel token is polled
+  // between events only (never mid-callback): a completed run's event
+  // stream is untouched by the polling.
+  std::uint64_t until_check = 0;  // poll on entry, then every interval
+  while (!stopped_) {
+    if (cancel_ != nullptr && until_check-- == 0) {
+      until_check = kCancelCheckInterval - 1;
+      if (cancel_->should_stop()) {
+        interrupted_ = true;
+        return;
+      }
+    }
+    if (!queue_.pop_and_run_until(deadline, now_)) break;
+    ++executed_;
+  }
   if (!stopped_ && now_ < deadline) now_ = deadline;
 }
 
 void Simulator::run_all() {
   stopped_ = false;
-  while (!stopped_ && queue_.pop_and_run_until(Time::max(), now_)) ++executed_;
+  interrupted_ = false;
+  std::uint64_t until_check = 0;
+  while (!stopped_) {
+    if (cancel_ != nullptr && until_check-- == 0) {
+      until_check = kCancelCheckInterval - 1;
+      if (cancel_->should_stop()) {
+        interrupted_ = true;
+        return;
+      }
+    }
+    if (!queue_.pop_and_run_until(Time::max(), now_)) break;
+    ++executed_;
+  }
+}
+
+const char* to_string(CancelReason reason) {
+  switch (reason) {
+    case CancelReason::kNone: return "none";
+    case CancelReason::kCancelled: return "cancelled";
+    case CancelReason::kDeadlineExceeded: return "deadline-exceeded";
+  }
+  return "?";
 }
 
 void PeriodicTimer::start() {

@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <functional>
 
+#include "sim/cancel.hpp"
 #include "sim/event_queue.hpp"
 #include "util/time.hpp"
 
@@ -58,6 +59,18 @@ class Simulator {
   /// Requests that the current run_* call return after the active event.
   void stop() { stopped_ = true; }
 
+  /// Installs a cooperative cancellation/deadline token, polled every
+  /// kCancelCheckInterval events by the run_* loops (and once on entry).
+  /// Polling reads the token and the wall clock only — it never perturbs
+  /// the event stream, so a run that completes is byte-identical with or
+  /// without a token installed. Not owned; pass nullptr to detach.
+  void set_cancel_token(CancelToken* token) { cancel_ = token; }
+  CancelToken* cancel_token() const { return cancel_; }
+
+  /// True when the last run_* call returned early because the cancel token
+  /// tripped (the token's reason() says why). Cleared on the next run_*.
+  bool interrupted() const { return interrupted_; }
+
   std::uint64_t events_executed() const { return executed_; }
   bool pending() const { return !queue_.empty(); }
 
@@ -83,12 +96,19 @@ class Simulator {
   obs::Tracer* tracer() const { return tracer_; }
 
  private:
+  /// Cancel-token poll cadence, in events. Coarse enough that the clock
+  /// read vanishes against event dispatch cost, fine enough that a wedged
+  /// scenario is reaped within milliseconds of its deadline.
+  static constexpr std::uint64_t kCancelCheckInterval = 1024;
+
   Time now_{0};
   EventQueue queue_;
   bool stopped_ = false;
+  bool interrupted_ = false;
   std::uint64_t executed_ = 0;
   std::uint64_t next_id_ = 0;
   obs::Tracer* tracer_ = nullptr;
+  CancelToken* cancel_ = nullptr;
 };
 
 /// A restartable periodic timer built on the simulator; used for beacons,

@@ -44,13 +44,16 @@ void digest_join_log(ScenarioResult& result) {
 namespace detail {
 
 ScenarioResult execute_scenario(const ScenarioConfig& config,
-                                std::shared_ptr<obs::Tracer> tracer) {
+                                std::shared_ptr<obs::Tracer> tracer,
+                                sim::CancelToken* cancel) {
   const auto wall_start = std::chrono::steady_clock::now();
   TestbedConfig tb_config;
   tb_config.seed = config.seed;
   tb_config.propagation = config.propagation;
   tb_config.medium.neighbor_index = config.neighbor_index;
+  tb_config.medium.grid_cell_m = config.grid_cell_m;
   Testbed bed(tb_config);
+  if (cancel != nullptr) bed.sim.set_cancel_token(cancel);
   // Installed before any entity schedules work so the trace covers the
   // whole run. The recorder only reads the sim clock — never wall time —
   // so the trace is a pure function of (config, seed).
@@ -193,9 +196,11 @@ ScenarioResult execute_scenario(const ScenarioConfig& config,
     }
   }
   bed.sim.run_until(config.duration);
+  result.completed = !bed.sim.interrupted();
 
   // Harvest in client order: join logs concatenate, switch counts sum,
-  // latency accumulators merge (parallel Welford).
+  // latency accumulators merge (parallel Welford). An interrupted run
+  // harvests the same way — partial output is flushed, not discarded.
   for (ClientRig& rig : rigs) {
     switch (config.driver) {
       case DriverKind::kSpider: {
@@ -220,7 +225,10 @@ ScenarioResult execute_scenario(const ScenarioConfig& config,
     }
   }
 
-  recorder.finalize(config.duration);
+  // An interrupted run closes its timeline at the interruption point, so
+  // connectivity/throughput fractions describe the simulated span, not the
+  // never-reached configured horizon. Completed runs have now() == duration.
+  recorder.finalize(bed.sim.now());
   result.avg_throughput_kBps = recorder.average_throughput_kBps();
   result.connectivity = recorder.connectivity_fraction();
   result.connection_durations = Cdf(recorder.connection_durations());
@@ -280,6 +288,7 @@ ScenarioResult pool_results(const std::vector<ScenarioResult>& runs) {
     for (double x : one.recovery_times.samples()) {
       pooled.recovery_times.add(x);
     }
+    pooled.completed = pooled.completed && one.completed;
     pooled.join_log.insert(pooled.join_log.end(), one.join_log.begin(),
                            one.join_log.end());
     pooled.switch_latency_ms.merge(one.switch_latency_ms);

@@ -13,7 +13,9 @@
 #include "mobility/deployment.hpp"
 #include "net/dhcp_server.hpp"
 #include "obs/metrics.hpp"
+#include "sim/cancel.hpp"
 #include "sim/perf.hpp"
+#include "trace/error.hpp"
 #include "trace/testbed.hpp"
 #include "util/stats.hpp"
 
@@ -53,6 +55,10 @@ struct ScenarioConfig {
   /// Medium neighbor search: the spatial grid by default; brute force is
   /// the differential-test oracle (results are byte-identical either way).
   phy::NeighborIndex neighbor_index = phy::NeighborIndex::kGrid;
+  /// Explicit grid cell edge in meters (0 derives it from the propagation
+  /// range). Non-zero values below the range are a config error — the
+  /// medium would silently clamp them — and are rejected by validate().
+  double grid_cell_m = 0.0;
   net::DhcpServerConfig dhcp_server;
   Time backhaul_delay = msec(10);
 
@@ -72,6 +78,14 @@ struct ScenarioConfig {
   fault::FaultSchedule faults;
 
   Time metrics_bin = sec(1);
+
+  /// Structural sanity check, run before any simulator state is built:
+  /// non-positive durations/rates/counts, a grid cell below the
+  /// propagation range, malformed city geometry, degenerate channel mixes.
+  /// Empty result means the config is runnable; callers that cannot
+  /// continue (benches, the scenario server) surface the issues as an
+  /// RunErrorKind::kInvalidConfig instead of asserting mid-run.
+  std::vector<ConfigIssue> validate() const;
 };
 
 /// Everything the evaluation section reports about one run.
@@ -99,6 +113,12 @@ struct ScenarioResult {
   std::uint64_t recoveries = 0;
   Cdf recovery_times;  ///< seconds, one sample per recovered outage
 
+  /// False when the run was interrupted by a cancel/deadline token (the
+  /// result then holds whatever was harvested at the interruption point —
+  /// partial output, flushed, never silently discarded). Pooled results
+  /// are complete only when every constituent run completed.
+  bool completed = true;
+
   /// Engine counters for the run (events popped/cancelled, heap peak,
   /// wall-clock, sim rate). Wall-clock fields are host-dependent and never
   /// appear in deterministic bench output; see write_perf_csv.
@@ -115,8 +135,13 @@ struct ScenarioResult {
 namespace detail {
 /// The single scenario kernel every entrypoint funnels into: assembles the
 /// testbed, installs `tracer` on the simulator when given, runs, harvests.
+/// When `cancel` is non-null the simulator polls it (DESIGN.md §11): a
+/// tripped token interrupts the run and the partial result comes back with
+/// `completed == false`. Completed runs are byte-identical with or without
+/// a token installed.
 ScenarioResult execute_scenario(const ScenarioConfig& config,
-                                std::shared_ptr<obs::Tracer> tracer);
+                                std::shared_ptr<obs::Tracer> tracer,
+                                sim::CancelToken* cancel = nullptr);
 }  // namespace detail
 
 /// One untraced run. Forwarder over ScenarioRunner (trace/runner.hpp),

@@ -16,14 +16,66 @@ ScenarioRunner::ScenarioRunner(RunnerOptions options)
 std::vector<ScenarioResult> ScenarioRunner::execute(
     const std::vector<ScenarioConfig>& expanded) const {
   return util::parallel_map(jobs_, expanded.size(), [&](std::size_t i) {
+    // A tripped token skips runs that have not started yet — the sweep
+    // returns promptly with every remaining slot marked incomplete
+    // instead of grinding through the backlog after a ^C.
+    if (options_.cancel != nullptr && options_.cancel->should_stop()) {
+      ScenarioResult skipped;
+      skipped.completed = false;
+      return skipped;
+    }
     std::shared_ptr<obs::Tracer> tracer;
     if (tracing_) {
       obs::TracerConfig tc = options_.tracer;
       tc.seed = expanded[i].seed;
       tracer = std::make_shared<obs::Tracer>(tc);
     }
-    return detail::execute_scenario(expanded[i], std::move(tracer));
+    return detail::execute_scenario(expanded[i], std::move(tracer),
+                                    options_.cancel);
   });
+}
+
+RunOutcome ScenarioRunner::run_bounded(const ScenarioConfig& config,
+                                       sim::CancelToken* cancel) const {
+  RunOutcome outcome;
+  const std::vector<ConfigIssue> issues = config.validate();
+  if (!issues.empty()) {
+    outcome.error =
+        RunError{RunErrorKind::kInvalidConfig, join_issues(issues)};
+    return outcome;
+  }
+  sim::CancelToken* token = cancel != nullptr ? cancel : options_.cancel;
+  try {
+    std::shared_ptr<obs::Tracer> tracer;
+    if (tracing_) {
+      obs::TracerConfig tc = options_.tracer;
+      tc.seed = config.seed;
+      tracer = std::make_shared<obs::Tracer>(tc);
+    }
+    ScenarioResult result =
+        detail::execute_scenario(config, std::move(tracer), token);
+    const bool completed = result.completed;
+    outcome.result = std::move(result);
+    if (!completed) {
+      const sim::CancelReason reason =
+          token != nullptr ? token->reason() : sim::CancelReason::kCancelled;
+      outcome.error = RunError{
+          reason == sim::CancelReason::kDeadlineExceeded
+              ? RunErrorKind::kDeadlineExceeded
+              : RunErrorKind::kCancelled,
+          std::string("run interrupted (") + sim::to_string(reason) +
+              ") at sim time " +
+              std::to_string(outcome.result->perf.sim_seconds) + " s"};
+    }
+  } catch (const std::exception& e) {
+    outcome.result.reset();
+    outcome.error = RunError{RunErrorKind::kInternal, e.what()};
+  } catch (...) {
+    outcome.result.reset();
+    outcome.error =
+        RunError{RunErrorKind::kInternal, "unknown exception in runner"};
+  }
+  return outcome;
 }
 
 void ScenarioRunner::write_sinks(

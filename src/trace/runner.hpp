@@ -2,10 +2,13 @@
 
 #include <cstddef>
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
 #include "obs/tracer.hpp"
+#include "sim/cancel.hpp"
+#include "trace/error.hpp"
 #include "trace/experiment.hpp"
 
 namespace spider::trace {
@@ -37,6 +40,23 @@ struct RunnerOptions {
   /// Ring sizing for each run's recorder (seed is stamped per run).
   obs::TracerConfig tracer;
   SinkOptions sinks;
+  /// Optional cooperative stop token observed by every run this runner
+  /// executes: runs in flight are interrupted at the next poll, runs not
+  /// yet started are skipped (completed == false either way). Benches wire
+  /// their SIGINT/SIGTERM handler here; the scenario server arms a token
+  /// per request. Not owned; must outlive the runner's calls.
+  sim::CancelToken* cancel = nullptr;
+};
+
+/// Outcome of a bounded run: either a completed result, or a structured
+/// error — possibly still carrying the partial result harvested at the
+/// interruption point (deadline/cancel), so callers can flush partial
+/// output instead of losing the run entirely.
+struct RunOutcome {
+  std::optional<ScenarioResult> result;
+  std::optional<RunError> error;
+
+  bool ok() const { return !error.has_value(); }
 };
 
 /// The one scenario execution path. run_scenario, run_scenario_averaged,
@@ -50,6 +70,16 @@ class ScenarioRunner {
 
   /// A single run of `config` (repetitions are ignored).
   ScenarioResult run_one(const ScenarioConfig& config) const;
+
+  /// The robust entry point (DESIGN.md §11): validates `config` up front
+  /// (kInvalidConfig instead of asserting downstream), runs it under the
+  /// cancel/deadline token (the per-call `cancel` if given, else the
+  /// runner-wide options().cancel), maps an interruption to
+  /// kDeadlineExceeded/kCancelled with the partial result attached, and
+  /// converts escaped exceptions to kInternal. A completed run is
+  /// byte-identical to run_one() with no token installed.
+  RunOutcome run_bounded(const ScenarioConfig& config,
+                         sim::CancelToken* cancel = nullptr) const;
 
   /// `repetitions` seeded repetitions of `config`, pooled into one result.
   ScenarioResult run_averaged(const ScenarioConfig& config) const;

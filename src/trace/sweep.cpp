@@ -10,6 +10,7 @@ SweepRunner::SweepRunner(SweepOptions options) {
   options_.tracing = options.tracing;
   options_.tracer = options.tracer;
   options_.sinks = options.sinks;
+  options_.cancel = options.cancel;
 }
 
 std::vector<ScenarioResult> SweepRunner::run(

@@ -17,6 +17,10 @@ struct SweepOptions {
   bool tracing = false;
   obs::TracerConfig tracer;
   SinkOptions sinks;
+  /// Cooperative stop token (see RunnerOptions::cancel): benches point
+  /// this at their SIGINT/SIGTERM token so an interrupted sweep drains
+  /// promptly and flushes partial sinks. Not owned.
+  sim::CancelToken* cancel = nullptr;
 };
 
 /// Replays a list of independent scenarios on a fixed-size thread pool.

@@ -1,0 +1,81 @@
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace spider::util {
+
+/// Minimal JSON document: parsed representation of one value. The
+/// scenario-server wire protocol (src/serve) is line-delimited JSON and the
+/// container must not grow third-party dependencies, so this is a small
+/// recursive-descent parser covering the full JSON grammar (objects,
+/// arrays, strings with escapes, numbers, booleans, null) with a depth
+/// limit instead of a stack overflow on adversarial input.
+///
+/// Numbers are stored as double — integers round-trip exactly up to 2^53,
+/// far beyond any seed count or counter the protocol carries.
+class Json {
+ public:
+  enum class Type { kNull, kBool, kNumber, kString, kObject, kArray };
+
+  /// Parses exactly one JSON value (surrounding whitespace allowed;
+  /// trailing garbage is an error). On failure returns nullopt and, when
+  /// `error` is given, a message with the byte offset.
+  static std::optional<Json> parse(std::string_view text,
+                                   std::string* error = nullptr);
+
+  Type type() const { return type_; }
+  bool is_null() const { return type_ == Type::kNull; }
+  bool is_object() const { return type_ == Type::kObject; }
+  bool is_array() const { return type_ == Type::kArray; }
+  bool is_string() const { return type_ == Type::kString; }
+  bool is_number() const { return type_ == Type::kNumber; }
+  bool is_bool() const { return type_ == Type::kBool; }
+
+  /// Object member lookup; nullptr when absent or not an object.
+  const Json* find(std::string_view key) const;
+
+  /// Typed accessors with fallbacks — the wire protocol treats a missing
+  /// or mistyped field as "use the default", and validates semantics at
+  /// the scenario layer.
+  double number_or(double fallback) const {
+    return type_ == Type::kNumber ? number_ : fallback;
+  }
+  bool bool_or(bool fallback) const {
+    return type_ == Type::kBool ? bool_ : fallback;
+  }
+  const std::string& string_value() const { return string_; }
+  std::string string_or(std::string fallback) const {
+    return type_ == Type::kString ? string_ : std::move(fallback);
+  }
+
+  const std::vector<std::pair<std::string, Json>>& members() const {
+    return object_;
+  }
+  const std::vector<Json>& elements() const { return array_; }
+
+ private:
+  friend class JsonParser;
+
+  Type type_ = Type::kNull;
+  bool bool_ = false;
+  double number_ = 0.0;
+  std::string string_;
+  std::vector<std::pair<std::string, Json>> object_;  // insertion order
+  std::vector<Json> array_;
+};
+
+/// Escapes `s` for embedding inside a JSON string literal (quotes not
+/// included).
+std::string json_escape(std::string_view s);
+
+/// Formats a double so that parsing it back yields the identical binary64
+/// value (%.17g) — the campaign runner's merge-equals-serial guarantee
+/// rides on this round trip. Integers up to 2^53 print without an exponent.
+std::string json_number(double v);
+
+}  // namespace spider::util

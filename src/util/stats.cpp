@@ -37,6 +37,19 @@ void OnlineStats::merge(const OnlineStats& other) {
   max_ = std::max(max_, other.max_);
 }
 
+OnlineStats OnlineStats::from_moments(std::size_t n, double mean, double m2,
+                                      double min, double max, double sum) {
+  OnlineStats s;
+  if (n == 0) return s;
+  s.n_ = n;
+  s.mean_ = mean;
+  s.m2_ = m2;
+  s.min_ = min;
+  s.max_ = max;
+  s.sum_ = sum;
+  return s;
+}
+
 double OnlineStats::stddev() const {
   if (n_ < 2) return 0.0;
   return std::sqrt(m2_ / static_cast<double>(n_ - 1));

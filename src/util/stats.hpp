@@ -18,11 +18,21 @@ class OnlineStats {
   double min() const { return n_ == 0 ? 0.0 : min_; }
   double max() const { return n_ == 0 ? 0.0 : max_; }
   double sum() const { return sum_; }
+  /// Raw second central moment (sum of squared deviations); together with
+  /// count/mean/min/max/sum it fully serialises the accumulator.
+  double m2() const { return m2_; }
 
   /// Combine with another accumulator (parallel Welford / Chan et al.).
   /// Equivalent to having added the other's samples to this one; used to
   /// pool per-client latency stats into one scenario-level accumulator.
   void merge(const OnlineStats& other);
+
+  /// Reconstructs an accumulator from its serialised moments — the inverse
+  /// of reading count()/mean()/m2()/min()/max()/sum(). The campaign runner
+  /// ships accumulators over the wire as these six numbers; merging the
+  /// reconstruction is bit-identical to merging the original.
+  static OnlineStats from_moments(std::size_t n, double mean, double m2,
+                                  double min, double max, double sum);
 
  private:
   std::size_t n_ = 0;

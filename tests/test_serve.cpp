@@ -1,0 +1,541 @@
+// Robustness layer tests (DESIGN.md §11): config validation, bounded runs,
+// the wire protocol, the resident scenario server, and the fault-tolerant
+// campaign runner. Server tests talk to a real ScenarioServer over a Unix
+// socket created in the test's working directory.
+
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <chrono>
+#include <cstdio>
+#include <sstream>
+#include <thread>
+
+#include "serve/campaign.hpp"
+#include "serve/client.hpp"
+#include "serve/protocol.hpp"
+#include "serve/server.hpp"
+#include "trace/runner.hpp"
+#include "util/json.hpp"
+
+namespace spider::serve {
+namespace {
+
+trace::ScenarioConfig quick_scenario(std::uint64_t seed,
+                                     double duration_s = 10.0) {
+  trace::ScenarioConfig config;
+  config.seed = seed;
+  config.duration = sec(duration_s);
+  config.clients = 2;
+  return config;
+}
+
+std::string stats_json(const RunStats& stats) {
+  std::ostringstream os;
+  stats.write_json(os);
+  return os.str();
+}
+
+/// Short unique socket path (sun_path is 108 bytes; ctest runs tests from
+/// the build tree, so a relative name is safest).
+std::string unique_socket() {
+  static int counter = 0;
+  return "ts" + std::to_string(::getpid()) + "_" + std::to_string(++counter) +
+         ".sock";
+}
+
+struct TestServer {
+  explicit TestServer(ServerConfig config) : server(std::move(config)) {
+    std::string error;
+    started = server.start(&error);
+    EXPECT_TRUE(started) << error;
+  }
+  ~TestServer() { server.shutdown(/*cancel_inflight=*/true); }
+
+  LineClient connect() {
+    LineClient client;
+    std::string error;
+    EXPECT_TRUE(client.connect_to(server.config().socket_path, &error))
+        << error;
+    return client;
+  }
+
+  ScenarioServer server;
+  bool started = false;
+};
+
+ServerConfig basic_config() {
+  ServerConfig config;
+  config.socket_path = unique_socket();
+  config.workers = 2;
+  config.queue_depth = 8;
+  return config;
+}
+
+util::Json rpc(LineClient& client, const std::string& request,
+               double timeout_ms = 30000.0) {
+  EXPECT_TRUE(client.send_line(request));
+  const std::optional<std::string> line = client.recv_line(timeout_ms);
+  EXPECT_TRUE(line.has_value()) << "no response to: " << request;
+  if (!line.has_value()) return util::Json();
+  std::string error;
+  const std::optional<util::Json> json = util::Json::parse(*line, &error);
+  EXPECT_TRUE(json.has_value()) << error << " in: " << *line;
+  return json.value_or(util::Json());
+}
+
+std::string error_kind(const util::Json& response) {
+  const util::Json* error = response.find("error");
+  if (error == nullptr) return "";
+  const util::Json* kind = error->find("kind");
+  return kind == nullptr ? "" : kind->string_or("");
+}
+
+// ---------------------------------------------------------------------------
+// ScenarioConfig::validate
+// ---------------------------------------------------------------------------
+
+TEST(Validate, DefaultConfigIsValid) {
+  EXPECT_TRUE(trace::ScenarioConfig{}.validate().empty());
+}
+
+TEST(Validate, RejectsNonPositiveDuration) {
+  trace::ScenarioConfig config;
+  config.duration = sec(0);
+  const auto issues = config.validate();
+  ASSERT_FALSE(issues.empty());
+  EXPECT_EQ(issues.front().field, "duration");
+}
+
+TEST(Validate, RejectsBadClientCountAndSpeed) {
+  trace::ScenarioConfig config;
+  config.clients = 0;
+  config.speed_mps = -3.0;
+  const auto issues = config.validate();
+  EXPECT_GE(issues.size(), 2u);
+}
+
+TEST(Validate, RejectsGridCellBelowPropagationRange) {
+  trace::ScenarioConfig config;
+  config.grid_cell_m = config.propagation.range_m * 0.5;
+  const auto issues = config.validate();
+  ASSERT_FALSE(issues.empty());
+  EXPECT_EQ(issues.front().field, "grid_cell_m");
+}
+
+TEST(Validate, RejectsZeroInterfacesForSpider) {
+  trace::ScenarioConfig config;
+  config.spider.num_interfaces = 0;
+  EXPECT_FALSE(config.validate().empty());
+  config.driver = trace::DriverKind::kStock;
+  EXPECT_TRUE(config.validate().empty());  // stock ignores the fleet size
+}
+
+TEST(Validate, JoinIssuesMentionsEveryField) {
+  trace::ScenarioConfig config;
+  config.duration = sec(0);
+  config.clients = 0;
+  const std::string joined = trace::join_issues(config.validate());
+  EXPECT_NE(joined.find("duration"), std::string::npos);
+  EXPECT_NE(joined.find("clients"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// ScenarioRunner::run_bounded
+// ---------------------------------------------------------------------------
+
+TEST(RunBounded, InvalidConfigYieldsStructuredError) {
+  trace::ScenarioConfig config;
+  config.duration = sec(0);
+  const trace::RunOutcome outcome =
+      trace::ScenarioRunner().run_bounded(config);
+  ASSERT_FALSE(outcome.ok());
+  EXPECT_EQ(outcome.error->kind, trace::RunErrorKind::kInvalidConfig);
+  EXPECT_FALSE(outcome.result.has_value());
+}
+
+TEST(RunBounded, CompletedRunMatchesUnboundedByteForByte) {
+  const trace::ScenarioConfig config = quick_scenario(11, 20.0);
+  const trace::ScenarioRunner runner;
+  const trace::ScenarioResult plain = runner.run_one(config);
+
+  sim::CancelToken token;
+  token.arm_deadline_after(std::chrono::minutes(10));  // generous
+  const trace::RunOutcome bounded = runner.run_bounded(config, &token);
+  ASSERT_TRUE(bounded.ok());
+  EXPECT_EQ(stats_json(RunStats::from_result(plain)),
+            stats_json(RunStats::from_result(*bounded.result)));
+}
+
+TEST(RunBounded, ExpiredDeadlineReturnsPartialResult) {
+  const trace::ScenarioConfig config = quick_scenario(12, 100000.0);
+  sim::CancelToken token;
+  token.arm_deadline_after(std::chrono::milliseconds(30));
+  const trace::RunOutcome outcome =
+      trace::ScenarioRunner().run_bounded(config, &token);
+  ASSERT_FALSE(outcome.ok());
+  EXPECT_EQ(outcome.error->kind, trace::RunErrorKind::kDeadlineExceeded);
+  ASSERT_TRUE(outcome.result.has_value());
+  EXPECT_FALSE(outcome.result->completed);
+  EXPECT_LT(outcome.result->perf.sim_seconds, 100000.0);
+}
+
+TEST(RunBounded, PreCancelledTokenReportsCancelled) {
+  sim::CancelToken token;
+  token.request_cancel();
+  const trace::RunOutcome outcome =
+      trace::ScenarioRunner().run_bounded(quick_scenario(13), &token);
+  ASSERT_FALSE(outcome.ok());
+  EXPECT_EQ(outcome.error->kind, trace::RunErrorKind::kCancelled);
+}
+
+// ---------------------------------------------------------------------------
+// Wire protocol serde
+// ---------------------------------------------------------------------------
+
+TEST(Protocol, RunStatsRoundTripsExactly) {
+  RunStats stats;
+  stats.avg_throughput_kBps = 123.456789012345678;
+  stats.connectivity = 1.0 / 3.0;
+  stats.total_bytes = 987654321;
+  stats.switches = 42;
+  stats.switch_latency_ms.add(3.25);
+  stats.switch_latency_ms.add(7.75);
+  stats.sim_seconds = 1800.0;
+  stats.events_popped = 123456789;
+
+  const std::string once = stats_json(stats);
+  const std::optional<util::Json> parsed = util::Json::parse(once);
+  ASSERT_TRUE(parsed.has_value());
+  const std::optional<RunStats> back = RunStats::from_json(*parsed);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(once, stats_json(*back));  // byte-identical re-serialization
+}
+
+TEST(Protocol, ScenarioRoundTripsThroughWireForm) {
+  trace::ScenarioConfig config = quick_scenario(99, 42.5);
+  config.driver = trace::DriverKind::kFatVap;
+  config.spider.num_interfaces = 3;
+  const std::string wire = scenario_to_json(config);
+  const std::optional<util::Json> parsed = util::Json::parse(wire);
+  ASSERT_TRUE(parsed.has_value());
+  trace::ScenarioConfig back;
+  std::string error;
+  ASSERT_TRUE(parse_scenario(*parsed, &back, &error)) << error;
+  EXPECT_EQ(wire, scenario_to_json(back));
+}
+
+TEST(Protocol, UnknownScenarioKeyIsAnError) {
+  const std::optional<util::Json> json =
+      util::Json::parse(R"({"seed":1,"durationn_s":30})");
+  ASSERT_TRUE(json.has_value());
+  trace::ScenarioConfig config;
+  std::string error;
+  EXPECT_FALSE(parse_scenario(*json, &config, &error));
+  EXPECT_NE(error.find("durationn_s"), std::string::npos);
+}
+
+TEST(Protocol, OnlineStatsMomentsReconstructExactly) {
+  OnlineStats a;
+  for (int i = 0; i < 100; ++i) a.add(0.1 * i * (i % 7 ? 1.0 : -1.0));
+  const OnlineStats b = OnlineStats::from_moments(
+      a.count(), a.mean(), a.m2(), a.min(), a.max(), a.sum());
+  OnlineStats merged_a = a;
+  merged_a.merge(a);
+  OnlineStats merged_b = b;
+  merged_b.merge(a);
+  EXPECT_EQ(merged_a.mean(), merged_b.mean());
+  EXPECT_EQ(merged_a.m2(), merged_b.m2());
+  EXPECT_EQ(merged_a.sum(), merged_b.sum());
+}
+
+// ---------------------------------------------------------------------------
+// Server protocol behaviour
+// ---------------------------------------------------------------------------
+
+TEST(Server, PingPongAndMetrics) {
+  TestServer ts(basic_config());
+  LineClient client = ts.connect();
+  const util::Json pong = rpc(client, R"({"op":"ping","id":"p1"})");
+  EXPECT_TRUE(pong.find("pong") != nullptr);
+  const util::Json* id = pong.find("id");
+  ASSERT_NE(id, nullptr);
+  EXPECT_EQ(id->string_or(""), "p1");
+
+  const util::Json metrics = rpc(client, R"({"op":"metrics","id":"m"})");
+  const util::Json* registry = metrics.find("metrics");
+  ASSERT_NE(registry, nullptr);
+  const util::Json* requests = registry->find("serve.requests");
+  ASSERT_NE(requests, nullptr);
+  EXPECT_GE(requests->number_or(0.0), 1.0);
+}
+
+TEST(Server, MalformedAndUnknownRequestsGetStructuredErrors) {
+  TestServer ts(basic_config());
+  LineClient client = ts.connect();
+  EXPECT_EQ(error_kind(rpc(client, "this is not json")), "invalid-request");
+  EXPECT_EQ(error_kind(rpc(client, R"({"op":"frobnicate","id":"x"})")),
+            "invalid-request");
+  EXPECT_EQ(error_kind(rpc(client, R"({"op":"run","id":"y"})")),
+            "invalid-request");  // missing scenario
+  EXPECT_EQ(
+      error_kind(rpc(
+          client, R"({"op":"run","id":"z","scenario":{"warp_factor":9}})")),
+      "invalid-request");  // unknown scenario key
+  // The connection survives every rejection.
+  EXPECT_TRUE(rpc(client, R"({"op":"ping","id":"still-alive"})")
+                  .find("pong") != nullptr);
+}
+
+TEST(Server, InvalidConfigSurfacesOverTheWire) {
+  TestServer ts(basic_config());
+  LineClient client = ts.connect();
+  const util::Json response = rpc(
+      client, R"({"op":"run","id":"bad","scenario":{"seed":1,"clients":0}})");
+  EXPECT_EQ(error_kind(response), "invalid-config");
+}
+
+TEST(Server, RunMatchesInProcessRunnerByteForByte) {
+  TestServer ts(basic_config());
+  LineClient client = ts.connect();
+  const trace::ScenarioConfig config = quick_scenario(21, 30.0);
+  const util::Json response =
+      rpc(client, R"({"op":"run","id":"r","deadline_ms":600000,"scenario":)" +
+                      scenario_to_json(config) + "}");
+  const util::Json* ok = response.find("ok");
+  ASSERT_NE(ok, nullptr);
+  ASSERT_TRUE(ok->bool_or(false));
+  const util::Json* result = response.find("result");
+  ASSERT_NE(result, nullptr);
+  const std::optional<RunStats> wire_stats = RunStats::from_json(*result);
+  ASSERT_TRUE(wire_stats.has_value());
+
+  const trace::ScenarioResult local = trace::ScenarioRunner().run_one(config);
+  EXPECT_EQ(stats_json(RunStats::from_result(local)),
+            stats_json(*wire_stats));
+}
+
+TEST(Server, WatchdogReapsStalledRun) {
+  ServerConfig config = basic_config();
+  config.workers = 1;
+  config.stall_seed = 777;
+  config.stall_ms = 30000.0;  // would hold the worker 30 s without a reap
+  TestServer ts(config);
+  LineClient client = ts.connect();
+  trace::ScenarioConfig scenario = quick_scenario(777);
+  const auto t0 = std::chrono::steady_clock::now();
+  const util::Json response =
+      rpc(client, R"({"op":"run","id":"s","deadline_ms":100,"scenario":)" +
+                      scenario_to_json(scenario) + "}");
+  const auto elapsed = std::chrono::duration_cast<std::chrono::milliseconds>(
+      std::chrono::steady_clock::now() - t0);
+  EXPECT_EQ(error_kind(response), "deadline-exceeded");
+  EXPECT_LT(elapsed.count(), 10000);  // reaped by the deadline, not the stall
+  const obs::MetricsRegistry metrics = ts.server.metrics_snapshot();
+  EXPECT_EQ(metrics.value("serve.watchdog_reaps"), 1.0);
+  EXPECT_EQ(metrics.value("serve.stalls_injected"), 1.0);
+}
+
+TEST(Server, OverloadRejectionCarriesRetryAfter) {
+  ServerConfig config = basic_config();
+  config.workers = 1;
+  config.queue_depth = 1;
+  config.retry_after_ms = 25.0;
+  config.stall_seed = 555;
+  config.stall_ms = 30000.0;
+  TestServer ts(config);
+  LineClient client = ts.connect();
+
+  // Occupy the only worker with the stalled seed, fill the queue, then
+  // watch the next admission bounce.
+  const std::string stalled =
+      R"({"op":"run","id":"w0","deadline_ms":2000,"scenario":)" +
+      scenario_to_json(quick_scenario(555)) + "}";
+  ASSERT_TRUE(client.send_line(stalled));
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));  // in worker
+  ASSERT_TRUE(client.send_line(
+      R"({"op":"run","id":"w1","scenario":)" +
+      scenario_to_json(quick_scenario(1, 5.0)) + "}"));
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));  // queued
+
+  const util::Json rejected = rpc(
+      client, R"({"op":"run","id":"w2","scenario":)" +
+                  scenario_to_json(quick_scenario(2, 5.0)) + "}");
+  EXPECT_EQ(error_kind(rejected), "overloaded");
+  const util::Json* retry_after = rejected.find("retry_after_ms");
+  ASSERT_NE(retry_after, nullptr);
+  EXPECT_EQ(retry_after->number_or(0.0), 25.0);
+  EXPECT_GE(ts.server.metrics_snapshot().value("serve.rejected_overload"),
+            1.0);
+
+  // Both admitted runs still resolve: the stalled one via the watchdog,
+  // the queued one normally.
+  int deadline_exceeded = 0, completed = 0;
+  for (int i = 0; i < 2; ++i) {
+    const std::optional<std::string> line = client.recv_line(30000.0);
+    ASSERT_TRUE(line.has_value());
+    const std::optional<util::Json> json = util::Json::parse(*line);
+    ASSERT_TRUE(json.has_value());
+    const util::Json* ok = json->find("ok");
+    if (ok != nullptr && ok->bool_or(false)) {
+      ++completed;
+    } else if (error_kind(*json) == "deadline-exceeded") {
+      ++deadline_exceeded;
+    }
+  }
+  EXPECT_EQ(completed, 1);
+  EXPECT_EQ(deadline_exceeded, 1);
+}
+
+TEST(Server, GracefulShutdownDrainsAndRejectsNewWork) {
+  ServerConfig config = basic_config();
+  config.workers = 1;
+  config.stall_seed = 333;
+  config.stall_ms = 30000.0;
+  TestServer ts(config);
+  LineClient client = ts.connect();
+
+  // A stalled run (bounded by its deadline) holds the drain open.
+  ASSERT_TRUE(client.send_line(
+      R"({"op":"run","id":"d0","deadline_ms":500,"scenario":)" +
+      scenario_to_json(quick_scenario(333)) + "}"));
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+
+  std::thread stopper([&] { ts.server.shutdown(); });
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));  // draining
+
+  LineClient late = ts.connect();
+  const util::Json rejected = rpc(
+      late, R"({"op":"run","id":"d1","scenario":)" +
+                scenario_to_json(quick_scenario(3, 5.0)) + "}");
+  EXPECT_EQ(error_kind(rejected), "shutting-down");
+
+  // The in-flight response is still flushed before the server exits.
+  const std::optional<std::string> line = client.recv_line(30000.0);
+  ASSERT_TRUE(line.has_value());
+  const std::optional<util::Json> json = util::Json::parse(*line);
+  ASSERT_TRUE(json.has_value());
+  EXPECT_EQ(error_kind(*json), "deadline-exceeded");
+
+  stopper.join();
+  EXPECT_FALSE(ts.server.running());
+}
+
+TEST(Server, DisconnectCancelsThatClientsRuns) {
+  ServerConfig config = basic_config();
+  config.workers = 1;
+  TestServer ts(config);
+  {
+    LineClient doomed = ts.connect();
+    ASSERT_TRUE(doomed.send_line(
+        R"({"op":"run","id":"gone","scenario":)" +
+        scenario_to_json(quick_scenario(5, 1000000.0)) + "}"));
+    std::this_thread::sleep_for(std::chrono::milliseconds(150));
+  }  // disconnect while the (very long) run is in flight
+
+  // The worker frees up well before the million-second run could finish.
+  bool cancelled = false;
+  for (int i = 0; i < 100 && !cancelled; ++i) {
+    cancelled =
+        ts.server.metrics_snapshot().value("serve.cancelled_disconnect") >=
+        1.0;
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+  EXPECT_TRUE(cancelled);
+}
+
+// ---------------------------------------------------------------------------
+// Campaign runner
+// ---------------------------------------------------------------------------
+
+TEST(Campaign, MergedStatsMatchSerialSweepByteForByte) {
+  TestServer ts(basic_config());
+  CampaignConfig campaign;
+  campaign.servers = {ts.server.config().socket_path};
+  campaign.clients_per_server = 3;
+  campaign.base = quick_scenario(0, 15.0);
+  campaign.first_seed = 1;
+  campaign.num_seeds = 10;
+  const CampaignReport report = run_campaign(campaign);
+  EXPECT_TRUE(report.ok());
+  EXPECT_EQ(report.completed, 10u);
+  const CampaignStats oracle =
+      serial_campaign_stats(campaign.base, 1, 10, /*jobs=*/2);
+  EXPECT_EQ(report.merged.digest(), oracle.digest());
+}
+
+TEST(Campaign, RetriesSeedReapedByWatchdog) {
+  ServerConfig config = basic_config();
+  config.stall_seed = 4;  // one campaign seed stalls on its first attempt
+  config.stall_ms = 30000.0;
+  TestServer ts(config);
+  CampaignConfig campaign;
+  campaign.servers = {ts.server.config().socket_path};
+  campaign.clients_per_server = 2;
+  campaign.base = quick_scenario(0, 15.0);
+  campaign.first_seed = 1;
+  campaign.num_seeds = 6;
+  campaign.deadline_ms = 200.0;
+  const CampaignReport report = run_campaign(campaign);
+  EXPECT_TRUE(report.ok());
+  EXPECT_EQ(report.completed, 6u);
+  EXPECT_GE(report.retries, 1u);
+  EXPECT_EQ(ts.server.metrics_snapshot().value("serve.watchdog_reaps"), 1.0);
+  EXPECT_EQ(report.merged.digest(),
+            serial_campaign_stats(campaign.base, 1, 6).digest());
+}
+
+TEST(Campaign, JournalResumeSkipsCompletedSeeds) {
+  const std::string journal = "tj" + std::to_string(::getpid()) + ".jsonl";
+  std::remove(journal.c_str());
+  TestServer ts(basic_config());
+
+  CampaignConfig first;
+  first.servers = {ts.server.config().socket_path};
+  first.base = quick_scenario(0, 15.0);
+  first.first_seed = 1;
+  first.num_seeds = 4;
+  first.journal_path = journal;
+  EXPECT_TRUE(run_campaign(first).ok());
+
+  // Same journal, wider seed range: the four finished seeds come from the
+  // journal, only the new ones hit the server.
+  CampaignConfig second = first;
+  second.num_seeds = 8;
+  const CampaignReport report = run_campaign(second);
+  EXPECT_TRUE(report.ok());
+  EXPECT_EQ(report.resumed, 4u);
+  EXPECT_EQ(report.completed, 8u);
+  EXPECT_EQ(report.merged.digest(),
+            serial_campaign_stats(first.base, 1, 8).digest());
+  std::remove(journal.c_str());
+}
+
+TEST(Campaign, FailsOverFromDeadServer) {
+  TestServer ts(basic_config());
+  CampaignConfig campaign;
+  campaign.servers = {"no-such-server.sock",
+                      ts.server.config().socket_path};
+  campaign.base = quick_scenario(0, 15.0);
+  campaign.first_seed = 1;
+  campaign.num_seeds = 6;
+  const CampaignReport report = run_campaign(campaign);
+  EXPECT_TRUE(report.ok());
+  EXPECT_EQ(report.completed, 6u);
+  EXPECT_EQ(report.merged.digest(),
+            serial_campaign_stats(campaign.base, 1, 6).digest());
+}
+
+TEST(Campaign, NoServersMarksEverySeedFailed) {
+  CampaignConfig campaign;
+  campaign.base = quick_scenario(0, 15.0);
+  campaign.num_seeds = 3;
+  const CampaignReport report = run_campaign(campaign);
+  EXPECT_FALSE(report.ok());
+  EXPECT_EQ(report.failures.size(), 3u);
+  EXPECT_EQ(report.failures.front().kind, "unreachable");
+}
+
+}  // namespace
+}  // namespace spider::serve

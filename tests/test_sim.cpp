@@ -1,5 +1,9 @@
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <chrono>
+#include <functional>
+#include <thread>
 #include <vector>
 
 #include "sim/event_queue.hpp"
@@ -168,6 +172,103 @@ TEST(PeriodicTimer, DestructionCancels) {
   }
   s.run_until(sec(1));
   EXPECT_EQ(ticks, 3);
+}
+
+TEST(CancelToken, FirstReasonWins) {
+  CancelToken t;
+  EXPECT_FALSE(t.cancel_requested());
+  EXPECT_EQ(t.reason(), CancelReason::kNone);
+  EXPECT_TRUE(t.request_cancel(CancelReason::kCancelled));
+  EXPECT_FALSE(t.request_cancel(CancelReason::kDeadlineExceeded));
+  EXPECT_EQ(t.reason(), CancelReason::kCancelled);
+  EXPECT_TRUE(t.cancel_requested());
+}
+
+TEST(CancelToken, ExpiredDeadlineTripsExactlyOnce) {
+  CancelToken t;
+  t.arm_deadline_after(std::chrono::nanoseconds(-1));
+  // cancel_requested() never polls the clock: the token reads untripped
+  // until someone calls trip_if_expired()/should_stop().
+  EXPECT_FALSE(t.cancel_requested());
+  EXPECT_TRUE(t.trip_if_expired());   // this call reaps...
+  EXPECT_FALSE(t.trip_if_expired());  // ...and only this call
+  EXPECT_EQ(t.reason(), CancelReason::kDeadlineExceeded);
+}
+
+TEST(CancelToken, DisarmAndReset) {
+  CancelToken t;
+  t.arm_deadline_after(std::chrono::nanoseconds(-1));
+  t.disarm_deadline();
+  EXPECT_FALSE(t.should_stop());
+  t.request_cancel();
+  t.reset();
+  EXPECT_FALSE(t.cancel_requested());
+  EXPECT_FALSE(t.deadline_armed());
+}
+
+TEST(Simulator, PreTrippedTokenStopsOnEntry) {
+  Simulator s;
+  CancelToken t;
+  t.request_cancel();
+  s.set_cancel_token(&t);
+  int ran = 0;
+  s.schedule(msec(1), [&] { ++ran; });
+  s.run_until(sec(1));
+  EXPECT_TRUE(s.interrupted());
+  EXPECT_EQ(ran, 0);
+}
+
+TEST(Simulator, TokenTrippedMidRunInterruptsWithinInterval) {
+  Simulator s;
+  CancelToken t;
+  s.set_cancel_token(&t);
+  std::uint64_t ran = 0;
+  // A self-rescheduling chain that would run 1M events; trip after 10k.
+  std::function<void()> step = [&] {
+    ++ran;
+    if (ran == 10000) t.request_cancel();
+    if (ran < 1000000) s.post(msec(1), std::function<void()>(step));
+  };
+  s.post(msec(1), std::function<void()>(step));
+  s.run_all();
+  EXPECT_TRUE(s.interrupted());
+  EXPECT_GE(ran, 10000u);
+  // The poll cadence bounds the overshoot to one check interval.
+  EXPECT_LT(ran, 10000u + 2048u);
+}
+
+TEST(Simulator, CompletedRunClearsInterrupted) {
+  Simulator s;
+  CancelToken t;
+  s.set_cancel_token(&t);
+  t.request_cancel();
+  s.schedule(msec(1), [] {});
+  s.run_until(sec(1));
+  EXPECT_TRUE(s.interrupted());
+  t.reset();
+  s.run_until(sec(2));
+  EXPECT_FALSE(s.interrupted());
+  EXPECT_EQ(s.now(), sec(2));
+}
+
+TEST(Simulator, CancelFromAnotherThread) {
+  Simulator s;
+  CancelToken t;
+  s.set_cancel_token(&t);
+  std::atomic<bool> started{false};
+  std::function<void()> step = [&] {
+    started = true;
+    s.post(msec(1), std::function<void()>(step));  // endless unless tripped
+  };
+  s.post(msec(1), std::function<void()>(step));
+  std::thread canceller([&] {
+    while (!started) std::this_thread::yield();
+    t.request_cancel(CancelReason::kCancelled);
+  });
+  s.run_all();  // would never return without the token
+  canceller.join();
+  EXPECT_TRUE(s.interrupted());
+  EXPECT_EQ(t.reason(), CancelReason::kCancelled);
 }
 
 }  // namespace

@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "util/json.hpp"
 #include "util/random.hpp"
 #include "util/stats.hpp"
 #include "util/table.hpp"
@@ -201,6 +202,63 @@ TEST(TextTable, ShortRowsPadded) {
   TextTable t({"a", "b", "c"});
   t.add_row({"only"});
   EXPECT_NO_THROW(t.to_string());
+}
+
+TEST(Json, ParsesScalarsObjectsAndArrays) {
+  const auto doc = util::Json::parse(
+      R"({"a":1.5,"b":"x\n","c":[true,false,null],"d":{"e":-2e3}})");
+  ASSERT_TRUE(doc.has_value());
+  EXPECT_EQ(doc->find("a")->number_or(0), 1.5);
+  EXPECT_EQ(doc->find("b")->string_value(), "x\n");
+  ASSERT_TRUE(doc->find("c")->is_array());
+  EXPECT_EQ(doc->find("c")->elements().size(), 3u);
+  EXPECT_TRUE(doc->find("c")->elements()[2].is_null());
+  EXPECT_EQ(doc->find("d")->find("e")->number_or(0), -2000.0);
+  EXPECT_EQ(doc->find("missing"), nullptr);
+}
+
+TEST(Json, RejectsMalformedInput) {
+  std::string error;
+  EXPECT_FALSE(util::Json::parse("{\"a\":", &error).has_value());
+  EXPECT_FALSE(error.empty());
+  EXPECT_FALSE(util::Json::parse("[1,2,]").has_value());
+  EXPECT_FALSE(util::Json::parse("{} trailing").has_value());
+  EXPECT_FALSE(util::Json::parse("nul").has_value());
+  EXPECT_FALSE(util::Json::parse("\"unterminated").has_value());
+}
+
+TEST(Json, DepthLimitStopsAdversarialNesting) {
+  std::string deep(200, '[');
+  deep += std::string(200, ']');
+  EXPECT_FALSE(util::Json::parse(deep).has_value());
+}
+
+TEST(Json, NumberFormattingRoundTripsExactly) {
+  for (const double v : {0.0, 1.0, -17.0, 1.0 / 3.0, 3.14159265358979312,
+                         1e-300, 9.007199254740991e15, 123456.789}) {
+    const std::string text = util::json_number(v);
+    const auto parsed = util::Json::parse(text);
+    ASSERT_TRUE(parsed.has_value()) << text;
+    EXPECT_EQ(parsed->number_or(-1e308), v) << text;
+  }
+  EXPECT_EQ(util::json_number(42.0), "42");  // integral => no exponent form
+}
+
+TEST(Json, EscapeCoversControlAndQuoteCharacters) {
+  EXPECT_EQ(util::json_escape("a\"b\\c\n"), "a\\\"b\\\\c\\n");
+  EXPECT_EQ(util::json_escape(std::string_view("\x01", 1)), "\\u0001");
+}
+
+TEST(OnlineStats, FromMomentsMatchesAccumulation) {
+  OnlineStats a;
+  for (int i = 1; i <= 50; ++i) a.add(i * 0.75);
+  const OnlineStats b = OnlineStats::from_moments(a.count(), a.mean(), a.m2(),
+                                                  a.min(), a.max(), a.sum());
+  EXPECT_EQ(a.count(), b.count());
+  EXPECT_EQ(a.mean(), b.mean());
+  EXPECT_EQ(a.m2(), b.m2());
+  EXPECT_EQ(a.stddev(), b.stddev());
+  EXPECT_EQ(OnlineStats::from_moments(0, 9, 9, 9, 9, 9).count(), 0u);
 }
 
 }  // namespace
