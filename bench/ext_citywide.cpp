@@ -15,6 +15,9 @@
 //
 // Stdout is deterministic (counters and bytes only); wall-clock rates go
 // to the JSON file (--json, default BENCH_citywide.json) and --perf-csv.
+// --assert-wall additionally fails the run (stderr diagnostics, nonzero
+// exit) if grid mode loses to brute force on wall-clock at any cell beyond
+// a noise tolerance — the regression guard for the grid hot path.
 
 #include <cstdio>
 #include <string>
@@ -78,14 +81,19 @@ double candidates_per_tx(const trace::ScenarioResult& r) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  // --smoke is the one valueless flag; strip it before the declarative
-  // parser (whose flags all take values).
+  // Valueless flags are stripped before the declarative parser (whose
+  // flags all take values). --assert-wall turns the wall-clock comparison
+  // below into a hard failure; its diagnostics go to stderr so stdout
+  // stays byte-identical across hosts.
   bool smoke = false;
+  bool assert_wall = false;
   std::vector<char*> args;
   args.push_back(argv[0]);
   for (int i = 1; i < argc; ++i) {
     if (std::string_view(argv[i]) == "--smoke") {
       smoke = true;
+    } else if (std::string_view(argv[i]) == "--assert-wall") {
+      assert_wall = true;
     } else {
       args.push_back(argv[i]);
     }
@@ -117,6 +125,7 @@ int main(int argc, char** argv) {
   const auto results = cli.run(configs);
 
   bool ok = true;
+  std::vector<trace::ScenarioResult> serial;
   if (smoke) {
     // Scale determinism pin: the whole sweep must digest identically on a
     // serial and an 8-wide pool.
@@ -124,7 +133,7 @@ int main(int argc, char** argv) {
     opts1.jobs = 1;
     auto opts8 = cli.sweep;
     opts8.jobs = 8;
-    const auto serial = trace::SweepRunner(opts1).run(configs);
+    serial = trace::SweepRunner(opts1).run(configs);
     const auto wide = trace::SweepRunner(opts8).run(configs);
     for (std::size_t i = 0; i < configs.size(); ++i) {
       if (digest(serial[i]) != digest(wide[i]) ||
@@ -182,6 +191,26 @@ int main(int argc, char** argv) {
   std::printf("\ncitywide %s: %s\n", smoke ? "smoke" : "sweep",
               ok ? "PASS" : "FAIL");
 
+  // Wall-clock comparison: the grid must keep up with brute force at every
+  // cell, with headroom for timer noise and sub-100 ms cells. Walls come
+  // from the serial re-run when --smoke produced one — on the parallel
+  // pool a cell's wall is inflated by whatever its neighbors were doing.
+  // Informational in the JSON always; a hard failure under --assert-wall.
+  bool wall_ok = true;
+  const auto& timed = serial.empty() ? results : serial;
+  for (std::size_t c = 0; c < cells.size(); ++c) {
+    const double g = timed[2 * c].perf.wall_seconds;
+    const double b = timed[2 * c + 1].perf.wall_seconds;
+    const double allowed = b * 1.15 + 0.10;
+    if (g > allowed) {
+      wall_ok = false;
+      std::fprintf(stderr,
+                   "WALL REGRESSION at %zu APs x %d clients: grid %.3fs vs "
+                   "brute %.3fs (allowed %.3fs)\n",
+                   cells[c].aps, cells[c].clients, g, b, allowed);
+    }
+  }
+
   // Host-dependent rates live in files only.
   if (std::FILE* out = std::fopen(json_path.c_str(), "w")) {
     std::fprintf(out, "{\n  \"cells\": [\n");
@@ -203,11 +232,12 @@ int main(int argc, char** argv) {
             (2 * c + (is_grid ? 0 : 1)) + 1 == results.size() ? "" : ",");
       }
     }
-    std::fprintf(out, "  ],\n  \"pass\": %s\n}\n", ok ? "true" : "false");
+    std::fprintf(out, "  ],\n  \"pass\": %s,\n  \"wall_pass\": %s\n}\n",
+                 ok ? "true" : "false", wall_ok ? "true" : "false");
     std::fclose(out);
   } else {
     std::fprintf(stderr, "warning: could not write %s\n", json_path.c_str());
   }
   bench::maybe_write_perf_csv(cli, results);
-  return ok ? 0 : 1;
+  return ok && (wall_ok || !assert_wall) ? 0 : 1;
 }

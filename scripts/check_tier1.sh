@@ -1,8 +1,9 @@
 #!/usr/bin/env bash
 # Tier-1 gate: configure, build, run the full test suite, then the
 # perf/determinism smokes (hot-path allocation contract, the citywide
-# grid-vs-brute-force digest pin, and the sim-as-a-service robustness
-# pin). Everything a PR must keep green.
+# grid-vs-brute-force digest pin — which also asserts the grid wins on
+# wall-clock — and the sim-as-a-service robustness pin). Everything a PR
+# must keep green.
 #
 # Every ctest invocation carries a per-test timeout: the suite now
 # exercises servers, watchdogs, and cancellation, and a regression there
@@ -18,7 +19,7 @@ cmake -B "$BUILD_DIR" -S .
 cmake --build "$BUILD_DIR" -j
 (cd "$BUILD_DIR" && ctest --output-on-failure -j "$(nproc)" --timeout 300)
 "$BUILD_DIR"/bench/bench_microperf --smoke --json "$BUILD_DIR"/BENCH_hotpath.json
-"$BUILD_DIR"/bench/ext_citywide --smoke --json "$BUILD_DIR"/BENCH_citywide_smoke.json
+"$BUILD_DIR"/bench/ext_citywide --smoke --assert-wall --json "$BUILD_DIR"/BENCH_citywide_smoke.json
 (cd "$BUILD_DIR" && bench/serve_smoke --seeds 1000 --json BENCH_serve_smoke.json)
 
 echo "tier-1: all green"

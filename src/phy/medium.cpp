@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cassert>
 #include <cmath>
+#include <cstdio>
+#include <cstdlib>
 
 #include "obs/tracer.hpp"
 #include "phy/radio.hpp"
@@ -12,7 +14,131 @@ namespace spider::phy {
 namespace {
 /// 802.11b long-preamble PLCP overhead.
 constexpr Time kPlcpOverhead = usec(192);
+
+/// Safety margin subtracted from the distance-to-boundary before a motion
+/// horizon is derived from it. One millimetre dwarfs both the fp rounding
+/// of the mobility models' position arithmetic (~1e-10 m over any plausible
+/// run) and the distance covered during the one truncated tick of sec()
+/// (1e-4 m even at 100 m/s).
+constexpr double kMotionGuardM = 1e-3;
+
+/// splitmix64 finalizer: one multiply-xorshift round per half. Packed cells
+/// of adjacent coordinates differ in low bits of either word; this spreads
+/// them across the whole table so linear probe runs stay short.
+inline std::uint64_t mix_cell(std::uint64_t key) {
+  key += 0x9E3779B97F4A7C15ull;
+  key = (key ^ (key >> 30)) * 0xBF58476D1CE4E5B9ull;
+  key = (key ^ (key >> 27)) * 0x94D049BB133111EBull;
+  return key ^ (key >> 31);
+}
+
 }  // namespace
+
+// --- CellSoA: attach_seq-sorted per-cell lanes -------------------------
+
+void Medium::CellSoA::insert_sorted(std::vector<Slot>& registry,
+                                    std::uint32_t slot, std::uint64_t seq) {
+  const auto it = std::lower_bound(seqs.begin(), seqs.end(), seq);
+  const auto i = static_cast<std::size_t>(it - seqs.begin());
+  seqs.insert(it, seq);
+  slots.insert(slots.begin() + static_cast<std::ptrdiff_t>(i), slot);
+  for (std::size_t j = i; j < slots.size(); ++j) {
+    registry[slots[j]].lane_idx = static_cast<std::uint32_t>(j);
+  }
+}
+
+void Medium::CellSoA::erase_at(std::vector<Slot>& registry, std::size_t i) {
+  const auto d = static_cast<std::ptrdiff_t>(i);
+  seqs.erase(seqs.begin() + d);
+  slots.erase(slots.begin() + d);
+  for (std::size_t j = i; j < slots.size(); ++j) {
+    registry[slots[j]].lane_idx = static_cast<std::uint32_t>(j);
+  }
+}
+
+// --- ChannelGrid: flat cell table + occupancy bitmap -------------------
+
+std::uint32_t Medium::ChannelGrid::find(std::uint64_t key) const {
+  if (bucket_mask == 0) return kNoCell;
+  std::size_t i = mix_cell(key) & bucket_mask;
+  while (vals[i] != kNoCell) {
+    if (keys[i] == key) return vals[i];
+    i = (i + 1) & bucket_mask;
+  }
+  return kNoCell;
+}
+
+std::uint32_t Medium::ChannelGrid::find_occupied(std::uint64_t key) const {
+  if (bucket_mask == 0) return kNoCell;
+  const std::size_t h = mix_cell(key) & bucket_mask;
+  // The bitmap bit covers every *non-empty* cell whose home bucket is h, so
+  // a clear bit proves the probed cell is absent or empty — the common case
+  // for a sparse deployment's neighborhood, answered without touching the
+  // table arrays at all.
+  if ((occ_bits[h >> 6] & (1ull << (h & 63))) == 0) return kNoCell;
+  std::size_t i = h;
+  while (vals[i] != kNoCell) {
+    if (keys[i] == key) {
+      const std::uint32_t ci = vals[i];
+      return cells[ci].empty() ? kNoCell : ci;
+    }
+    i = (i + 1) & bucket_mask;
+  }
+  return kNoCell;
+}
+
+std::uint32_t Medium::ChannelGrid::find_or_create(std::uint64_t key) {
+  // Cells are never erased, so load is cells.size() / capacity; growing at
+  // 50% keeps probe runs O(1).
+  if (bucket_mask == 0) {
+    rehash(64);
+  } else if ((cells.size() + 1) * 2 > bucket_mask + 1) {
+    rehash((bucket_mask + 1) * 2);
+  }
+  std::size_t i = mix_cell(key) & bucket_mask;
+  while (vals[i] != kNoCell) {
+    if (keys[i] == key) return vals[i];
+    i = (i + 1) & bucket_mask;
+  }
+  const auto ci = static_cast<std::uint32_t>(cells.size());
+  cells.emplace_back();
+  cells.back().key = key;
+  keys[i] = key;
+  vals[i] = ci;
+  return ci;
+}
+
+void Medium::ChannelGrid::occ_add(std::uint64_t key) {
+  const std::size_t h = mix_cell(key) & bucket_mask;
+  if (occ_refs[h]++ == 0) occ_bits[h >> 6] |= 1ull << (h & 63);
+  ++nonempty_cells;
+}
+
+void Medium::ChannelGrid::occ_sub(std::uint64_t key) {
+  const std::size_t h = mix_cell(key) & bucket_mask;
+  if (--occ_refs[h] == 0) occ_bits[h >> 6] &= ~(1ull << (h & 63));
+  --nonempty_cells;
+}
+
+void Medium::ChannelGrid::rehash(std::size_t capacity) {
+  bucket_mask = capacity - 1;
+  keys.assign(capacity, 0);
+  vals.assign(capacity, kNoCell);
+  occ_bits.assign(capacity / 64, 0);
+  occ_refs.assign(capacity, 0);
+  for (std::uint32_t ci = 0; ci < cells.size(); ++ci) {
+    std::size_t i = mix_cell(cells[ci].key) & bucket_mask;
+    while (vals[i] != kNoCell) i = (i + 1) & bucket_mask;
+    keys[i] = cells[ci].key;
+    vals[i] = ci;
+    if (!cells[ci].empty()) {
+      const std::size_t h = mix_cell(cells[ci].key) & bucket_mask;
+      if (occ_refs[h]++ == 0) occ_bits[h >> 6] |= 1ull << (h & 63);
+    }
+  }
+}
+
+// --- Medium ------------------------------------------------------------
 
 Medium::Medium(sim::Simulator& simulator, Propagation propagation, Rng rng,
                MediumConfig config)
@@ -25,7 +151,9 @@ Medium::Medium(sim::Simulator& simulator, Propagation propagation, Rng rng,
       // explicit overrides up, and keep a floor for degenerate zero-range
       // propagation configs so cell_coord never divides by zero.
       cell_m_(std::max({config.grid_cell_m, propagation_.config().range_m,
-                        1e-3})) {}
+                        1e-3})) {
+  last_refresh_.fill(Time{-1});
+}
 
 Medium::Medium(sim::Simulator& simulator, Propagation propagation, Rng rng,
                int retry_limit)
@@ -93,71 +221,188 @@ std::int32_t Medium::cell_coord(double meters) const {
   return static_cast<std::int32_t>(std::floor(meters / cell_m_));
 }
 
-Medium::CellMap& Medium::grid(wire::Channel channel) {
+Medium::ChannelGrid& Medium::grid(wire::Channel channel) {
   if (flat_channel(channel)) {
     return grids_[static_cast<std::size_t>(channel)];
   }
   return grids_other_[channel];
 }
 
+std::vector<std::uint32_t>& Medium::mobiles(wire::Channel channel) {
+  if (flat_channel(channel)) {
+    return mobile_slots_[static_cast<std::size_t>(channel)];
+  }
+  return mobile_other_[channel];
+}
+
+Time& Medium::last_refresh(wire::Channel channel) {
+  if (flat_channel(channel)) {
+    return last_refresh_[static_cast<std::size_t>(channel)];
+  }
+  return last_refresh_other_.try_emplace(channel, Time{-1}).first->second;
+}
+
+void Medium::grid_fatal(const char* what) {
+  std::fprintf(stderr, "spider::phy::Medium: grid invariant violated: %s\n",
+               what);
+  std::abort();
+}
+
+Time Medium::motion_horizon(const Slot& s, const Position& pos) const {
+  const double d = std::min(std::min(pos.x - s.qx0, s.qx1 - pos.x),
+                            std::min(pos.y - s.qy0, s.qy1 - pos.y)) -
+                   kMotionGuardM;
+  if (d <= 0.0) return sim_.now();  // boundary-adjacent: no skippable window
+  return sim_.now() + sec(d / s.max_speed);
+}
+
 void Medium::grid_insert(wire::Channel channel, std::uint32_t slot,
                          const Position& pos) {
   Slot& s = slots_[slot];
-  s.cell = cell_of(pos);
-  grid(channel)[s.cell].push_back(slot);
+  const std::int32_t cx = cell_coord(pos.x);
+  const std::int32_t cy = cell_coord(pos.y);
+  s.cell = pack_cell(cx, cy);
+  // Shrunken quick-accept box for the mobile sweep (see the Slot doc).
+  const double eps = cell_m_ * 1e-6;
+  s.qx0 = static_cast<double>(cx) * cell_m_ + eps;
+  s.qx1 = static_cast<double>(cx + 1) * cell_m_ - eps;
+  s.qy0 = static_cast<double>(cy) * cell_m_ + eps;
+  s.qy1 = static_cast<double>(cy + 1) * cell_m_ - eps;
+  pos_x_[slot] = pos.x;
+  pos_y_[slot] = pos.y;
+  s.pos_stamp = sim_.now();
+  if (s.max_speed > 0.0) s.safe_until = motion_horizon(s, pos);
+  ChannelGrid& g = grid(channel);
+  const std::uint32_t ci = g.find_or_create(s.cell);
+  CellSoA& cell = g.cells[ci];
+  if (cell.empty()) g.occ_add(s.cell);
+  s.cell_idx = ci;
+  cell.insert_sorted(slots_, slot, s.attach_seq);
 }
 
 void Medium::grid_remove(wire::Channel channel, std::uint32_t slot) {
-  CellMap& g = grid(channel);
-  auto it = g.find(slots_[slot].cell);
-  assert(it != g.end());
-  auto& v = it->second;
-  v.erase(std::remove(v.begin(), v.end(), slot), v.end());
-  if (v.empty()) g.erase(it);
+  ChannelGrid& g = grid(channel);
+  const Slot& s = slots_[slot];
+  if (s.cell_idx >= g.cells.size() || g.cells[s.cell_idx].key != s.cell) {
+    grid_fatal("grid_remove: slot's recorded cell is absent from its grid");
+  }
+  CellSoA& cell = g.cells[s.cell_idx];
+  if (s.lane_idx >= cell.size() || cell.slots[s.lane_idx] != slot) {
+    grid_fatal("grid_remove: slot missing from its recorded cell");
+  }
+  cell.erase_at(slots_, s.lane_idx);
+  if (cell.empty()) g.occ_sub(s.cell);
 }
 
-void Medium::refresh_mobile_buckets() {
+void Medium::refresh_mobile_buckets(wire::Channel channel) {
   const Time now = sim_.now();
-  if (now == last_refresh_) return;
-  last_refresh_ = now;
-  for (const std::uint32_t slot : mobile_slots_) {
+  Time& last = last_refresh(channel);
+  if (now == last) return;
+  last = now;
+  ChannelGrid& g = grid(channel);
+  for (const std::uint32_t slot : mobiles(channel)) {
     Slot& s = slots_[slot];
-    const std::uint64_t cell = cell_of(s.radio->position());
-    if (cell == s.cell) continue;
-    const wire::Channel channel = s.radio->channel();
-    CellMap& g = grid(channel);
-    auto it = g.find(s.cell);
-    assert(it != g.end());
-    auto& v = it->second;
-    v.erase(std::remove(v.begin(), v.end(), slot), v.end());
-    if (v.empty()) g.erase(it);
-    s.cell = cell;
-    g[cell].push_back(slot);
+    // Motion-bound amortisation: a radio with a declared speed ceiling
+    // provably cannot have reached its cell boundary before safe_until, so
+    // its bucket is still its true cell and the position() call is skipped
+    // entirely. Its lanes go stale; the transmit loop re-samples it lazily
+    // iff it actually turns up as a candidate.
+    if (now < s.safe_until) continue;
+    const Position pos = s.radio->position();
+    s.pos_stamp = now;
+    if (pos.x >= s.qx0 && pos.x < s.qx1 && pos.y >= s.qy0 && pos.y < s.qy1) {
+      // Strictly inside the shrunken cell box — same cell, proven without
+      // a divide. This is the overwhelmingly common case (rebucketing only
+      // happens on a boundary crossing), and the sweep's whole per-mobile
+      // cost beyond the position callback: two contiguous stores.
+      pos_x_[slot] = pos.x;
+      pos_y_[slot] = pos.y;
+      if (s.max_speed > 0.0) s.safe_until = motion_horizon(s, pos);
+      continue;
+    }
+    // Near or across a cell boundary: settle it with the exact binning.
+    const std::uint64_t key = cell_of(pos);
+    if (key == s.cell) {
+      pos_x_[slot] = pos.x;
+      pos_y_[slot] = pos.y;
+      if (s.max_speed > 0.0) s.safe_until = motion_horizon(s, pos);
+      continue;
+    }
+    if (s.cell_idx >= g.cells.size() || g.cells[s.cell_idx].key != s.cell) {
+      grid_fatal("refresh: mobile slot's cell is absent from its grid");
+    }
+    if (s.lane_idx >= g.cells[s.cell_idx].size() ||
+        g.cells[s.cell_idx].slots[s.lane_idx] != slot) {
+      grid_fatal("refresh: mobile slot missing from its recorded cell");
+    }
+    grid_remove(channel, slot);
+    grid_insert(channel, slot, pos);
     ++grid_rebuckets_;
   }
 }
 
 void Medium::gather_neighborhood(wire::Channel channel, const Position& pos) {
-  scratch_.clear();
-  CellMap& g = grid(channel);
+  scratch_slots_.clear();
+  ChannelGrid& g = grid(channel);
   const std::int32_t cx = cell_coord(pos.x);
   const std::int32_t cy = cell_coord(pos.y);
+  // Occupied cells among the 9 probes; the bitmap answers empty/absent ones
+  // without a table walk. Only occupied probes count toward
+  // grid_cells_scanned_ (the cost metric of the merge below).
+  const CellSoA* lists[9];
+  std::size_t heads[9];
+  int n = 0;
+  std::size_t total = 0;
   for (std::int32_t dx = -1; dx <= 1; ++dx) {
     for (std::int32_t dy = -1; dy <= 1; ++dy) {
-      ++grid_cells_scanned_;
-      const auto it = g.find(pack_cell(cx + dx, cy + dy));
-      if (it == g.end()) continue;
-      scratch_.insert(scratch_.end(), it->second.begin(), it->second.end());
+      const std::uint32_t ci = g.find_occupied(pack_cell(cx + dx, cy + dy));
+      if (ci == ChannelGrid::kNoCell) continue;
+      lists[n] = &g.cells[ci];
+      heads[n] = 0;
+      total += lists[n]->size();
+      ++n;
     }
   }
+  grid_cells_scanned_ += static_cast<std::uint64_t>(n);
+  if (n == 0) return;
+  if (n == 1) {
+    const CellSoA& c = *lists[0];
+    scratch_slots_.assign(c.slots.begin(), c.slots.end());
+    return;
+  }
   // Order-preservation rule (DESIGN.md §10): the RNG-consuming loss draws
-  // below must replay the brute-force scan's visit order exactly, so the
-  // merged neighborhood is sorted by attach_seq — the order the per-channel
-  // cohort keeps. Cell membership order is irrelevant after this.
-  std::sort(scratch_.begin(), scratch_.end(),
-            [this](std::uint32_t a, std::uint32_t b) {
-              return slots_[a].attach_seq < slots_[b].attach_seq;
-            });
+  // in transmit must replay the brute-force scan's visit order exactly, so
+  // the merged neighborhood is emitted in ascending attach_seq — the order
+  // every per-cell lane already keeps. A 9-way sorted merge replaces the
+  // old gather-then-sort.
+  scratch_slots_.reserve(total);
+  while (n > 1) {
+    int best = 0;
+    std::uint64_t best_seq = lists[0]->seqs[heads[0]];
+    for (int j = 1; j < n; ++j) {
+      const std::uint64_t seq = lists[j]->seqs[heads[j]];
+      if (seq < best_seq) {
+        best = j;
+        best_seq = seq;
+      }
+    }
+    const CellSoA& c = *lists[best];
+    scratch_slots_.push_back(c.slots[heads[best]]);
+    if (++heads[best] == c.size()) {
+      --n;
+      lists[best] = lists[n];
+      heads[best] = heads[n];
+    }
+  }
+  // Bulk-append the lone survivor's tail.
+  const CellSoA& c = *lists[0];
+  scratch_slots_.insert(scratch_slots_.end(), c.slots.begin() + heads[0],
+                        c.slots.end());
+}
+
+bool Medium::auto_prefers_grid(wire::Channel channel) {
+  if (cohort(channel).size() < kAutoMinCohort) return false;
+  return grid(channel).nonempty_cells >= kAutoMinOccupiedCells;
 }
 
 void Medium::attach(Radio& radio) {
@@ -169,6 +414,10 @@ void Medium::attach(Radio& radio) {
     slot = static_cast<std::uint32_t>(slots_.size());
     slots_.emplace_back();
   }
+  if (pos_x_.size() < slots_.size()) {
+    pos_x_.resize(slots_.size());
+    pos_y_.resize(slots_.size());
+  }
   Slot& s = slots_[slot];
   s.radio = &radio;
   ++s.generation;
@@ -176,9 +425,11 @@ void Medium::attach(Radio& radio) {
   radio.medium_slot_ = slot;
   cohort_insert(radio.channel(), slot);
   if (grid_enabled()) {
+    s.max_speed = radio.config().max_speed_mps;
+    s.safe_until = Time{0};
     grid_insert(radio.channel(), slot, radio.position());
     s.mobile = radio.config().mobile;
-    if (s.mobile) mobile_slots_.push_back(slot);
+    if (s.mobile) mobiles(radio.channel()).push_back(slot);
   }
 }
 
@@ -190,9 +441,8 @@ void Medium::detach(Radio& radio) {
   if (grid_enabled()) {
     grid_remove(radio.channel(), slot);
     if (s.mobile) {
-      mobile_slots_.erase(
-          std::remove(mobile_slots_.begin(), mobile_slots_.end(), slot),
-          mobile_slots_.end());
+      auto& m = mobiles(radio.channel());
+      m.erase(std::remove(m.begin(), m.end(), slot), m.end());
       s.mobile = false;
     }
   }
@@ -207,10 +457,16 @@ void Medium::retune(Radio& radio, wire::Channel old_channel) {
   cohort_remove(old_channel, radio.medium_slot_);
   cohort_insert(radio.channel(), radio.medium_slot_);
   if (grid_enabled()) {
-    // Re-sampling the position here freshens a mobile radio's bucket for
-    // free; for static radios it is the same cell it attached with.
+    // Re-sampling the position here freshens a mobile radio's bucket and
+    // position lanes for free; for static radios it is the same cell it
+    // attached with.
     grid_remove(old_channel, radio.medium_slot_);
     grid_insert(radio.channel(), radio.medium_slot_, radio.position());
+    if (slots_[radio.medium_slot_].mobile) {
+      auto& m = mobiles(old_channel);
+      m.erase(std::remove(m.begin(), m.end(), radio.medium_slot_), m.end());
+      mobiles(radio.channel()).push_back(radio.medium_slot_);
+    }
   }
 }
 
@@ -222,22 +478,29 @@ void Medium::transmit(Radio& sender, wire::Frame frame) {
   ++frames_sent_;
   frame.channel = sender.channel();
   const Position tx_pos = sender.position();
-  const std::vector<std::uint32_t>* candidates;
-  if (grid_enabled()) {
-    // Bring every mobile radio's bucket up to this timestamp first, so the
-    // 3x3 neighborhood below cannot miss a receiver that drifted across a
-    // cell boundary since the last transmit. The sender itself is always in
-    // the center cell afterwards (mobile: just refreshed; static: bucketed
-    // at its fixed attach position).
-    refresh_mobile_buckets();
-    gather_neighborhood(frame.channel, tx_pos);
-    candidates = &scratch_;
-  } else {
-    candidates = &cohort(frame.channel);
+  bool use_grid = grid_enabled();
+  if (config_.neighbor_index == NeighborIndex::kAuto) {
+    use_grid = auto_prefers_grid(frame.channel);
+    ++(use_grid ? auto_grid_tx_ : auto_brute_tx_);
   }
-  // The sender is always a member of its own candidate set.
-  candidates_examined_ += candidates->size() - 1;
-  if (candidates->size() < 2) return;  // nobody else in earshot
+  std::size_t count;
+  if (use_grid) {
+    // Bring this channel's mobile buckets and position lanes up to this
+    // timestamp first, so the 3x3 neighborhood below cannot miss a receiver
+    // that drifted across a cell boundary since the last transmit. The
+    // sender itself is always in the center cell afterwards (mobile: just
+    // refreshed; static: bucketed at its fixed attach position).
+    refresh_mobile_buckets(frame.channel);
+    gather_neighborhood(frame.channel, tx_pos);
+    count = scratch_slots_.size();
+  } else {
+    count = cohort(frame.channel).size();
+  }
+  // The sender is normally a member of its own candidate set; checking
+  // before the -1 keeps the examined counter exact and guards the empty
+  // set (size - 1 would wrap to ~2^64).
+  if (count < 2) return;  // nobody else in earshot
+  candidates_examined_ += count - 1;
 
   const Time arrival = airtime(frame.size_bytes, sender.config().phy_rate);
   const double impairment = channel_impairment(frame.channel);
@@ -258,27 +521,28 @@ void Medium::transmit(Radio& sender, wire::Frame frame) {
   }
   const wire::Frame& body = bodies_[body_idx].frame;
 
-  for (const std::uint32_t rx_slot : *candidates) {
-    Radio* rx = slots_[rx_slot].radio;
-    if (rx == &sender) continue;
-    const Position rx_pos = rx->position();
+  // Shared per-candidate tail: range gate, loss draws, delivery schedule.
+  // `generation` comes from the caller's lane so the grid loop never
+  // touches the slot registry for candidates it rejects on range.
+  const auto consider = [&](std::uint32_t rx_slot, double rx_x, double rx_y,
+                            std::uint32_t generation) {
     // One sqrt per candidate: range check, loss, and RSSI all reuse it.
-    const double dist = distance(tx_pos, rx_pos);
-    if (!propagation_.in_range_at(dist)) continue;
+    const double dist = distance(tx_pos, Position{rx_x, rx_y});
+    if (!propagation_.in_range_at(dist)) return;
     // Interference (fault injection) is independent of the distance loss.
     const double p_prop = propagation_.loss_probability_at(dist);
     const double p_loss = 1.0 - (1.0 - p_prop) * (1.0 - impairment);
 
     // Unicast frames to their addressee enjoy link-layer ARQ; everyone
     // else (and all broadcast traffic) gets a single shot.
+    Radio* rx = slots_[rx_slot].radio;
     const bool arq = !body.dst.is_broadcast() && rx->owns_address(body.dst);
     const int attempts_allowed = arq ? 1 + config_.retry_limit : 1;
     int attempt = 1;
     while (attempt <= attempts_allowed && rng_.chance(p_loss)) ++attempt;
-    if (attempt > attempts_allowed) continue;  // lost despite retries
+    if (attempt > attempts_allowed) return;  // lost despite retries
 
     const double rssi = propagation_.rssi_dbm_at(dist);
-    const std::uint32_t generation = slots_[rx_slot].generation;
     ++bodies_[body_idx].refs;
     ++fanout_scheduled_;
     // Each retry costs roughly one more airtime before the frame lands.
@@ -301,6 +565,39 @@ void Medium::transmit(Radio& sender, wire::Frame frame) {
       // pool); deque references stay valid but be explicit anyway.
       if (--bodies_[body_idx].refs == 0) free_bodies_.push_back(body_idx);
     });
+  };
+
+  const std::uint32_t sender_slot = sender.medium_slot_;
+  if (use_grid) {
+    // Candidate positions come from the central per-slot lanes — fresh as
+    // of this timestamp's sweep and bit-identical to position() — so an
+    // out-of-range candidate costs a few loads and no callback into Radio.
+    // The exception is a mobile the sweep skipped on its motion-bound
+    // horizon: its lanes are stale, so it is re-sampled here, on the few
+    // slots that actually surface as candidates instead of the whole
+    // channel roster.
+    const Time now = sim_.now();
+    const std::size_t m = scratch_slots_.size();
+    for (std::size_t i = 0; i < m; ++i) {
+      const std::uint32_t rx_slot = scratch_slots_[i];
+      if (rx_slot == sender_slot) continue;
+      Slot& s = slots_[rx_slot];
+      if (s.mobile && s.pos_stamp != now) {
+        const Position rx_pos = s.radio->position();
+        pos_x_[rx_slot] = rx_pos.x;
+        pos_y_[rx_slot] = rx_pos.y;
+        s.pos_stamp = now;
+        if (s.max_speed > 0.0) s.safe_until = motion_horizon(s, rx_pos);
+      }
+      consider(rx_slot, pos_x_[rx_slot], pos_y_[rx_slot], s.generation);
+    }
+  } else {
+    for (const std::uint32_t rx_slot : cohort(frame.channel)) {
+      if (rx_slot == sender_slot) continue;
+      const Slot& s = slots_[rx_slot];
+      const Position rx_pos = s.radio->position();
+      consider(rx_slot, rx_pos.x, rx_pos.y, s.generation);
+    }
   }
   // Everyone missed the loss draw: recycle the cell right away.
   if (bodies_[body_idx].refs == 0) free_bodies_.push_back(body_idx);

@@ -15,6 +15,7 @@
 namespace spider::phy {
 
 class Radio;
+struct MediumTestPeer;
 
 /// How Medium::transmit finds candidate receivers on the sender's channel.
 enum class NeighborIndex {
@@ -27,6 +28,12 @@ enum class NeighborIndex {
   /// in deployment size and byte-identical to the brute-force scan (see
   /// DESIGN.md §10 for the order-preservation argument).
   kGrid,
+  /// Per-channel adaptive choice: each transmit picks grid or brute force
+  /// from the channel's measured cohort density (cohort size and occupied
+  /// cell count — see DESIGN.md §10). Both paths are byte-identical by the
+  /// order-preservation rule, so the pick is a pure cost decision; grid
+  /// membership is maintained either way.
+  kAuto,
 };
 
 /// Default max retransmissions of a unicast frame. Stock drivers use ~7;
@@ -78,12 +85,17 @@ struct MediumConfig {
 /// neighborhood of the transmitter, with candidate order — and therefore
 /// every RNG draw and delivered-frame set — byte-identical to the
 /// brute-force scan, which stays available via MediumConfig as the
-/// differential-test oracle. The frame body is moved once into a
-/// refcounted pooled cell;
-/// each scheduled delivery carries only {cell index, slot, generation,
-/// rssi} — a trivially copyable reception record that rides the event
-/// queue's inline buffer via its memcpy fast path, so the whole fan-out
-/// performs zero heap allocations in steady state.
+/// differential-test oracle. Cells are flat SoA lanes (slot / attach_seq /
+/// position / generation in parallel contiguous arrays, attach_seq-sorted)
+/// behind an open-addressed cell table with a per-channel occupancy bitmap,
+/// so the 9-cell probe skips empty cells on one bit test and the
+/// neighborhood is a 9-way sorted merge that streams lanes — no hashing
+/// chains, no per-transmit sort, no per-candidate position() calls. The
+/// frame body is moved once into a refcounted pooled cell; each scheduled
+/// delivery carries only {cell index, slot, generation, rssi} — a trivially
+/// copyable reception record that rides the event queue's inline buffer via
+/// its memcpy fast path, so the whole fan-out performs zero heap
+/// allocations in steady state.
 class Medium {
  public:
   /// Back-compat alias for the ARQ default (see kMediumDefaultRetryLimit).
@@ -135,12 +147,17 @@ class Medium {
   std::uint64_t fanout_scheduled() const { return fanout_scheduled_; }
   /// Same-channel candidate radios examined across all transmits.
   std::uint64_t candidates_examined() const { return candidates_examined_; }
-  /// Grid cells probed by neighborhood queries (9 per grid-mode transmit;
-  /// 0 under brute force).
+  /// *Occupied* grid cells probed by neighborhood queries (at most 9 per
+  /// grid-mode transmit; empty cells are skipped by the occupancy bitmap
+  /// and no longer counted; 0 under brute force).
   std::uint64_t grid_cells_scanned() const { return grid_cells_scanned_; }
   /// Mobile radios moved between grid cells by the position-epoch sweep
   /// (stationary radios never contribute).
   std::uint64_t grid_rebuckets() const { return grid_rebuckets_; }
+  /// kAuto transmits that picked the grid path / the brute-force path.
+  /// Both zero unless neighbor_index == kAuto.
+  std::uint64_t neighbor_auto_grid_tx() const { return auto_grid_tx_; }
+  std::uint64_t neighbor_auto_brute_tx() const { return auto_brute_tx_; }
 
   /// Folds the medium's fan-out counters into engine perf counters.
   void add_perf(sim::PerfCounters& perf) const {
@@ -153,6 +170,10 @@ class Medium {
 
  private:
   friend class Radio;
+  /// Test-only backdoor (tests/test_spatial_index.cpp): corrupts private
+  /// grid state to pin the checked-fatal invariant paths and the empty
+  /// candidate-set counter guard.
+  friend struct MediumTestPeer;
 
   /// Slot registry entry. `generation` bumps on every attach *and* detach,
   /// so an in-flight delivery stamped with (slot, generation) can tell a
@@ -163,7 +184,38 @@ class Medium {
     std::uint32_t generation = 0;
     std::uint64_t attach_seq = 0;  ///< global attach order, for RNG stability
     std::uint64_t cell = 0;        ///< packed grid cell currently bucketed in
-    bool mobile = false;           ///< member of the position-epoch sweep
+    /// Cached grid location: index of `cell` in the channel grid's SoA pool
+    /// and this slot's rank in that cell's lanes. Lets grid_remove and the
+    /// rebucket path reach the member with no hash find and no lower_bound.
+    /// Pool indices survive rehashes (cells are never moved or erased);
+    /// lane ranks are maintained by insert_sorted/erase_at on the rare
+    /// shifts (attach, detach, rebucket).
+    std::uint32_t cell_idx = 0;
+    std::uint32_t lane_idx = 0;
+    /// Quick same-cell acceptance box: `cell`'s bounds shrunk by
+    /// eps = cell_m * 1e-6 on each side. A position strictly inside is in
+    /// `cell` under exact floor(x / cell_m) binning — the shrink exceeds
+    /// every rounding error of the k*cell_m products and the division by
+    /// >1000x for any cell coordinate representable in an int32 — so the
+    /// sweep's hot path is four compares, no divides. Boundary-adjacent
+    /// positions fail the box and fall back to cell_of(); binning semantics
+    /// are exactly unchanged.
+    double qx0 = 1.0, qx1 = 0.0;  ///< empty box until grid_insert fills it
+    double qy0 = 1.0, qy1 = 0.0;
+    /// Copy of RadioConfig::max_speed_mps (0 = no motion bound declared).
+    double max_speed = 0.0;
+    /// Motion-bound horizon: with a declared speed ceiling, the earliest
+    /// sim time at which this radio could reach its cell boundary. The
+    /// mobile sweep skips the slot (no position() call, no lane refresh)
+    /// while now < safe_until — its bucket is provably still its true
+    /// cell. Time{0} (no ceiling, or boundary-adjacent) disables the skip.
+    Time safe_until{0};
+    /// Sim time the position lanes were last written. A transmit's grid
+    /// loop re-samples a mobile candidate whose lanes are stale (skipped by
+    /// the horizon above), so examined candidates always see positions
+    /// bit-identical to position() at the current timestamp.
+    Time pos_stamp{-1};
+    bool mobile = false;  ///< member of the position-epoch sweep
   };
 
   /// Channels below this bound (the whole 2.4 GHz band; the paper sweeps
@@ -181,15 +233,74 @@ class Medium {
   /// Called by Radio when its tuned channel actually changes.
   void retune(Radio& radio, wire::Channel old_channel);
 
-  // --- spatial grid (neighbor_index == kGrid) --------------------------
-  /// One hash grid per channel: packed (cx, cy) cell -> slot ids. Cell
-  /// membership is maintained eagerly for static radios (attach / detach /
-  /// retune) and lazily for mobile ones (refresh_mobile_buckets).
-  using CellMap = std::unordered_map<std::uint64_t, std::vector<std::uint32_t>>;
+  // --- spatial grid (neighbor_index != kBruteForce) --------------------
+
+  /// Flat SoA storage for one grid cell: member slots and their attach
+  /// seqs, kept sorted by attach_seq so the 3x3 gather is a 9-way sorted
+  /// merge (no per-transmit sort). Positions are NOT stored here — they
+  /// live in the medium's central pos_x_/pos_y_ lanes, so the mobile sweep
+  /// refreshes a position with two contiguous stores instead of chasing
+  /// into the member's cell.
+  struct CellSoA {
+    std::uint64_t key = 0;  ///< packed (cx, cy), for table rebuilds
+    std::vector<std::uint32_t> slots;
+    std::vector<std::uint64_t> seqs;  ///< attach_seq, ascending
+    bool empty() const { return slots.empty(); }
+    std::size_t size() const { return slots.size(); }
+    /// Sorted insert at the attach_seq rank, updating the registry's cached
+    /// lane ranks for the inserted slot and everything it shifted. New
+    /// attaches carry the largest seq yet issued, so the common case is an
+    /// append that touches one registry entry.
+    void insert_sorted(std::vector<Slot>& registry, std::uint32_t slot,
+                       std::uint64_t seq);
+    /// Erase lane `i` and re-rank the members shifted down.
+    void erase_at(std::vector<Slot>& registry, std::size_t i);
+  };
+
+  /// One channel's spatial hash: an open-addressed (linear probing) table
+  /// from packed cell to an index into a pool of SoA cells, plus an
+  /// occupancy bitmap over home buckets so probing an empty or absent cell
+  /// costs one L1-resident bit test — no hash-chain walk, no node
+  /// dereference. Cells are never erased from the table (a cell that
+  /// empties keeps its storage and drops out of the bitmap), so the pool is
+  /// bounded by the distinct cells ever occupied and linear probing needs
+  /// no tombstones.
+  struct ChannelGrid {
+    static constexpr std::uint32_t kNoCell = 0xFFFFFFFFu;
+
+    std::vector<std::uint64_t> keys;      ///< table: packed cell per bucket
+    std::vector<std::uint32_t> vals;      ///< table: cell index or kNoCell
+    std::vector<std::uint64_t> occ_bits;  ///< bit per bucket: non-empty home
+    std::vector<std::uint32_t> occ_refs;  ///< non-empty cells homed at bucket
+    std::vector<CellSoA> cells;           ///< SoA pool; indices are stable
+    std::size_t bucket_mask = 0;          ///< capacity - 1 (0: unallocated)
+    std::size_t nonempty_cells = 0;       ///< currently occupied cells
+
+    /// Table lookup, bitmap-gated: kNoCell when the cell is absent *or*
+    /// currently empty — exactly the cells a neighborhood probe skips.
+    std::uint32_t find_occupied(std::uint64_t key) const;
+    /// Table lookup without the bitmap gate (empty cells are found too).
+    std::uint32_t find(std::uint64_t key) const;
+    /// Lookup-or-insert; grows and rehashes at 50% load.
+    std::uint32_t find_or_create(std::uint64_t key);
+    /// Occupancy transitions (cell went 0 -> 1 / 1 -> 0 members).
+    void occ_add(std::uint64_t key);
+    void occ_sub(std::uint64_t key);
+    void rehash(std::size_t capacity);
+  };
 
   bool grid_enabled() const {
-    return config_.neighbor_index == NeighborIndex::kGrid;
+    return config_.neighbor_index != NeighborIndex::kBruteForce;
   }
+  /// kAuto per-transmit pick: the grid pays off once the cohort is big
+  /// enough to amortise the probe/merge/sweep overhead *and* spread over
+  /// enough cells that the 3x3 neighborhood prunes most of it (expected
+  /// visited fraction ~ 9 / occupied-cells). Below either bound the
+  /// brute-force cohort scan is the cheaper loop.
+  static constexpr std::size_t kAutoMinCohort = 32;
+  static constexpr std::size_t kAutoMinOccupiedCells = 16;
+  bool auto_prefers_grid(wire::Channel channel);
+
   static std::uint64_t pack_cell(std::int32_t cx, std::int32_t cy) {
     return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(cx)) << 32) |
            static_cast<std::uint32_t>(cy);
@@ -198,17 +309,36 @@ class Medium {
   std::uint64_t cell_of(const Position& pos) const {
     return pack_cell(cell_coord(pos.x), cell_coord(pos.y));
   }
-  CellMap& grid(wire::Channel channel);
+  ChannelGrid& grid(wire::Channel channel);
   void grid_insert(wire::Channel channel, std::uint32_t slot,
                    const Position& pos);
   void grid_remove(wire::Channel channel, std::uint32_t slot);
-  /// Position-epoch sweep: once per distinct sim timestamp, re-sample every
-  /// mobile radio and move the ones that crossed a cell boundary.
-  /// Stationary radios are never touched.
-  void refresh_mobile_buckets();
-  /// Fills scratch_ with the 3x3 neighborhood of `pos` on `channel`,
-  /// sorted by attach_seq (the brute-force visit order).
+  /// Invariant breach on the grid hot path (a slot absent from its recorded
+  /// cell): prints and aborts in every build flavour. Release builds used
+  /// to ride an assert straight into UB on the dangling lookup.
+  [[noreturn]] static void grid_fatal(const char* what);
+  /// Per-channel position-epoch sweep: once per distinct sim timestamp
+  /// *per channel*, re-sample that channel's mobile radios, refresh their
+  /// position lanes, and move the ones that crossed a cell boundary.
+  /// Stationary radios and other channels' mobiles are never touched, and
+  /// mobiles with a declared speed ceiling are skipped outright while
+  /// their motion-bound horizon (Slot::safe_until) proves they cannot have
+  /// left their cell — the amortisation that keeps the sweep sub-linear in
+  /// mobiles per timestamp.
+  void refresh_mobile_buckets(wire::Channel channel);
+  /// Earliest sim time at which a speed-bounded slot at `pos` could reach
+  /// its cell boundary (requires s.max_speed > 0). Measured against the
+  /// shrunken quick box minus a 1 mm guard, with sec() truncating — every
+  /// error source under-estimates the horizon, never over.
+  Time motion_horizon(const Slot& s, const Position& pos) const;
+  /// Fills scratch_slots_ with the 3x3 neighborhood of `pos` on `channel`
+  /// via a 9-way merge of attach_seq-sorted cell lanes (the brute-force
+  /// visit order). Candidate positions and generations are read from the
+  /// central per-slot lanes, fresh as of refresh_mobile_buckets.
   void gather_neighborhood(wire::Channel channel, const Position& pos);
+
+  std::vector<std::uint32_t>& mobiles(wire::Channel channel);
+  Time& last_refresh(wire::Channel channel);
 
   sim::Simulator& sim_;
   Propagation propagation_;
@@ -225,19 +355,30 @@ class Medium {
   std::array<std::vector<std::uint32_t>, kFlatChannels> cohorts_;
   std::unordered_map<wire::Channel, std::vector<std::uint32_t>> cohorts_other_;
 
-  std::array<CellMap, kFlatChannels> grids_;
-  std::unordered_map<wire::Channel, CellMap> grids_other_;
-  /// Slots enrolled in the position-epoch sweep, in attach order (order is
+  std::array<ChannelGrid, kFlatChannels> grids_;
+  std::unordered_map<wire::Channel, ChannelGrid> grids_other_;
+  /// Per-channel rosters of mobile slots (position-epoch sweep membership),
+  /// so a transmit sweeps only its own channel's mobiles. Order is
   /// irrelevant for determinism — rebucketing consumes no RNG — but kept
-  /// stable anyway).
-  std::vector<std::uint32_t> mobile_slots_;
-  /// Sim timestamp of the last mobile sweep; positions are pure functions
-  /// of sim time, so buckets refreshed at `now` stay exact until the clock
-  /// advances.
-  Time last_refresh_ = Time{-1};
-  /// Reused candidate buffer for grid queries (cleared per transmit; no
+  /// stable anyway.
+  std::array<std::vector<std::uint32_t>, kFlatChannels> mobile_slots_;
+  std::unordered_map<wire::Channel, std::vector<std::uint32_t>> mobile_other_;
+  /// Sim timestamp of the last mobile sweep per channel; positions are pure
+  /// functions of sim time, so a channel's buckets refreshed at `now` stay
+  /// exact until the clock advances.
+  std::array<Time, kFlatChannels> last_refresh_;
+  std::unordered_map<wire::Channel, Time> last_refresh_other_;
+  /// Central per-slot position lanes (indexed by slot id). For static
+  /// radios they are sampled once at grid_insert; for mobiles the
+  /// position-epoch sweep rewrites them each distinct timestamp, so at
+  /// transmit time pos_x_[slot] is bit-identical to what
+  /// slots_[slot].radio->position() would return (positions are pure
+  /// functions of sim time — the MobilityModel contract).
+  std::vector<double> pos_x_;
+  std::vector<double> pos_y_;
+  /// Reused candidate scratch for grid queries (cleared per transmit; no
   /// steady-state allocation once its capacity plateaus).
-  std::vector<std::uint32_t> scratch_;
+  std::vector<std::uint32_t> scratch_slots_;
 
   std::array<double, kFlatChannels> impairment_flat_{};
   std::unordered_map<wire::Channel, double> impairments_other_;
@@ -262,6 +403,8 @@ class Medium {
   std::uint64_t candidates_examined_ = 0;
   std::uint64_t grid_cells_scanned_ = 0;
   std::uint64_t grid_rebuckets_ = 0;
+  std::uint64_t auto_grid_tx_ = 0;
+  std::uint64_t auto_brute_tx_ = 0;
 };
 
 }  // namespace spider::phy

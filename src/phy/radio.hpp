@@ -27,6 +27,17 @@ struct RadioConfig {
   /// choice; only declare a radio static when its position callback is a
   /// constant (APs do), or grid deliveries will miss it after it moves.
   bool mobile = true;
+  /// Optional ceiling on how fast the position callback can move this
+  /// radio, in metres per second of sim time (0 = no ceiling known). When
+  /// set, the medium's mobile sweep amortises rebucketing (DESIGN.md §10):
+  /// a radio mid-cell cannot reach a cell boundary before
+  /// distance-to-boundary / max_speed_mps elapses, so its position is not
+  /// re-sampled until that horizon — without changing delivered sets,
+  /// counters, or RNG draws. The value must be a true bound over the whole
+  /// run (every MobilityModel moves at constant path speed with no
+  /// teleports, so speed_mps() qualifies); a callback that outruns its
+  /// declared ceiling breaks grid correctness. Leave 0 when unsure.
+  double max_speed_mps = 0.0;
 };
 
 /// A single physical 802.11 card.
@@ -102,6 +113,7 @@ class Radio {
 
  private:
   friend class Medium;
+  friend struct MediumTestPeer;  ///< test-only invariant-corruption backdoor
 
   struct PendingTune {
     wire::Channel channel;

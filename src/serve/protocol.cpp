@@ -125,8 +125,9 @@ void write_scenario_json(std::ostream& os,
   }
   os << "]}"
      << ",\"neighbor_index\":\""
-     << (config.neighbor_index == phy::NeighborIndex::kGrid ? "grid"
-                                                            : "brute")
+     << (config.neighbor_index == phy::NeighborIndex::kGrid   ? "grid"
+         : config.neighbor_index == phy::NeighborIndex::kAuto ? "auto"
+                                                              : "brute")
      << '"' << ",\"grid_cell_m\":" << json_number(config.grid_cell_m);
   if (config.city) {
     os << ",\"city\":{\"width_m\":" << json_number(config.city->width_m)
@@ -197,8 +198,10 @@ bool parse_scenario(const Json& json, trace::ScenarioConfig* config,
         out.neighbor_index = phy::NeighborIndex::kGrid;
       } else if (name == "brute") {
         out.neighbor_index = phy::NeighborIndex::kBruteForce;
+      } else if (name == "auto") {
+        out.neighbor_index = phy::NeighborIndex::kAuto;
       } else {
-        return set_error(error, "neighbor_index must be grid|brute");
+        return set_error(error, "neighbor_index must be grid|brute|auto");
       }
     } else if (key == "grid_cell_m") {
       out.grid_cell_m = value.number_or(-1.0);

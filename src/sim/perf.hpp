@@ -38,8 +38,9 @@ struct PerfCounters {
   /// channel index makes this the cohort size, not the whole radio table;
   /// the spatial grid shrinks it further to the 3x3 cell neighborhood).
   std::uint64_t radio_candidates = 0;
-  /// Grid cells probed by neighborhood queries (9 per grid-mode transmit,
-  /// 0 under the brute-force index).
+  /// *Occupied* grid cells probed by neighborhood queries (at most 9 per
+  /// grid-mode transmit; empty or absent cells are answered by the
+  /// occupancy bitmap and not counted; 0 under the brute-force index).
   std::uint64_t grid_cells_scanned = 0;
   /// Mobile radios moved between grid cells by the position-epoch sweep.
   std::uint64_t grid_rebuckets = 0;

@@ -53,7 +53,9 @@ struct ScenarioConfig {
   std::vector<mob::ApSite> fixed_sites;
   phy::PropagationConfig propagation;
   /// Medium neighbor search: the spatial grid by default; brute force is
-  /// the differential-test oracle (results are byte-identical either way).
+  /// the differential-test oracle; kAuto picks grid or brute per transmit
+  /// from the channel's cohort density (results are byte-identical in all
+  /// three modes — the choice is purely a cost decision).
   phy::NeighborIndex neighbor_index = phy::NeighborIndex::kGrid;
   /// Explicit grid cell edge in meters (0 derives it from the propagation
   /// range). Non-zero values below the range are a config error — the
