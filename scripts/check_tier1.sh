@@ -2,8 +2,9 @@
 # Tier-1 gate: configure, build, run the full test suite, then the
 # perf/determinism smokes (hot-path allocation contract, the citywide
 # grid-vs-brute-force digest pin — which also asserts the grid wins on
-# wall-clock — and the sim-as-a-service robustness pin). Everything a PR
-# must keep green.
+# wall-clock — the sharded-formation digest pin, and the sim-as-a-service
+# robustness pin), then the shard engine under ThreadSanitizer. Everything
+# a PR must keep green.
 #
 # Every ctest invocation carries a per-test timeout: the suite now
 # exercises servers, watchdogs, and cancellation, and a regression there
@@ -20,6 +21,17 @@ cmake --build "$BUILD_DIR" -j
 (cd "$BUILD_DIR" && ctest --output-on-failure -j "$(nproc)" --timeout 300)
 "$BUILD_DIR"/bench/bench_microperf --smoke --json "$BUILD_DIR"/BENCH_hotpath.json
 "$BUILD_DIR"/bench/ext_citywide --smoke --assert-wall --json "$BUILD_DIR"/BENCH_citywide_smoke.json
+"$BUILD_DIR"/bench/ext_citywide --smoke --shards 1,2,4 --assert-shards --json "$BUILD_DIR"/BENCH_citywide_shard.json
 (cd "$BUILD_DIR" && bench/serve_smoke --seeds 1000 --json BENCH_serve_smoke.json)
+
+# Sharded engine under ThreadSanitizer: the lockstep coordinator, the
+# mailbox parity protocol, and the formation fabric must be data-race
+# free, not just deterministic. A dedicated TSan tree builds only the
+# shard test (the rest of the suite runs TSan via SPIDER_SANITIZE=thread
+# full builds when wanted).
+TSAN_DIR="${BUILD_DIR}-tsan"
+cmake -B "$TSAN_DIR" -S . -DSPIDER_SANITIZE=thread
+cmake --build "$TSAN_DIR" -j --target test_shard
+"$TSAN_DIR"/tests/test_shard
 
 echo "tier-1: all green"

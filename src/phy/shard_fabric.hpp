@@ -1,0 +1,168 @@
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <unordered_map>
+#include <vector>
+
+#include "phy/shard_link.hpp"
+#include "sim/sharded.hpp"
+#include "util/time.hpp"
+#include "util/units.hpp"
+#include "wire/frame.hpp"
+
+namespace spider::phy {
+
+class Medium;
+class Radio;
+
+/// Upper bound on formation width (ScenarioConfig::validate enforces it).
+inline constexpr int kMaxShards = 64;
+
+/// One contiguous x-stripe of a channel. A stripe covers [previous stripe's
+/// x1, x1); the last stripe of a channel has x1 = +infinity. Stripe lists
+/// are ascending in x1.
+struct ShardStripe {
+  double x1 = 0.0;
+  int shard = 0;
+};
+
+/// The static channel/space -> shard map of a formation. Built once from
+/// the AP population before radios attach; immutable afterwards, so every
+/// shard thread reads it without synchronisation.
+struct ShardPartition {
+  int shards = 1;
+  /// Boundary-export margin: propagation range + kShardSlopM.
+  double margin_m = 0.0;
+  std::unordered_map<wire::Channel, std::vector<ShardStripe>> stripes;
+
+  /// Shard owning position x on channel c. Channels with no stripe entry
+  /// (a client scanning a channel no AP uses) hash to a fixed shard.
+  int owner(wire::Channel c, double x) const;
+  /// Fills `out` (capacity >= kMaxShards) with every shard owning a stripe
+  /// of `c` that intersects [x - margin, x + margin]; returns the count.
+  /// Deduplicated; order follows the stripe list.
+  int targets(wire::Channel c, double x, int* out) const;
+  /// True when any channel is split spatially (i.e. proxies can migrate).
+  bool spatial() const;
+};
+
+/// Builds the partition from the AP population: channels first (a shard
+/// owning a whole channel exchanges nothing for it), then heavy channels
+/// split into equal-AP-count x-stripes cut between adjacent APs, and all
+/// pieces greedily packed onto shards by AP count (LPT). Deterministic and
+/// machine-independent: depends only on (sites, shards, range).
+ShardPartition build_shard_partition(
+    const std::vector<std::pair<wire::Channel, double>>& ap_sites, int shards,
+    double range_m);
+
+/// The formation adapter: one ShardFabric spans all shards of a run,
+/// implementing ShardLink for each shard's medium and owning the client
+/// registry that maps a shadow radio to its current proxy placement.
+///
+/// Threading contract (TSan-verified by the sharded smoke):
+///  - the registry's *structure* mutates only before run_until / after the
+///    workers join (register_client, attach/detach);
+///  - ClientInfo::cur_shard / cur_channel / placed are written only by the
+///    client's home shard thread (retune upcalls and the migration sweep)
+///    and read only there;
+///  - other threads (a proxy's owner forwarding a delivery) read only the
+///    immutable fields (home, addr range, pos_at);
+///  - all cross-shard effects travel as ShardedSimulator mailbox thunks.
+class ShardFabric {
+ public:
+  /// `mediums[s]` is shard s's medium; `is_client` classifies radio MACs
+  /// (true = client radio, shadow on its home shard). Installs itself as
+  /// every medium's shard link and, when the partition is spatial, a
+  /// per-window migration sweep on every shard.
+  ShardFabric(sim::ShardedSimulator& bus, std::vector<Medium*> mediums,
+              ShardPartition partition,
+              std::function<bool(wire::MacAddress)> is_client);
+  ~ShardFabric();
+  ShardFabric(const ShardFabric&) = delete;
+  ShardFabric& operator=(const ShardFabric&) = delete;
+
+  /// Declares a client radio homed on shard `home` and places its proxy on
+  /// the owner of its current channel stripe. Call after constructing the
+  /// radio (its attach has already been intercepted) and before
+  /// ShardedSimulator::drain_initial, from the coordinating thread.
+  /// `pos_at` must be a pure function of sim time (the MobilityModel
+  /// contract); [addr_lo, addr_hi) are the unicast addresses the client's
+  /// virtual interfaces answer for (the ARQ gate on the owning shard).
+  void register_client(int home, Radio& radio,
+                       std::function<Position(Time)> pos_at,
+                       double max_speed_mps, std::uint64_t addr_lo,
+                       std::uint64_t addr_hi);
+
+  const ShardPartition& partition() const { return partition_; }
+  /// Proxies moved across a stripe cut by the migration sweep.
+  std::uint64_t migrations() const {
+    return migrations_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  /// Per-shard face of the fabric (the pointer installed into a medium).
+  struct Port final : ShardLink {
+    ShardFabric* fab = nullptr;
+    int shard = 0;
+
+    bool is_shadow(wire::MacAddress mac) const override;
+    void on_shadow_attach(Radio& radio) override;
+    void on_shadow_detach(Radio& radio) override;
+    void on_shadow_transmit(Radio& sender, const wire::Frame& frame,
+                            const Position& tx_pos, BitRate rate) override;
+    void on_shadow_retune(Radio& radio, wire::Channel old_channel) override;
+    void on_native_transmit(wire::Channel channel, const Position& tx_pos,
+                            const wire::Frame& frame, BitRate rate,
+                            std::uint64_t sender_gid) override;
+    void on_proxy_delivery(std::uint64_t gid, const wire::Frame& frame,
+                           double rssi) override;
+  };
+
+  struct ClientInfo {
+    Radio* radio = nullptr;  ///< null before attach / after teardown
+    int home = 0;
+    std::function<Position(Time)> pos_at;
+    double max_speed = 0.0;
+    std::uint64_t addr_lo = 0, addr_hi = 0;
+    // Home-thread-only placement state.
+    int cur_shard = -1;
+    wire::Channel cur_channel = 1;
+    bool placed = false;
+  };
+
+  /// Routes a shadow/native transmission to every shard whose stripe of
+  /// `channel` is within the export margin of `tx_pos`. `from` is the
+  /// sending shard; its own medium is skipped for native senders (they
+  /// already fanned out locally) but *not* for shadows (a shadow has no
+  /// local phy presence — its proxy may live right here).
+  void route_transmit(int from, bool skip_self, wire::Channel channel,
+                      const Position& tx_pos, Time t0, BitRate rate,
+                      const wire::Frame& frame, std::uint64_t exclude_gid);
+  /// Sends depart (old placement) + arrive (new) thunks and updates the
+  /// placement. Home thread only.
+  void move_proxy(int home, ClientInfo& info, std::uint64_t gid,
+                  wire::Channel channel, int new_shard);
+  /// Applies a forwarded delivery on the client's home shard: the owner
+  /// already drew the loss; here the real radio's listening/channel state
+  /// decides delivery vs drop.
+  void deliver_home(std::uint64_t gid, const wire::Frame& frame);
+  /// Per-window home-side sweep: re-place proxies whose client crossed a
+  /// stripe cut. Installed as a ShardedSimulator window hook when the
+  /// partition is spatial.
+  void migrate_sweep(int shard);
+
+  sim::ShardedSimulator& bus_;
+  std::vector<Medium*> mediums_;
+  ShardPartition partition_;
+  std::function<bool(wire::MacAddress)> is_client_;
+  std::vector<Port> ports_;
+  std::unordered_map<std::uint64_t, ClientInfo> clients_;
+  /// Per-shard home rosters (pointers into clients_, stable: node-based
+  /// map, structure frozen during the run).
+  std::vector<std::vector<std::pair<std::uint64_t, ClientInfo*>>> homed_;
+  std::atomic<std::uint64_t> migrations_{0};
+};
+
+}  // namespace spider::phy

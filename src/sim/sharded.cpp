@@ -1,0 +1,123 @@
+#include "sim/sharded.hpp"
+
+#include <barrier>
+#include <cassert>
+#include <thread>
+#include <utility>
+
+namespace spider::sim {
+
+ShardedSimulator::ShardedSimulator(std::vector<Simulator*> shards, Time window)
+    : sims_(std::move(shards)), window_(window) {
+  assert(!sims_.empty());
+  assert(window_ > Time{0});
+  const auto s = sims_.size();
+  boxes_.resize(s * s);
+  lanes_.resize(s);
+  hooks_.resize(s);
+}
+
+void ShardedSimulator::send(int from, int to, Thunk thunk) {
+  Lane& lane = lanes_[static_cast<std::size_t>(from)];
+  box(from, to).q[lane.out_parity].push_back(std::move(thunk));
+  ++lane.sent;
+}
+
+std::uint64_t ShardedSimulator::messages_sent() const {
+  std::uint64_t total = 0;
+  for (const Lane& lane : lanes_) total += lane.sent;
+  return total;
+}
+
+void ShardedSimulator::drain(int to, int parity) {
+  for (int from = 0; from < shards(); ++from) {
+    auto& q = box(from, to).q[parity];
+    // Index loop: an applied thunk may append to this very queue (only
+    // during drain_initial, where every lane still points at parity 1).
+    for (std::size_t i = 0; i < q.size(); ++i) q[i]();
+    q.clear();
+  }
+}
+
+void ShardedSimulator::drain_initial() {
+  // Assembly-time sends all carry the initial parity (1, the parity of
+  // window 1). Applying one may send again, possibly to a pair already
+  // drained this round — loop until the system is quiescent so window 1
+  // starts with empty mailboxes.
+  bool again = true;
+  while (again) {
+    for (int to = 0; to < shards(); ++to) drain(to, 1);
+    again = false;
+    for (const Mailbox& b : boxes_) again = again || !b.q[1].empty();
+  }
+}
+
+void ShardedSimulator::drain_final() {
+  bool again = true;
+  while (again) {
+    for (int to = 0; to < shards(); ++to) {
+      drain(to, 0);
+      drain(to, 1);
+    }
+    again = false;
+    for (const Mailbox& b : boxes_) {
+      again = again || !b.q[0].empty() || !b.q[1].empty();
+    }
+  }
+}
+
+void ShardedSimulator::shard_main(int s, Time deadline, void* barrier) {
+  auto& gate = *static_cast<std::barrier<>*>(barrier);
+  Simulator& sim = shard(s);
+  Lane& lane = lanes_[static_cast<std::size_t>(s)];
+  std::uint64_t k = 0;
+  for (;;) {
+    ++k;
+    const int parity = static_cast<int>(k & 1);
+    const Time target = std::min(Time{window_.count() * static_cast<Time::rep>(k)},
+                                 deadline);
+    // Sends made while executing window k land in parity k&1, which the
+    // receivers drain right after barrier A below.
+    lane.out_parity = parity;
+    sim.run_until(target);
+    if (sim.interrupted()) stop_.store(true, std::memory_order_relaxed);
+    // Sends made while *draining* window k (a forwarded delivery whose
+    // upcall transmits) belong to the next window.
+    lane.out_parity = parity ^ 1;
+    gate.arrive_and_wait();  // A_k: all window-k sends visible
+    if (stop_.load(std::memory_order_relaxed)) break;
+    drain(s, parity);
+    if (hooks_[static_cast<std::size_t>(s)]) hooks_[static_cast<std::size_t>(s)]();
+    gate.arrive_and_wait();  // B_k: all window-k drains applied
+    if (target == deadline) break;
+  }
+  if (s == 0) windows_ = k;
+}
+
+bool ShardedSimulator::run_until(Time deadline, CancelToken* cancel) {
+  const int s = shards();
+  stop_.store(false, std::memory_order_relaxed);
+  for (Simulator* sim : sims_) {
+    if (cancel != nullptr) sim->set_cancel_token(cancel);
+  }
+  std::barrier<> gate(s);
+  if (s == 1) {
+    // Degenerate formation: run inline, no threads (kept for symmetry;
+    // callers normally use the plain serial path for one shard).
+    shard_main(0, deadline, &gate);
+  } else {
+    std::vector<std::thread> workers;
+    workers.reserve(static_cast<std::size_t>(s));
+    for (int i = 0; i < s; ++i) {
+      workers.emplace_back([this, i, deadline, &gate] {
+        shard_main(i, deadline, &gate);
+      });
+    }
+    for (std::thread& w : workers) w.join();
+  }
+  bool interrupted = false;
+  for (Simulator* sim : sims_) interrupted = interrupted || sim->interrupted();
+  return !interrupted;
+}
+
+}  // namespace spider::sim

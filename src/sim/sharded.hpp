@@ -1,0 +1,120 @@
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "sim/cancel.hpp"
+#include "sim/simulator.hpp"
+#include "util/time.hpp"
+
+namespace spider::sim {
+
+/// Conservative lockstep coordinator for intra-run parallel simulation.
+///
+/// Each shard is an ordinary single-threaded Simulator advanced on its own
+/// worker thread. Time is divided into fixed windows of `window` (the
+/// cross-shard lookahead, see phy/shard_link.hpp for the derivation): all
+/// shards execute window k, rendezvous at a barrier, exchange the messages
+/// produced during that window, rendezvous again, and proceed to window
+/// k+1. The protocol is safe — no shard ever receives a message destined
+/// for its past — as long as every cross-shard interaction committed while
+/// executing window k takes effect strictly after the window boundary k*W,
+/// which the caller guarantees by choosing `window` at or below the
+/// minimum cross-shard latency (frame airtime, switch latency).
+///
+/// Messages are closures ("apply thunks") carried in per-(sender,receiver)
+/// mailboxes. Each mailbox is double-buffered by window parity: while the
+/// receiver drains parity k&1, senders append to parity (k+1)&1, so no
+/// buffer is ever read and written concurrently and the only atomics in
+/// the whole engine are the stop flag and the cancel token. Drains apply
+/// thunks in sender order 0..S-1, FIFO within a sender — a deterministic
+/// order per shard count, which is exactly the reproducibility contract of
+/// a sharded run (DESIGN.md §12).
+///
+/// A thunk applied during a drain may itself send (e.g. a forwarded frame
+/// delivery whose upcall transmits); those sends target the next window's
+/// parity and are picked up one drain later, still ahead of any simulation
+/// event that could observe them.
+class ShardedSimulator {
+ public:
+  using Thunk = std::function<void()>;
+
+  /// `shards` are borrowed, one per worker; `window` is the lookahead.
+  ShardedSimulator(std::vector<Simulator*> shards, Time window);
+  ShardedSimulator(const ShardedSimulator&) = delete;
+  ShardedSimulator& operator=(const ShardedSimulator&) = delete;
+
+  int shards() const { return static_cast<int>(sims_.size()); }
+  Time window() const { return window_; }
+  Simulator& shard(int s) { return *sims_[static_cast<std::size_t>(s)]; }
+
+  /// Enqueues `thunk` to run on shard `to`'s thread at the next drain
+  /// point. Must be called from shard `from`'s thread (or from the
+  /// coordinating thread before run_until — see drain_initial).
+  void send(int from, int to, Thunk thunk);
+
+  /// Applies every thunk sent before the run starts (assembly-time proxy
+  /// registrations). Call from the coordinating thread after the topology
+  /// is built and before run_until; loops until no thunk re-sends.
+  void drain_initial();
+
+  /// Applies thunks still in flight after run_until returned — messages
+  /// sent while draining the final window (e.g. forwarded deliveries that
+  /// landed on a proxy in the last lookahead window) have no later drain
+  /// point. Call from the coordinating thread; loops until quiescent.
+  void drain_final();
+
+  /// Installs a per-window callback for shard `s`, run on its worker
+  /// thread after each window's drain (sends made by the hook join the
+  /// next window's exchange). Used for home-side proxy migration sweeps.
+  void set_window_hook(int s, Thunk hook) {
+    hooks_[static_cast<std::size_t>(s)] = std::move(hook);
+  }
+
+  /// Runs every shard to `deadline` in lockstep windows. Installs `cancel`
+  /// (may be null) on each shard; if any shard's simulator is interrupted
+  /// the whole formation stops at the next window boundary. Returns true
+  /// when every shard reached the deadline uninterrupted.
+  bool run_until(Time deadline, CancelToken* cancel = nullptr);
+
+  /// Windows executed by the last run_until (diagnostics).
+  std::uint64_t windows_run() const { return windows_; }
+  /// Total cross-shard thunks sent so far (deterministic per shard count).
+  std::uint64_t messages_sent() const;
+
+ private:
+  /// Double-buffered SPSC mailbox for one (sender, receiver) pair. The
+  /// index loop in drain() tolerates appends mid-drain (self-sends during
+  /// drain_initial); clear() keeps capacity, so steady state allocates
+  /// only when a window outgrows every previous one.
+  struct Mailbox {
+    std::vector<Thunk> q[2];
+  };
+  /// Per-shard sender state, cacheline-separated to keep the hot append
+  /// path free of false sharing.
+  struct alignas(64) Lane {
+    int out_parity = 1;  ///< parity of the window currently being filled
+    std::uint64_t sent = 0;
+  };
+
+  Mailbox& box(int from, int to) {
+    return boxes_[static_cast<std::size_t>(from) *
+                      static_cast<std::size_t>(shards()) +
+                  static_cast<std::size_t>(to)];
+  }
+  /// Applies and clears every thunk addressed to `to` at `parity`.
+  void drain(int to, int parity);
+  void shard_main(int s, Time deadline, void* barrier);
+
+  std::vector<Simulator*> sims_;
+  Time window_;
+  std::vector<Mailbox> boxes_;  ///< S*S, row-major by sender
+  std::vector<Lane> lanes_;     ///< one per shard
+  std::vector<Thunk> hooks_;    ///< optional per-shard window hooks
+  std::atomic<bool> stop_{false};
+  std::uint64_t windows_ = 0;
+};
+
+}  // namespace spider::sim

@@ -27,7 +27,7 @@ double ScenarioResult::dhcp_failure_fraction() const {
          static_cast<double>(dhcp_succeeded) / static_cast<double>(assoc_succeeded);
 }
 
-namespace {
+namespace detail {
 
 void digest_join_log(ScenarioResult& result) {
   result.joins_attempted = result.join_log.size();
@@ -39,13 +39,16 @@ void digest_join_log(ScenarioResult& result) {
   }
 }
 
-}  // namespace
-
-namespace detail {
-
 ScenarioResult execute_scenario(const ScenarioConfig& config,
                                 std::shared_ptr<obs::Tracer> tracer,
                                 sim::CancelToken* cancel) {
+  // Formations of more than one shard take the sharded twin (one testbed
+  // per shard, lockstep windows). Fault schedules stay on the serial path:
+  // the injector mutates one medium/AP set in place.
+  const int shards = resolve_shards(config);
+  if (shards > 1 && config.faults.empty()) {
+    return execute_scenario_sharded(config, shards, std::move(tracer), cancel);
+  }
   const auto wall_start = std::chrono::steady_clock::now();
   TestbedConfig tb_config;
   tb_config.seed = config.seed;
@@ -310,7 +313,7 @@ ScenarioResult pool_results(const std::vector<ScenarioResult>& runs) {
     pooled.traces.insert(pooled.traces.end(), one.traces.begin(),
                          one.traces.end());
   }
-  digest_join_log(pooled);
+  detail::digest_join_log(pooled);
   return pooled;
 }
 

@@ -98,13 +98,18 @@ bool write_resilience_csv(const std::string& path,
 
 void write_perf_csv(std::ostream& os,
                     const std::vector<ScenarioResult>& results) {
-  os << "run,events_popped,events_cancelled,heap_peak,compactions,"
+  os << "run,shards,events_popped,events_cancelled,heap_peak,compactions,"
         "handles_allocated,callbacks_heap,frames_tx,frames_fanout,"
         "radio_candidates,grid_cells_scanned,grid_rebuckets,"
         "sim_s,wall_s,sim_per_wall\n";
   for (std::size_t i = 0; i < results.size(); ++i) {
     const sim::PerfCounters& p = results[i].perf;
-    os << i << ',' << p.events_popped << ',' << p.events_cancelled << ','
+    // Sharded runs stamp their formation width into the metrics registry;
+    // serial runs carry no entry and report width 1. Counter columns hold
+    // exact per-shard sums either way (PerfCounters::merge_shard).
+    const double width = results[i].metrics.value("shard.width");
+    os << i << ',' << (width > 0.0 ? static_cast<int>(width) : 1) << ','
+       << p.events_popped << ',' << p.events_cancelled << ','
        << p.heap_peak << ',' << p.compactions << ',' << p.handles_allocated
        << ',' << p.callbacks_heap << ',' << p.frames_tx << ','
        << p.frames_fanout << ',' << p.radio_candidates << ','

@@ -15,6 +15,14 @@ void ThroughputRecorder::finalize(Time end) {
   if (bins_.size() < bins_needed) bins_.resize(bins_needed, 0);
 }
 
+void ThroughputRecorder::merge(const ThroughputRecorder& other) {
+  if (bins_.size() < other.bins_.size()) bins_.resize(other.bins_.size(), 0);
+  for (std::size_t i = 0; i < other.bins_.size(); ++i) {
+    bins_[i] += other.bins_[i];
+  }
+  total_ += other.total_;
+}
+
 double ThroughputRecorder::average_throughput_kBps() const {
   if (bins_.empty()) return 0.0;
   const double seconds = static_cast<double>(bins_.size()) * to_seconds(bin_);

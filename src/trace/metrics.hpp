@@ -27,6 +27,11 @@ class ThroughputRecorder {
   /// Extends the timeline with trailing zero bins up to `end`.
   void finalize(Time end);
 
+  /// Adds `other`'s timeline bin-by-bin (same bin width required). Sharded
+  /// runs keep one recorder per shard — each fed only from its own event
+  /// loop — and merge them afterwards into the run's single timeline.
+  void merge(const ThroughputRecorder& other);
+
   std::uint64_t total_bytes() const { return total_; }
   std::size_t bins() const { return bins_.size(); }
   Time bin_width() const { return bin_; }

@@ -2,6 +2,7 @@
 #include <string>
 #include <vector>
 
+#include "phy/shard_fabric.hpp"
 #include "trace/error.hpp"
 #include "trace/experiment.hpp"
 
@@ -158,6 +159,17 @@ std::vector<ConfigIssue> ScenarioConfig::validate() const {
   if ((driver == DriverKind::kSpider || driver == DriverKind::kFatVap) &&
       spider.num_interfaces < 1) {
     issues.push_back({"spider.num_interfaces", "must be >= 1"});
+  }
+
+  if (shards < 0 || shards > phy::kMaxShards) {
+    issues.push_back({"shards", "must lie in [0, " +
+                                    std::to_string(phy::kMaxShards) +
+                                    "] (0 = auto, 1 = serial)"});
+  } else if (shards > 1 && !faults.empty()) {
+    issues.push_back(
+        {"shards",
+         "fault schedules require shards == 1 (the injector mutates a "
+         "single medium/AP set in place)"});
   }
 
   return issues;

@@ -226,6 +226,28 @@ TEST(Protocol, ScenarioRoundTripsThroughWireForm) {
   EXPECT_EQ(wire, scenario_to_json(back));
 }
 
+TEST(Protocol, ShardsRoundTripsAndBadValuesFailValidation) {
+  trace::ScenarioConfig config = quick_scenario(7);
+  config.shards = 4;
+  const std::string wire = scenario_to_json(config);
+  EXPECT_NE(wire.find("\"shards\":4"), std::string::npos);
+  const std::optional<util::Json> parsed = util::Json::parse(wire);
+  ASSERT_TRUE(parsed.has_value());
+  trace::ScenarioConfig back;
+  std::string error;
+  ASSERT_TRUE(parse_scenario(*parsed, &back, &error)) << error;
+  EXPECT_EQ(back.shards, 4);
+
+  // A non-numeric shards value must surface as an invalid config, not
+  // silently run some other formation.
+  const std::optional<util::Json> bad =
+      util::Json::parse(R"({"seed":1,"shards":"wide"})");
+  ASSERT_TRUE(bad.has_value());
+  trace::ScenarioConfig mangled;
+  ASSERT_TRUE(parse_scenario(*bad, &mangled, &error)) << error;
+  EXPECT_FALSE(mangled.validate().empty());
+}
+
 TEST(Protocol, UnknownScenarioKeyIsAnError) {
   const std::optional<util::Json> json =
       util::Json::parse(R"({"seed":1,"durationn_s":30})");
