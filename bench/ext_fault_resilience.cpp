@@ -88,7 +88,8 @@ int main(int argc, char** argv) {
       cfg.spider.mode =
           core::OperationMode::equal_split({1, 6, 11}, msec(600));
       cfg.spider.resilient_link_policy = driver.resilient;
-      cfg.faults = make_schedule(events, duration);
+      cfg.impairments =
+          trace::ImpairmentSource::synthetic(make_schedule(events, duration));
       configs.push_back(cfg);
       row_labels.push_back(driver.label);
     }

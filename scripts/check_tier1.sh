@@ -2,9 +2,9 @@
 # Tier-1 gate: configure, build, run the full test suite, then the
 # perf/determinism smokes (hot-path allocation contract, the citywide
 # grid-vs-brute-force digest pin — which also asserts the grid wins on
-# wall-clock — the sharded-formation digest pin, and the sim-as-a-service
-# robustness pin), then the shard engine under ThreadSanitizer. Everything
-# a PR must keep green.
+# wall-clock — the sharded-formation digest pin, the sim-as-a-service
+# robustness pin, and the trace-replay re-ingest pin), then the shard
+# engine under ThreadSanitizer. Everything a PR must keep green.
 #
 # Every ctest invocation carries a per-test timeout: the suite now
 # exercises servers, watchdogs, and cancellation, and a regression there
@@ -23,6 +23,7 @@ cmake --build "$BUILD_DIR" -j
 "$BUILD_DIR"/bench/ext_citywide --smoke --assert-wall --json "$BUILD_DIR"/BENCH_citywide_smoke.json
 "$BUILD_DIR"/bench/ext_citywide --smoke --shards 1,2,4 --assert-shards --json "$BUILD_DIR"/BENCH_citywide_shard.json
 (cd "$BUILD_DIR" && bench/serve_smoke --seeds 1000 --json BENCH_serve_smoke.json)
+(cd "$BUILD_DIR" && bench/ext_trace_replay --smoke 1 --trace ../data/traces/sample_occupancy.csv --resilience-csv BENCH_trace_replay_resilience.csv)
 
 # Sharded engine under ThreadSanitizer: the lockstep coordinator, the
 # mailbox parity protocol, and the formation fabric must be data-race

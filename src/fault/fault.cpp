@@ -22,6 +22,23 @@ const char* to_string(FaultKind kind) {
   return "?";
 }
 
+bool fault_kind_from_string(const std::string& name, FaultKind* out) {
+  static constexpr FaultKind kAll[] = {
+      FaultKind::kChannelBurstLoss, FaultKind::kChannelInterference,
+      FaultKind::kApBlackout,       FaultKind::kApReboot,
+      FaultKind::kBeaconSilence,    FaultKind::kPsmFlush,
+      FaultKind::kDhcpStall,        FaultKind::kDhcpNakStorm,
+      FaultKind::kDhcpPoolReset,    FaultKind::kGatewayFlap,
+  };
+  for (FaultKind kind : kAll) {
+    if (name == to_string(kind)) {
+      *out = kind;
+      return true;
+    }
+  }
+  return false;
+}
+
 namespace {
 
 bool instantaneous(FaultKind kind) {

@@ -2,6 +2,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <string>
 #include <vector>
 
 #include "mac/ap.hpp"
@@ -54,6 +55,9 @@ enum class FaultKind {
 };
 
 const char* to_string(FaultKind kind);
+/// Inverse of to_string (exact wire names, e.g. "ap-blackout"); false on an
+/// unknown name. Used by scenario serde to carry schedules across the wire.
+bool fault_kind_from_string(const std::string& name, FaultKind* out);
 
 /// One scheduled fault: at `at`, start `kind` on `target` for `duration`.
 /// Instantaneous kinds (kPsmFlush, kDhcpPoolReset) ignore `duration`.

@@ -3,14 +3,21 @@
 //   spider_campaign --server a.sock [--server b.sock ...] --seeds N
 //                   [--first-seed N] [--conns N] [--deadline-ms X]
 //                   [--timeout-ms X] [--max-attempts N] [--journal PATH]
-//                   [--duration-s X] [--speed-mps X] [--clients N]
-//                   [--shards N] [--check-serial]
+//                   [--scenario-json JSON] [--duration-s X] [--speed-mps X]
+//                   [--clients N] [--shards N] [--trace PATH]
+//                   [--check-serial]
 //
 // Shards seeds first-seed .. first-seed+N-1 across the given servers,
 // retries failed or timed-out seeds with exponential backoff, journals
 // completed seeds for resume, and prints the ascending-seed merged
 // statistics digest. --check-serial additionally runs the same seeds
 // in-process and verifies the digests are byte-identical.
+//
+// --scenario-json seeds the base scenario from the shared scenario JSON
+// round trip (the same format the serve protocol speaks, including
+// client_mix and impairments); later flags override its fields. --trace
+// replays a recorded channel-occupancy file (CSV/JSONL) as the campaign's
+// impairment source.
 //
 // Exit codes: 0 all seeds completed (and digests match when checked),
 // 1 some seeds failed or the serial check mismatched, 2 usage error,
@@ -20,8 +27,10 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <string>
 
 #include "serve/campaign.hpp"
+#include "trace/scenario_json.hpp"
 
 namespace {
 
@@ -35,8 +44,9 @@ void on_signal(int) { g_cancel.request_cancel(); }
       "usage: %s --server PATH [--server PATH ...] --seeds N\n"
       "          [--first-seed N] [--conns N] [--deadline-ms X]\n"
       "          [--timeout-ms X] [--max-attempts N] [--journal PATH]\n"
-      "          [--duration-s X] [--speed-mps X] [--clients N]\n"
-      "          [--shards N] [--check-serial]\n",
+      "          [--scenario-json JSON] [--duration-s X] [--speed-mps X]\n"
+      "          [--clients N] [--shards N] [--trace PATH]\n"
+      "          [--check-serial]\n",
       argv0);
   std::exit(2);
 }
@@ -87,6 +97,18 @@ int main(int argc, char** argv) {
           static_cast<int>(parse_number(argv[0], flag, value()));
     } else if (std::strcmp(flag, "--journal") == 0) {
       config.journal_path = value();
+    } else if (std::strcmp(flag, "--scenario-json") == 0) {
+      // The whole base scenario in one shot, via the shared serde; later
+      // scenario flags override individual fields.
+      std::string error;
+      if (!spider::trace::parse_scenario_json(value(), &config.base, &error)) {
+        std::fprintf(stderr, "%s: --scenario-json: %s\n", argv[0],
+                     error.c_str());
+        return 2;
+      }
+    } else if (std::strcmp(flag, "--trace") == 0) {
+      config.base.impairments =
+          spider::trace::ImpairmentSource::trace_file(value());
     } else if (std::strcmp(flag, "--duration-s") == 0) {
       config.base.duration = spider::sec(parse_number(argv[0], flag, value()));
     } else if (std::strcmp(flag, "--speed-mps") == 0) {

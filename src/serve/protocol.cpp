@@ -3,6 +3,8 @@
 #include <cmath>
 #include <sstream>
 
+#include "trace/scenario_json.hpp"
+
 namespace spider::serve {
 
 using util::Json;
@@ -79,165 +81,21 @@ std::optional<RunStats> RunStats::from_json(const Json& json) {
   return s;
 }
 
-namespace {
-
-const char* to_wire(trace::DriverKind kind) {
-  switch (kind) {
-    case trace::DriverKind::kSpider: return "spider";
-    case trace::DriverKind::kStock: return "stock";
-    case trace::DriverKind::kFatVap: return "fatvap";
-  }
-  return "?";
-}
-
-bool driver_from_wire(const std::string& name, trace::DriverKind* out) {
-  if (name == "spider") *out = trace::DriverKind::kSpider;
-  else if (name == "stock") *out = trace::DriverKind::kStock;
-  else if (name == "fatvap") *out = trace::DriverKind::kFatVap;
-  else return false;
-  return true;
-}
-
-bool set_error(std::string* error, const std::string& message) {
-  if (error != nullptr) *error = message;
-  return false;
-}
-
-}  // namespace
-
+// Scenario serde lives in trace/scenario_json.{hpp,cpp} — one shared
+// round trip for the server, the campaign runner, and the trace tooling.
+// These forwarders keep the serve-facing names stable.
 void write_scenario_json(std::ostream& os,
                          const trace::ScenarioConfig& config) {
-  os << "{\"seed\":" << config.seed
-     << ",\"duration_s\":" << json_number(to_seconds(config.duration))
-     << ",\"speed_mps\":" << json_number(config.speed_mps)
-     << ",\"clients\":" << config.clients
-     << ",\"shards\":" << config.shards
-     << ",\"metrics_bin_s\":" << json_number(to_seconds(config.metrics_bin))
-     << ",\"driver\":\"" << to_wire(config.driver) << '"'
-     << ",\"adaptive\":" << (config.adaptive ? "true" : "false")
-     << ",\"num_interfaces\":" << config.spider.num_interfaces
-     << ",\"mode\":{\"period_ms\":"
-     << json_number(to_millis(config.spider.mode.period)) << ",\"fractions\":[";
-  bool first = true;
-  for (const auto& [channel, fraction] : config.spider.mode.fractions) {
-    if (!first) os << ',';
-    first = false;
-    os << '[' << channel << ',' << json_number(fraction) << ']';
-  }
-  os << "]}"
-     << ",\"neighbor_index\":\""
-     << (config.neighbor_index == phy::NeighborIndex::kGrid   ? "grid"
-         : config.neighbor_index == phy::NeighborIndex::kAuto ? "auto"
-                                                              : "brute")
-     << '"' << ",\"grid_cell_m\":" << json_number(config.grid_cell_m);
-  if (config.city) {
-    os << ",\"city\":{\"width_m\":" << json_number(config.city->width_m)
-       << ",\"height_m\":" << json_number(config.city->height_m)
-       << ",\"block_m\":" << json_number(config.city->block_m)
-       << ",\"aps_per_km2\":" << json_number(config.city->aps_per_km2) << '}';
-  } else {
-    os << ",\"road_length_m\":" << json_number(config.deployment.road_length_m)
-       << ",\"aps_per_km\":" << json_number(config.deployment.aps_per_km);
-  }
-  os << '}';
+  trace::write_scenario_json(os, config);
 }
 
 std::string scenario_to_json(const trace::ScenarioConfig& config) {
-  std::ostringstream os;
-  write_scenario_json(os, config);
-  return os.str();
+  return trace::scenario_to_json(config);
 }
 
 bool parse_scenario(const Json& json, trace::ScenarioConfig* config,
                     std::string* error) {
-  if (!json.is_object()) {
-    return set_error(error, "scenario must be a JSON object");
-  }
-  trace::ScenarioConfig out;  // protocol defaults = library defaults
-  for (const auto& [key, value] : json.members()) {
-    if (key == "seed") {
-      out.seed = static_cast<std::uint64_t>(value.number_or(1.0));
-    } else if (key == "duration_s") {
-      out.duration = sec(value.number_or(0.0));
-    } else if (key == "speed_mps") {
-      out.speed_mps = value.number_or(-1.0);
-    } else if (key == "clients") {
-      out.clients = static_cast<int>(value.number_or(0.0));
-    } else if (key == "shards") {
-      // Non-numeric values resolve to -1 so validate() rejects them as
-      // invalid_config instead of silently running a different formation.
-      out.shards = static_cast<int>(value.number_or(-1.0));
-    } else if (key == "metrics_bin_s") {
-      out.metrics_bin = sec(value.number_or(0.0));
-    } else if (key == "driver") {
-      if (!value.is_string() ||
-          !driver_from_wire(value.string_value(), &out.driver)) {
-        return set_error(error, "driver must be spider|stock|fatvap");
-      }
-    } else if (key == "adaptive") {
-      out.adaptive = value.bool_or(false);
-    } else if (key == "num_interfaces") {
-      out.spider.num_interfaces =
-          static_cast<std::size_t>(value.number_or(0.0));
-    } else if (key == "mode") {
-      const Json* period = value.find("period_ms");
-      const Json* fractions = value.find("fractions");
-      if (!value.is_object() || period == nullptr || fractions == nullptr ||
-          !fractions->is_array()) {
-        return set_error(error, "mode needs period_ms and fractions");
-      }
-      core::OperationMode mode;
-      mode.period = msec(static_cast<std::int64_t>(period->number_or(0.0)));
-      for (const Json& pair : fractions->elements()) {
-        if (!pair.is_array() || pair.elements().size() != 2) {
-          return set_error(error, "mode fraction entries are [channel,frac]");
-        }
-        mode.fractions.emplace_back(
-            static_cast<wire::Channel>(pair.elements()[0].number_or(0.0)),
-            pair.elements()[1].number_or(0.0));
-      }
-      out.spider.mode = mode;
-    } else if (key == "neighbor_index") {
-      const std::string name = value.string_or("");
-      if (name == "grid") {
-        out.neighbor_index = phy::NeighborIndex::kGrid;
-      } else if (name == "brute") {
-        out.neighbor_index = phy::NeighborIndex::kBruteForce;
-      } else if (name == "auto") {
-        out.neighbor_index = phy::NeighborIndex::kAuto;
-      } else {
-        return set_error(error, "neighbor_index must be grid|brute|auto");
-      }
-    } else if (key == "grid_cell_m") {
-      out.grid_cell_m = value.number_or(-1.0);
-    } else if (key == "road_length_m") {
-      out.deployment.road_length_m = value.number_or(0.0);
-    } else if (key == "aps_per_km") {
-      out.deployment.aps_per_km = value.number_or(-1.0);
-    } else if (key == "city") {
-      mob::CityGridConfig city;
-      if (!value.is_object()) {
-        return set_error(error, "city must be a JSON object");
-      }
-      for (const auto& [ckey, cvalue] : value.members()) {
-        if (ckey == "width_m") city.width_m = cvalue.number_or(0.0);
-        else if (ckey == "height_m") city.height_m = cvalue.number_or(0.0);
-        else if (ckey == "block_m") city.block_m = cvalue.number_or(0.0);
-        else if (ckey == "aps_per_km2") {
-          city.aps_per_km2 = cvalue.number_or(-1.0);
-        } else {
-          return set_error(error, "unknown city key '" + ckey + "'");
-        }
-      }
-      out.city = city;
-    } else {
-      // Strict: a dropped key would silently run a different experiment
-      // than the client intended.
-      return set_error(error, "unknown scenario key '" + key + "'");
-    }
-  }
-  *config = std::move(out);
-  return true;
+  return trace::parse_scenario_json(json, config, error);
 }
 
 std::string make_ok_run_response(const std::string& id,

@@ -40,10 +40,11 @@ struct RunStats {
   static std::optional<RunStats> from_json(const util::Json& json);
 };
 
-/// Scenario serde over the protocol subset of ScenarioConfig: seed,
-/// duration/speed/clients, road or city deployment, channel mix implied by
-/// defaults, driver + interface count + operation mode, neighbor index and
-/// grid cell. parse is strict — an unknown scenario key is an error, so a
+/// Scenario serde: forwarders over the one shared round trip in
+/// trace/scenario_json.hpp (also used by spider_campaign and the trace
+/// tooling), covering the protocol subset of ScenarioConfig plus the
+/// client_mix/impairments extensions. parse is strict — an unknown
+/// scenario key or malformed value fails with a field-named error, so a
 /// client typo cannot silently diverge from the intended experiment (the
 /// campaign merge-equals-serial check depends on nothing being dropped).
 bool parse_scenario(const util::Json& json, trace::ScenarioConfig* config,

@@ -1,0 +1,120 @@
+#include "trace/client_profile.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace spider::trace {
+
+const char* to_string(ClientProfileKind kind) {
+  switch (kind) {
+    case ClientProfileKind::kDefault: return "default";
+    case ClientProfileKind::kAggressiveScanner: return "aggressive-scanner";
+    case ClientProfileKind::kStickyDevice: return "sticky-device";
+    case ClientProfileKind::kPsmPhone: return "psm-phone";
+  }
+  return "?";
+}
+
+bool client_profile_kind_from_string(const std::string& name,
+                                     ClientProfileKind* out) {
+  if (name == "default") *out = ClientProfileKind::kDefault;
+  else if (name == "aggressive-scanner") {
+    *out = ClientProfileKind::kAggressiveScanner;
+  } else if (name == "sticky-device") {
+    *out = ClientProfileKind::kStickyDevice;
+  } else if (name == "psm-phone") {
+    *out = ClientProfileKind::kPsmPhone;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+ClientProfile ClientProfile::preset(ClientProfileKind kind) {
+  ClientProfile p;
+  p.kind = kind;
+  switch (kind) {
+    case ClientProfileKind::kDefault:
+      break;
+    case ClientProfileKind::kAggressiveScanner:
+      p.scan_aggressiveness = 4.0;
+      break;
+    case ClientProfileKind::kStickyDevice:
+      p.ap_stickiness = 4.0;
+      p.scan_aggressiveness = 0.5;
+      break;
+    case ClientProfileKind::kPsmPhone:
+      p.psm_duty = 0.5;
+      p.scan_aggressiveness = 0.5;
+      break;
+  }
+  return p;
+}
+
+namespace {
+
+/// Timer scaling with a 1 ms floor: profiles stretch or shrink cadences,
+/// they never create zero-period timers.
+Time scale_time(Time t, double factor) {
+  const auto scaled = static_cast<std::int64_t>(
+      std::llround(static_cast<double>(t.count()) * factor));
+  return std::max(Time{scaled}, msec(1));
+}
+
+double clamp01(double v) { return std::clamp(v, 0.0, 1.0); }
+
+}  // namespace
+
+void ClientProfile::apply(core::SpiderConfig& config) const {
+  if (is_default()) return;
+  if (scan_aggressiveness != 1.0 && scan_aggressiveness > 0.0) {
+    if (config.scanner.probe_interval > Time{0}) {
+      config.scanner.probe_interval =
+          scale_time(config.scanner.probe_interval, 1.0 / scan_aggressiveness);
+    }
+  }
+  if (ap_stickiness != 1.0 && ap_stickiness > 0.0) {
+    config.selector.tie_margin =
+        clamp01(config.selector.tie_margin * ap_stickiness);
+    config.evaluate_interval =
+        scale_time(config.evaluate_interval, ap_stickiness);
+    config.scanner.expiry = scale_time(config.scanner.expiry, ap_stickiness);
+  }
+  if (psm_duty > 0.0) {
+    config.psm_retrieval = core::PsmRetrieval::kPsPoll;
+    config.mode.period = scale_time(config.mode.period, 1.0 + psm_duty);
+  }
+}
+
+void ClientProfile::apply(base::StockConfig& config) const {
+  if (is_default()) return;
+  // The stock stack embeds a SpiderConfig; the shared knobs apply there.
+  apply(config.stack);
+  if (scan_aggressiveness != 1.0 && scan_aggressiveness > 0.0) {
+    config.rescan_backoff =
+        scale_time(config.rescan_backoff, 1.0 / scan_aggressiveness);
+  }
+  if (ap_stickiness != 1.0 && ap_stickiness > 0.0) {
+    // Sticky stock devices ride a fading association longer before the
+    // liveness prober declares it dead and triggers a rescan.
+    config.stack.ping.fail_threshold = std::max(
+        1, static_cast<int>(std::llround(config.stack.ping.fail_threshold *
+                                         ap_stickiness)));
+  }
+}
+
+std::vector<ClientProfile> expand_client_mix(const ClientMix& mix,
+                                             int fallback_clients) {
+  std::vector<ClientProfile> out;
+  if (mix.empty()) {
+    out.resize(static_cast<std::size_t>(std::max(1, fallback_clients)));
+    return out;
+  }
+  for (const ClientMixEntry& entry : mix) {
+    for (int i = 0; i < entry.count; ++i) out.push_back(entry.profile);
+  }
+  if (out.empty()) out.emplace_back();
+  return out;
+}
+
+}  // namespace spider::trace

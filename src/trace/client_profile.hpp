@@ -1,0 +1,76 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "baseline/stock_wifi.hpp"
+#include "core/config.hpp"
+
+namespace spider::trace {
+
+/// Named device-behaviour presets, after WiFiSim's observation that real
+/// client populations are not uniform: probe cadence, roaming stickiness
+/// and power-save discipline differ per device class and materially change
+/// association dynamics. The preset picks the three numeric knobs below;
+/// serde keeps the name so a wire round trip is stable.
+enum class ClientProfileKind {
+  kDefault,            ///< the tuned rig every experiment used until now
+  kAggressiveScanner,  ///< probes hard, roams eagerly (laptops, wardrivers)
+  kStickyDevice,       ///< clings to the current AP (IoT, printers)
+  kPsmPhone,           ///< PSM-heavy duty-cycled handset
+};
+
+const char* to_string(ClientProfileKind kind);
+bool client_profile_kind_from_string(const std::string& name,
+                                     ClientProfileKind* out);
+
+/// One client's behavioural deviation from the uniform rig. Applied on top
+/// of the scenario's driver config at rig assembly; a default profile is
+/// exactly the identity, so ClientMix-free scenarios are byte-identical to
+/// every pre-profile build.
+struct ClientProfile {
+  ClientProfileKind kind = ClientProfileKind::kDefault;
+
+  /// Probe-rate multiplier: 2.0 probes twice as often (probe_interval and
+  /// the stock rescan backoff shrink accordingly), 0.5 half as often.
+  double scan_aggressiveness = 1.0;
+  /// AP-stickiness multiplier: > 1 widens the selector's tie margin,
+  /// slows the evaluate loop, stretches scan-cache expiry, and (stock)
+  /// tolerates more missed pings before abandoning a fading association.
+  double ap_stickiness = 1.0;
+  /// Fraction of time dozing in [0, 1]. Positive values switch PSM
+  /// retrieval to the standard PS-Poll discipline and stretch the
+  /// schedule period by (1 + psm_duty) — the duty-cycled handset pattern.
+  double psm_duty = 0.0;
+
+  /// The preset's knob values (kDefault is all-identity).
+  static ClientProfile preset(ClientProfileKind kind);
+
+  /// True when applying this profile changes nothing.
+  bool is_default() const {
+    return scan_aggressiveness == 1.0 && ap_stickiness == 1.0 &&
+           psm_duty == 0.0;
+  }
+
+  /// Rewrites a driver config in place (exact identity when is_default()).
+  void apply(core::SpiderConfig& config) const;
+  void apply(base::StockConfig& config) const;
+};
+
+/// One slice of a heterogeneous population: `count` clients running
+/// `profile`. A scenario's ClientMix is the ordered list of slices;
+/// clients are assembled mix-order-major (all of entry 0, then entry 1,
+/// ...) so the mix order is part of the deterministic run identity.
+struct ClientMixEntry {
+  ClientProfile profile;
+  int count = 1;
+};
+using ClientMix = std::vector<ClientMixEntry>;
+
+/// Per-client profile list a scenario actually runs: the mix expanded in
+/// order, or `fallback_clients` default profiles when the mix is empty
+/// (the homogeneous legacy rig).
+std::vector<ClientProfile> expand_client_mix(const ClientMix& mix,
+                                             int fallback_clients);
+
+}  // namespace spider::trace

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <chrono>
 #include <optional>
+#include <stdexcept>
+#include <string>
 #include <utility>
 
 #include "core/spider_driver.hpp"
@@ -19,6 +21,15 @@ const char* to_string(DriverKind k) {
     case DriverKind::kFatVap: return "fatvap";
   }
   return "?";
+}
+
+int ScenarioConfig::resolved_clients() const {
+  if (client_mix.empty()) return std::max(1, clients);
+  int total = 0;
+  for (const ClientMixEntry& entry : client_mix) {
+    total += std::max(0, entry.count);
+  }
+  return std::max(1, total);
 }
 
 double ScenarioResult::dhcp_failure_fraction() const {
@@ -43,10 +54,10 @@ ScenarioResult execute_scenario(const ScenarioConfig& config,
                                 std::shared_ptr<obs::Tracer> tracer,
                                 sim::CancelToken* cancel) {
   // Formations of more than one shard take the sharded twin (one testbed
-  // per shard, lockstep windows). Fault schedules stay on the serial path:
-  // the injector mutates one medium/AP set in place.
+  // per shard, lockstep windows). Impairment sources stay on the serial
+  // path: the injector mutates one medium/AP set in place.
   const int shards = resolve_shards(config);
-  if (shards > 1 && config.faults.empty()) {
+  if (shards > 1 && config.impairments.none()) {
     return execute_scenario_sharded(config, shards, std::move(tracer), cancel);
   }
   const auto wall_start = std::chrono::steady_clock::now();
@@ -95,7 +106,9 @@ ScenarioResult execute_scenario(const ScenarioConfig& config,
     std::unique_ptr<core::LinkManager> manager;
     std::unique_ptr<core::AdaptiveModeController> adaptive;
   };
-  const int clients = std::max(1, config.clients);
+  const int clients = config.resolved_clients();
+  const std::vector<ClientProfile> profiles =
+      expand_client_mix(config.client_mix, clients);
   std::vector<ClientRig> rigs(static_cast<std::size_t>(clients));
   for (int c = 0; c < clients; ++c) {
     ClientRig& rig = rigs[static_cast<std::size_t>(c)];
@@ -123,11 +136,27 @@ ScenarioResult execute_scenario(const ScenarioConfig& config,
   DownloadHarness harness(bed.sim, bed.server_ip(), recorder);
   ScenarioResult result;
 
-  // Fault timeline. The injector's RNG fork happens only when faults are
-  // scheduled, so fault-free scenarios replay the exact pre-fault streams.
+  // Impairment timeline: the declarative source resolves to the schedule
+  // the injector arms (synthetic sources pass through verbatim; trace-backed
+  // ones ingest + compile here). The injector's RNG fork happens only when
+  // faults are scheduled, so impairment-free scenarios replay the exact
+  // pre-fault streams.
+  fault::FaultSchedule faults;
+  if (!config.impairments.none()) {
+    std::string error;
+    std::optional<fault::FaultSchedule> resolved =
+        config.impairments.resolve(&error);
+    if (!resolved) {
+      // Callers that ran validate() first never land here; direct callers
+      // (unit tests, ad-hoc drivers) get the field-named failure.
+      throw std::runtime_error(std::string(config.impairments.field_name()) +
+                               ": " + error);
+    }
+    faults = std::move(*resolved);
+  }
   ResilienceRecorder resilience;
   std::optional<fault::FaultInjector> injector;
-  if (!config.faults.empty()) {
+  if (!faults.empty()) {
     injector.emplace(bed.sim, bed.fork_rng());
     injector->attach_medium(bed.medium);
     for (auto& bundle : bed.aps()) {
@@ -137,7 +166,7 @@ ScenarioResult execute_scenario(const ScenarioConfig& config,
         [&resilience, &sim = bed.sim](const fault::FaultSpec&) {
           resilience.note_fault(sim.now());
         });
-    injector->arm(config.faults);
+    injector->arm(faults);
     harness.set_extra_callbacks({
         .on_link_up =
             [&resilience, &sim = bed.sim](core::VirtualInterface&) {
@@ -162,17 +191,23 @@ ScenarioResult execute_scenario(const ScenarioConfig& config,
   // Assemble one driver stack per client. Construction and start order per
   // rig matches the old single-client path exactly (driver, manager,
   // harness attach, starts, adaptive), so one-client runs replay the same
-  // event sequence to the byte.
-  for (ClientRig& rig : rigs) {
+  // event sequence to the byte. Each rig's config starts from the shared
+  // tuned copy and has its mix profile applied on top — a default profile
+  // is the exact identity, so mix-free scenarios are unchanged.
+  for (int c = 0; c < clients; ++c) {
+    ClientRig& rig = rigs[static_cast<std::size_t>(c)];
+    const ClientProfile& profile = profiles[static_cast<std::size_t>(c)];
     auto position = [route = rig.route.get(), offset = rig.offset,
                      &sim = bed.sim] {
       return route->position_at(sim.now() + offset);
     };
     switch (config.driver) {
       case DriverKind::kSpider: {
+        core::SpiderConfig rig_cfg = spider_cfg;
+        profile.apply(rig_cfg);
         rig.spider = std::make_unique<core::SpiderDriver>(
             bed.sim, bed.medium, bed.next_client_mac_block(), position,
-            spider_cfg);
+            rig_cfg);
         rig.manager =
             std::make_unique<core::LinkManager>(*rig.spider, bed.server_ip());
         harness.attach(*rig.manager);
@@ -187,17 +222,21 @@ ScenarioResult execute_scenario(const ScenarioConfig& config,
         break;
       }
       case DriverKind::kStock: {
+        base::StockConfig rig_cfg = stock_cfg;
+        profile.apply(rig_cfg);
         rig.stock = std::make_unique<base::StockWifiDriver>(
             bed.sim, bed.medium, bed.next_client_mac_block(), position,
-            stock_cfg, bed.server_ip());
+            rig_cfg, bed.server_ip());
         harness.attach(*rig.stock);
         rig.stock->start();
         break;
       }
       case DriverKind::kFatVap: {
+        core::SpiderConfig rig_cfg = spider_cfg;
+        profile.apply(rig_cfg);
         rig.fatvap = std::make_unique<base::FatVapDriver>(
             bed.sim, bed.medium, bed.next_client_mac_block(), position,
-            spider_cfg, config.fatvap);
+            rig_cfg, config.fatvap);
         rig.manager =
             std::make_unique<core::LinkManager>(*rig.fatvap, bed.server_ip());
         harness.attach(*rig.manager);

@@ -11,6 +11,8 @@
 #include "core/link_manager.hpp"
 #include "fault/fault.hpp"
 #include "mobility/deployment.hpp"
+#include "trace/client_profile.hpp"
+#include "trace/impairment.hpp"
 #include "net/dhcp_server.hpp"
 #include "obs/metrics.hpp"
 #include "sim/cancel.hpp"
@@ -41,7 +43,17 @@ struct ScenarioConfig {
   /// draws its own block tour. Every client runs its own driver stack and
   /// download harness; result fields pool across clients (join logs
   /// concatenate in client order, switches sum, latency stats merge).
+  /// Ignored when `client_mix` is non-empty — the mix then defines both
+  /// the population size and each client's behaviour profile.
   int clients = 1;
+  /// Heterogeneous population: ordered (profile, count) slices expanded
+  /// mix-order-major at rig assembly (see ClientProfile). Empty keeps the
+  /// homogeneous `clients`-sized rig, byte-identical to pre-mix builds.
+  ClientMix client_mix;
+
+  /// Client count this config actually runs: the mix's total when one is
+  /// given, `clients` otherwise (always >= 1).
+  int resolved_clients() const;
 
   mob::DeploymentConfig deployment;
   /// When set, the AP population and client routes come from a 2-D city
@@ -71,7 +83,8 @@ struct ScenarioConfig {
   /// from the workload (machine-independent, so results stay reproducible
   /// across hosts); >1 forces a formation of that width. Sharded results
   /// are deterministic per (config, seed, shards) but not byte-identical
-  /// across different shard counts. Fault schedules require shards == 1.
+  /// across different shard counts. Impairment sources (synthetic or
+  /// trace-backed) require shards == 1.
   int shards = 1;
 
   DriverKind driver = DriverKind::kSpider;
@@ -84,10 +97,13 @@ struct ScenarioConfig {
   bool adaptive = false;
   core::AdaptiveConfig adaptive_config;
 
-  /// Deterministic fault timeline, replayed against the assembled APs and
-  /// medium (empty = no injector, byte-identical to pre-fault runs).
-  /// FaultSpec targets index into the scenario's AP list (mod its size).
-  fault::FaultSchedule faults;
+  /// What impairs this run: a synthetic fault timeline, a recorded
+  /// channel-occupancy trace file, or an inline timeline (see
+  /// ImpairmentSource). The resolved schedule is replayed against the
+  /// assembled APs and medium (a "none" source = no injector,
+  /// byte-identical to pre-fault runs). FaultSpec targets index into the
+  /// scenario's AP list (mod its size).
+  ImpairmentSource impairments;
 
   Time metrics_bin = sec(1);
 

@@ -33,10 +33,11 @@ int resolve_shards(const ScenarioConfig& config) {
   if (config.shards != 0) return std::max(1, config.shards);
   // Automatic width, decided purely from the workload (never from the
   // host) so every machine resolves — and reproduces — the same formation.
-  // Only city-scale populations amortise the window barriers; faults pin
-  // the run to the serial engine.
-  const bool city_scale =
-      config.city.has_value() && config.clients >= 16 && config.faults.empty();
+  // Only city-scale populations amortise the window barriers; impairment
+  // sources (synthetic or trace-backed) pin the run to the serial engine.
+  const bool city_scale = config.city.has_value() &&
+                          config.resolved_clients() >= 16 &&
+                          config.impairments.none();
   return city_scale ? 4 : 1;
 }
 
@@ -123,7 +124,9 @@ ScenarioResult execute_scenario_sharded(const ScenarioConfig& config,
     std::unique_ptr<core::LinkManager> manager;
     std::unique_ptr<core::AdaptiveModeController> adaptive;
   };
-  const int clients = std::max(1, config.clients);
+  const int clients = config.resolved_clients();
+  const std::vector<ClientProfile> profiles =
+      expand_client_mix(config.client_mix, clients);
   std::vector<ClientRig> rigs(static_cast<std::size_t>(clients));
   for (int c = 0; c < clients; ++c) {
     ClientRig& rig = rigs[static_cast<std::size_t>(c)];
@@ -174,11 +177,17 @@ ScenarioResult execute_scenario_sharded(const ScenarioConfig& config,
                      &sim = bed.sim] {
       return route->position_at(sim.now() + offset);
     };
+    // Per-client profile on top of the shared tuned copy — the same
+    // application point as the serial engine, so a mix-bearing config runs
+    // the same per-client knobs whichever engine hosts it.
+    const ClientProfile& profile = profiles[static_cast<std::size_t>(c)];
     phy::Radio* radio = nullptr;
     switch (config.driver) {
       case DriverKind::kSpider: {
+        core::SpiderConfig rig_cfg = spider_cfg;
+        profile.apply(rig_cfg);
         rig.spider = std::make_unique<core::SpiderDriver>(
-            bed.sim, bed.medium, block, position, spider_cfg);
+            bed.sim, bed.medium, block, position, rig_cfg);
         rig.manager =
             std::make_unique<core::LinkManager>(*rig.spider, bed.server_ip());
         harness.attach(*rig.manager);
@@ -194,16 +203,20 @@ ScenarioResult execute_scenario_sharded(const ScenarioConfig& config,
         break;
       }
       case DriverKind::kStock: {
+        base::StockConfig rig_cfg = stock_cfg;
+        profile.apply(rig_cfg);
         rig.stock = std::make_unique<base::StockWifiDriver>(
-            bed.sim, bed.medium, block, position, stock_cfg, bed.server_ip());
+            bed.sim, bed.medium, block, position, rig_cfg, bed.server_ip());
         harness.attach(*rig.stock);
         rig.stock->start();
         radio = &rig.stock->radio();
         break;
       }
       case DriverKind::kFatVap: {
+        core::SpiderConfig rig_cfg = spider_cfg;
+        profile.apply(rig_cfg);
         rig.fatvap = std::make_unique<base::FatVapDriver>(
-            bed.sim, bed.medium, block, position, spider_cfg, config.fatvap);
+            bed.sim, bed.medium, block, position, rig_cfg, config.fatvap);
         rig.manager =
             std::make_unique<core::LinkManager>(*rig.fatvap, bed.server_ip());
         harness.attach(*rig.manager);

@@ -96,6 +96,32 @@ bool write_resilience_csv(const std::string& path,
       path, [&](std::ostream& os) { write_resilience_csv(os, recorder); });
 }
 
+void write_resilience_summary_csv(std::ostream& os,
+                                  const std::vector<ScenarioResult>& results) {
+  os << "run,faults_injected,outages,recoveries,ttr_p50_s,ttr_p90_s,"
+        "ttr_max_s\n";
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const ScenarioResult& r = results[i];
+    os << i << ',' << r.faults_injected << ',' << r.outages << ','
+       << r.recoveries << ',';
+    const Cdf& ttr = r.recovery_times;
+    if (!ttr.empty()) {
+      os << ttr.quantile(0.5) << ',' << ttr.quantile(0.9) << ','
+         << ttr.quantile(1.0);
+    } else {
+      os << ",,";
+    }
+    os << '\n';
+  }
+}
+
+bool write_resilience_summary_csv(const std::string& path,
+                                  const std::vector<ScenarioResult>& results) {
+  return export_csv(path, [&](std::ostream& os) {
+    write_resilience_summary_csv(os, results);
+  });
+}
+
 void write_perf_csv(std::ostream& os,
                     const std::vector<ScenarioResult>& results) {
   os << "run,shards,events_popped,events_cancelled,heap_peak,compactions,"

@@ -44,6 +44,15 @@ void write_resilience_csv(std::ostream& os, const ResilienceRecorder& recorder);
 bool write_resilience_csv(const std::string& path,
                           const ResilienceRecorder& recorder);
 
+/// One row per result, in submission order:
+/// `run,faults_injected,outages,recoveries,ttr_p50_s,ttr_p90_s,ttr_max_s`
+/// (empty recovery distributions print empty cells). Deterministic — no
+/// wall-clock fields — so trace-replay sweeps can pin this file's bytes.
+void write_resilience_summary_csv(std::ostream& os,
+                                  const std::vector<ScenarioResult>& results);
+bool write_resilience_summary_csv(const std::string& path,
+                                  const std::vector<ScenarioResult>& results);
+
 /// One row per sweep result, in submission order:
 /// `run,events_popped,events_cancelled,heap_peak,compactions,sim_s,wall_s,sim_per_wall`.
 /// This is where the host-dependent wall-clock numbers go — they are kept

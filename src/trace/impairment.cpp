@@ -1,0 +1,70 @@
+#include "trace/impairment.hpp"
+
+namespace spider::trace {
+
+const char* ImpairmentSource::field_name() const {
+  switch (kind) {
+    case Kind::kSynthetic: return "impairments.schedule";
+    case Kind::kTraceFile: return "impairments.trace_path";
+    case Kind::kInlineTimeline: return "impairments.timeline";
+  }
+  return "impairments";
+}
+
+const char* ImpairmentSource::kind_name() const {
+  switch (kind) {
+    case Kind::kSynthetic: return "synthetic";
+    case Kind::kTraceFile: return "trace-file";
+    case Kind::kInlineTimeline: return "inline-timeline";
+  }
+  return "?";
+}
+
+bool impairment_kind_from_string(const std::string& name,
+                                 ImpairmentSource::Kind* out) {
+  if (name == "synthetic") *out = ImpairmentSource::Kind::kSynthetic;
+  else if (name == "trace-file") *out = ImpairmentSource::Kind::kTraceFile;
+  else if (name == "inline-timeline") {
+    *out = ImpairmentSource::Kind::kInlineTimeline;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+std::optional<fault::FaultSchedule> ImpairmentSource::resolve(
+    std::string* error) const {
+  switch (kind) {
+    case Kind::kSynthetic:
+      return schedule;
+    case Kind::kTraceFile: {
+      if (trace_path.empty()) {
+        if (error != nullptr) *error = "trace file path is empty";
+        return std::nullopt;
+      }
+      if (const auto problem = replay.check()) {
+        if (error != nullptr) *error = *problem;
+        return std::nullopt;
+      }
+      const std::optional<tracein::OccupancyTimeline> ingested =
+          tracein::ingest_file(trace_path, error);
+      if (!ingested) return std::nullopt;
+      return tracein::compile_schedule(*ingested, replay);
+    }
+    case Kind::kInlineTimeline: {
+      if (const auto problem = replay.check()) {
+        if (error != nullptr) *error = *problem;
+        return std::nullopt;
+      }
+      if (const auto problem = timeline.check()) {
+        if (error != nullptr) *error = *problem;
+        return std::nullopt;
+      }
+      return tracein::compile_schedule(timeline, replay);
+    }
+  }
+  if (error != nullptr) *error = "unknown impairment kind";
+  return std::nullopt;
+}
+
+}  // namespace spider::trace

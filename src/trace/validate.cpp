@@ -81,8 +81,33 @@ std::vector<ConfigIssue> ScenarioConfig::validate() const {
   if (!(speed_mps >= 0.0) || !std::isfinite(speed_mps)) {
     issues.push_back({"speed_mps", "must be finite and >= 0"});
   }
-  if (clients <= 0) {
-    issues.push_back({"clients", "must be >= 1"});
+  if (client_mix.empty()) {
+    if (clients <= 0) {
+      issues.push_back({"clients", "must be >= 1"});
+    }
+  } else {
+    // A non-empty mix replaces `clients` entirely, so its slices carry the
+    // population checks: every slice must contribute and every knob must be
+    // a usable multiplier/fraction.
+    for (std::size_t i = 0; i < client_mix.size(); ++i) {
+      const std::string prefix = "client_mix[" + std::to_string(i) + "]";
+      const ClientMixEntry& entry = client_mix[i];
+      if (entry.count <= 0) {
+        issues.push_back({prefix + ".count", "must be >= 1"});
+      }
+      const ClientProfile& p = entry.profile;
+      if (!(p.scan_aggressiveness > 0.0) ||
+          !std::isfinite(p.scan_aggressiveness)) {
+        issues.push_back(
+            {prefix + ".scan_aggressiveness", "must be finite and > 0"});
+      }
+      if (!(p.ap_stickiness > 0.0) || !std::isfinite(p.ap_stickiness)) {
+        issues.push_back({prefix + ".ap_stickiness", "must be finite and > 0"});
+      }
+      if (p.psm_duty < 0.0 || p.psm_duty > 1.0 || !std::isfinite(p.psm_duty)) {
+        issues.push_back({prefix + ".psm_duty", "must lie in [0, 1]"});
+      }
+    }
   }
   if (metrics_bin <= Time{0}) {
     issues.push_back({"metrics_bin", "must be positive"});
@@ -161,15 +186,32 @@ std::vector<ConfigIssue> ScenarioConfig::validate() const {
     issues.push_back({"spider.num_interfaces", "must be >= 1"});
   }
 
+  // The impairment source must resolve before any simulator state is
+  // built: trace-backed kinds ingest (and line-number-check) their
+  // recordings here, so a typo'd path or a malformed row surfaces as an
+  // invalid-config against the source's own field, never as a mid-run
+  // failure. Synthetic schedules are builder-constructed and need no check.
+  if (impairments.kind != ImpairmentSource::Kind::kSynthetic) {
+    std::string error;
+    if (!impairments.resolve(&error)) {
+      issues.push_back({impairments.field_name(), error});
+    }
+  }
+
   if (shards < 0 || shards > phy::kMaxShards) {
     issues.push_back({"shards", "must lie in [0, " +
                                     std::to_string(phy::kMaxShards) +
                                     "] (0 = auto, 1 = serial)"});
-  } else if (shards > 1 && !faults.empty()) {
+  } else if (shards > 1 && !impairments.none()) {
+    // Named against the offending source, not the generic shards knob:
+    // "impairments.schedule" for a synthetic timeline,
+    // "impairments.trace_path"/"impairments.timeline" for trace-backed
+    // replay — all rejected for the same single-medium reason.
     issues.push_back(
-        {"shards",
-         "fault schedules require shards == 1 (the injector mutates a "
-         "single medium/AP set in place)"});
+        {impairments.field_name(),
+         std::string(impairments.kind_name()) +
+             " impairments require shards == 1 (the injector mutates a "
+             "single medium/AP set in place)"});
   }
 
   return issues;

@@ -1,0 +1,94 @@
+#include "tracein/replay.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+#include <vector>
+
+namespace spider::tracein {
+
+const char* to_string(ReplayMapping mapping) {
+  switch (mapping) {
+    case ReplayMapping::kInterference: return "interference";
+    case ReplayMapping::kBurst: return "burst";
+  }
+  return "?";
+}
+
+bool replay_mapping_from_string(const std::string& name, ReplayMapping* out) {
+  if (name == "interference") *out = ReplayMapping::kInterference;
+  else if (name == "burst") *out = ReplayMapping::kBurst;
+  else return false;
+  return true;
+}
+
+std::optional<std::string> ReplayOptions::check() const {
+  if (!std::isfinite(loss_scale) || loss_scale < 0.0) {
+    return "loss_scale: must be finite and >= 0";
+  }
+  if (!std::isfinite(min_occupancy) || min_occupancy < 0.0 ||
+      min_occupancy > 1.0) {
+    return "min_occupancy: must lie in [0, 1]";
+  }
+  if (tail_window <= Time{0}) {
+    return "tail_window: must be positive";
+  }
+  if (burst_dwell <= Time{0}) {
+    return "burst_dwell: must be positive";
+  }
+  return std::nullopt;
+}
+
+fault::FaultSchedule compile_schedule(const OccupancyTimeline& timeline,
+                                      const ReplayOptions& options) {
+  fault::FaultSchedule schedule;
+  const std::vector<OccupancySample>& samples = timeline.samples;
+
+  // Interior windows close at the channel's next sample; a backwards pass
+  // resolves that in O(n) without assuming channels are globally sorted.
+  std::vector<Time> window(samples.size(), options.tail_window);
+  std::unordered_map<wire::Channel, Time> next_at;
+  for (std::size_t i = samples.size(); i-- > 0;) {
+    const OccupancySample& s = samples[i];
+    const auto it = next_at.find(s.channel);
+    if (it != next_at.end()) {
+      window[i] = it->second - s.at;
+      it->second = s.at;
+    } else {
+      next_at.emplace(s.channel, s.at);
+    }
+  }
+
+  for (std::size_t i = 0; i < samples.size(); ++i) {
+    const OccupancySample& s = samples[i];
+    if (s.occupancy < options.min_occupancy) continue;
+    if (window[i] <= Time{0}) continue;
+    const double loss = std::min(1.0, s.occupancy * options.loss_scale);
+    if (loss <= 0.0) continue;
+    switch (options.mapping) {
+      case ReplayMapping::kInterference:
+        schedule.channel_interference(s.at, window[i], s.channel, loss);
+        break;
+      case ReplayMapping::kBurst: {
+        // Dwells sized so E[busy fraction] == occupancy; a fully busy
+        // window degenerates to constant interference (a zero gap dwell
+        // would spin the injector's state machine).
+        if (s.occupancy >= 1.0) {
+          schedule.channel_interference(s.at, window[i], s.channel, loss);
+          break;
+        }
+        const auto dwell = static_cast<double>(options.burst_dwell.count());
+        const Time burst_mean{std::max<std::int64_t>(
+            1, std::llround(dwell * s.occupancy))};
+        const Time gap_mean{std::max<std::int64_t>(
+            1, std::llround(dwell * (1.0 - s.occupancy)))};
+        schedule.burst_loss(s.at, window[i], s.channel, loss, burst_mean,
+                            gap_mean);
+        break;
+      }
+    }
+  }
+  return schedule;
+}
+
+}  // namespace spider::tracein

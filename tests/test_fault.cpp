@@ -565,7 +565,7 @@ trace::ScenarioConfig faulted_scenario() {
   cfg.deployment.aps_per_km = 12;
   cfg.spider.mode = core::OperationMode::single(6);
   cfg.spider.dhcp = {.retx_timeout = msec(400), .max_sends = 4};
-  cfg.faults.ap_blackout(sec(20), sec(5), 0)
+  cfg.impairments.schedule.ap_blackout(sec(20), sec(5), 0)
       .gateway_flap(sec(40), sec(8), 1)
       .dhcp_stall(sec(60), sec(10), 2)
       .burst_loss(sec(80), sec(10), 6, 0.7)
@@ -590,7 +590,7 @@ TEST(Determinism, FaultFreeScheduleMatchesPreFaultRuns) {
   // An empty schedule must not fork the injector RNG: results are identical
   // to a scenario that never mentions faults at all.
   trace::ScenarioConfig plain = faulted_scenario();
-  plain.faults = {};
+  plain.impairments = {};
   trace::ScenarioConfig with_empty = plain;
   const auto a = trace::run_scenario(plain);
   const auto b = trace::run_scenario(with_empty);

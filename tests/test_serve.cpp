@@ -258,6 +258,150 @@ TEST(Protocol, UnknownScenarioKeyIsAnError) {
   EXPECT_NE(error.find("durationn_s"), std::string::npos);
 }
 
+TEST(Protocol, ExtensionFreeConfigKeepsPreExtensionWireBytes) {
+  // The declarative extensions must travel only when non-default: a
+  // mix-free, impairment-free scenario serializes to the exact wire bytes
+  // every pre-extension client and journal expects.
+  const std::string wire = scenario_to_json(quick_scenario(3));
+  EXPECT_EQ(wire.find("client_mix"), std::string::npos);
+  EXPECT_EQ(wire.find("impairments"), std::string::npos);
+}
+
+TEST(Protocol, ClientMixRoundTripsThroughWireForm) {
+  trace::ScenarioConfig config = quick_scenario(21);
+  trace::ClientMixEntry laptops;
+  laptops.profile = trace::ClientProfile::preset(
+      trace::ClientProfileKind::kAggressiveScanner);
+  laptops.count = 2;
+  trace::ClientMixEntry handsets;
+  handsets.profile =
+      trace::ClientProfile::preset(trace::ClientProfileKind::kPsmPhone);
+  handsets.profile.psm_duty = 0.25;  // a customized preset
+  config.client_mix = {laptops, handsets};
+
+  const std::string wire = scenario_to_json(config);
+  const std::optional<util::Json> parsed = util::Json::parse(wire);
+  ASSERT_TRUE(parsed.has_value());
+  trace::ScenarioConfig back;
+  std::string error;
+  ASSERT_TRUE(parse_scenario(*parsed, &back, &error)) << error;
+  EXPECT_EQ(wire, scenario_to_json(back));
+  ASSERT_EQ(back.client_mix.size(), 2u);
+  EXPECT_EQ(back.client_mix[0].count, 2);
+  EXPECT_EQ(back.client_mix[0].profile.kind,
+            trace::ClientProfileKind::kAggressiveScanner);
+  EXPECT_DOUBLE_EQ(back.client_mix[1].profile.psm_duty, 0.25);
+}
+
+TEST(Protocol, SyntheticScheduleRoundTripsFaultSpecsExactly) {
+  trace::ScenarioConfig config = quick_scenario(22);
+  config.impairments.schedule.ap_blackout(sec(20), sec(5), 1);
+  config.impairments.schedule.burst_loss(msec(2500), sec(3), 6, 0.7, msec(40),
+                                         msec(160));
+
+  const std::string wire = scenario_to_json(config);
+  const std::optional<util::Json> parsed = util::Json::parse(wire);
+  ASSERT_TRUE(parsed.has_value());
+  trace::ScenarioConfig back;
+  std::string error;
+  ASSERT_TRUE(parse_scenario(*parsed, &back, &error)) << error;
+  EXPECT_EQ(wire, scenario_to_json(back));
+  ASSERT_EQ(back.impairments.schedule.size(), 2u);
+  const fault::FaultSpec& burst = back.impairments.schedule.specs()[1];
+  EXPECT_EQ(burst.kind, fault::FaultKind::kChannelBurstLoss);
+  EXPECT_EQ(burst.at, msec(2500));
+  EXPECT_EQ(burst.duration, sec(3));
+  EXPECT_EQ(burst.target, 6);
+  EXPECT_DOUBLE_EQ(burst.intensity, 0.7);
+  EXPECT_EQ(burst.burst_mean, msec(40));
+  EXPECT_EQ(burst.gap_mean, msec(160));
+}
+
+TEST(Protocol, TraceBackedImpairmentsRoundTripThroughWireForm) {
+  trace::ScenarioConfig config = quick_scenario(23);
+  tracein::ReplayOptions replay;
+  replay.mapping = tracein::ReplayMapping::kBurst;
+  replay.loss_scale = 0.8;
+  replay.min_occupancy = 0.1;
+  config.impairments =
+      trace::ImpairmentSource::trace_file("traces/walk.csv", replay);
+  {
+    const std::string wire = scenario_to_json(config);
+    const std::optional<util::Json> parsed = util::Json::parse(wire);
+    ASSERT_TRUE(parsed.has_value());
+    trace::ScenarioConfig back;
+    std::string error;
+    ASSERT_TRUE(parse_scenario(*parsed, &back, &error)) << error;
+    EXPECT_EQ(wire, scenario_to_json(back));
+    EXPECT_EQ(back.impairments.kind, trace::ImpairmentSource::Kind::kTraceFile);
+    EXPECT_EQ(back.impairments.trace_path, "traces/walk.csv");
+    EXPECT_EQ(back.impairments.replay.mapping, tracein::ReplayMapping::kBurst);
+    EXPECT_DOUBLE_EQ(back.impairments.replay.loss_scale, 0.8);
+  }
+
+  // Inline timelines carry non-representable timestamps through the
+  // %.17g + rounding parse without walking a tick.
+  tracein::OccupancyTimeline timeline;
+  timeline.samples.push_back({msec(100), 6, 1.0 / 3.0});
+  timeline.samples.push_back({Time{300000}, 11, 0.125});
+  config.impairments = trace::ImpairmentSource::inline_timeline(timeline);
+  {
+    const std::string wire = scenario_to_json(config);
+    const std::optional<util::Json> parsed = util::Json::parse(wire);
+    ASSERT_TRUE(parsed.has_value());
+    trace::ScenarioConfig back;
+    std::string error;
+    ASSERT_TRUE(parse_scenario(*parsed, &back, &error)) << error;
+    EXPECT_EQ(wire, scenario_to_json(back));
+    EXPECT_TRUE(back.impairments.timeline == timeline);
+  }
+}
+
+/// The parse error for `text`, or "" when it parses (extension error tests
+/// assert the message names the offending field).
+std::string scenario_parse_failure(const std::string& text) {
+  const std::optional<util::Json> json = util::Json::parse(text);
+  EXPECT_TRUE(json.has_value()) << text;
+  if (!json.has_value()) return "";
+  trace::ScenarioConfig config;
+  std::string error;
+  if (parse_scenario(*json, &config, &error)) return "";
+  return error;
+}
+
+TEST(Protocol, ExtensionErrorsNameTheOffendingField) {
+  EXPECT_EQ(scenario_parse_failure(R"({"client_mix":[{"count":"two"}]})"),
+            "client_mix[0].count must be a number");
+  EXPECT_EQ(scenario_parse_failure(R"({"client_mix":[{"profile":"gamer"}]})"),
+            "client_mix[0].profile must be default|aggressive-scanner|"
+            "sticky-device|psm-phone");
+  EXPECT_EQ(scenario_parse_failure(R"({"client_mix":[{"color":1}]})"),
+            "unknown client_mix[0] key 'color'");
+  EXPECT_EQ(scenario_parse_failure(R"({"impairments":{"kind":"weird"}})"),
+            "impairments.kind must be synthetic|trace-file|inline-timeline");
+  EXPECT_EQ(
+      scenario_parse_failure(R"({"impairments":{"kind":"synthetic","path":"x"}})"),
+      "impairments.path only applies to kind 'trace-file'");
+  EXPECT_EQ(
+      scenario_parse_failure(
+          R"({"impairments":{"kind":"synthetic","replay":{}}})"),
+      "impairments.replay only applies to trace-backed kinds");
+  EXPECT_EQ(
+      scenario_parse_failure(
+          R"({"impairments":{"kind":"trace-file","path":"x","replay":{"mapping":"maybe"}}})"),
+      "impairments.replay.mapping must be interference|burst");
+  EXPECT_EQ(
+      scenario_parse_failure(
+          R"({"impairments":{"kind":"synthetic","schedule":[{"kind":"meteor-strike"}]}})"),
+      "impairments.schedule[0].kind is not a known fault kind");
+  EXPECT_EQ(
+      scenario_parse_failure(
+          R"({"impairments":{"kind":"inline-timeline","samples":[[1,6]]}})"),
+      "impairments.samples[0] must be [t_s, channel, occupancy] numbers");
+  EXPECT_EQ(scenario_parse_failure(R"({"impairments":{"kind":"synthetic","x":1}})"),
+            "unknown impairments key 'x'");
+}
+
 TEST(Protocol, OnlineStatsMomentsReconstructExactly) {
   OnlineStats a;
   for (int i = 0; i < 100; ++i) a.add(0.1 * i * (i % 7 ? 1.0 : -1.0));

@@ -576,7 +576,7 @@ TEST(ShardScenario, ResolveShardsRules) {
   cfg.clients = 4;
   EXPECT_EQ(detail::resolve_shards(cfg), 1);  // auto: too narrow
   cfg.clients = 16;
-  cfg.faults.ap_blackout(sec(10), sec(1), 0);
+  cfg.impairments.schedule.ap_blackout(sec(10), sec(1), 0);
   EXPECT_EQ(detail::resolve_shards(cfg), 1);  // auto never fights faults
 }
 
@@ -589,8 +589,15 @@ TEST(ShardScenario, ValidateRejectsShardMisuse) {
   cfg.shards = -1;
   EXPECT_FALSE(cfg.validate().empty());
   cfg.shards = 2;
-  cfg.faults.ap_blackout(sec(10), sec(1), 0);
-  EXPECT_FALSE(cfg.validate().empty());
+  cfg.impairments.schedule.ap_blackout(sec(10), sec(1), 0);
+  {
+    const auto issues = cfg.validate();
+    ASSERT_EQ(issues.size(), 1u);
+    // The rejection names the offending impairment source, not the
+    // generic shards knob.
+    EXPECT_EQ(issues[0].field, "impairments.schedule");
+    EXPECT_NE(issues[0].message.find("synthetic"), std::string::npos);
+  }
   cfg.shards = 1;
   EXPECT_TRUE(cfg.validate().empty());
 }
