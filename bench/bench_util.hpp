@@ -40,6 +40,33 @@ inline void install_interrupt_handlers() {
   std::signal(SIGTERM, detail::on_interrupt_signal);
 }
 
+/// Every simulation-visible field of a faulted run, resilience counters
+/// and the full TTR sample vector included. Benches with a shard axis
+/// compare these strings across engine widths and reruns: a match means
+/// the fault subsystem reproduced exactly, not statistically.
+inline std::string fault_digest(const trace::ScenarioResult& r) {
+  char buf[256];
+  std::snprintf(buf, sizeof buf,
+                "popped=%llu tx=%llu bytes=%llu joins=%zu e2e=%zu "
+                "switches=%llu conn=%.9f faults=%llu outages=%llu "
+                "recovered=%llu ttr_n=%zu",
+                static_cast<unsigned long long>(r.perf.events_popped),
+                static_cast<unsigned long long>(r.perf.frames_tx),
+                static_cast<unsigned long long>(r.total_bytes),
+                r.joins_attempted, r.e2e_succeeded,
+                static_cast<unsigned long long>(r.switches), r.connectivity,
+                static_cast<unsigned long long>(r.faults_injected),
+                static_cast<unsigned long long>(r.outages),
+                static_cast<unsigned long long>(r.recoveries),
+                r.recovery_times.size());
+  std::string out = buf;
+  for (const double s : r.recovery_times.samples()) {
+    std::snprintf(buf, sizeof buf, " %.9f", s);
+    out += buf;
+  }
+  return out;
+}
+
 /// One CLI flag a sweep bench understands. Every flag takes a value,
 /// accepted as `--name VALUE` or `--name=VALUE`; `apply` runs during
 /// parsing with the raw value text.

@@ -3,8 +3,9 @@
 # perf/determinism smokes (hot-path allocation contract, the citywide
 # grid-vs-brute-force digest pin — which also asserts the grid wins on
 # wall-clock — the sharded-formation digest pin, the sim-as-a-service
-# robustness pin, and the trace-replay re-ingest pin), then the shard
-# engine under ThreadSanitizer. Everything a PR must keep green.
+# robustness pin, the trace-replay re-ingest pin, and the faulted
+# shard-axis digest pin), then the shard engine and the differential
+# fault fuzz under ThreadSanitizer. Everything a PR must keep green.
 #
 # Every ctest invocation carries a per-test timeout: the suite now
 # exercises servers, watchdogs, and cancellation, and a regression there
@@ -23,7 +24,12 @@ cmake --build "$BUILD_DIR" -j
 "$BUILD_DIR"/bench/ext_citywide --smoke --assert-wall --json "$BUILD_DIR"/BENCH_citywide_smoke.json
 "$BUILD_DIR"/bench/ext_citywide --smoke --shards 1,2,4 --assert-shards --json "$BUILD_DIR"/BENCH_citywide_shard.json
 (cd "$BUILD_DIR" && bench/serve_smoke --seeds 1000 --json BENCH_serve_smoke.json)
-(cd "$BUILD_DIR" && bench/ext_trace_replay --smoke 1 --trace ../data/traces/sample_occupancy.csv --resilience-csv BENCH_trace_replay_resilience.csv)
+(cd "$BUILD_DIR" && bench/ext_trace_replay --smoke 1 --trace ../data/traces/sample_occupancy.csv --resilience-csv BENCH_trace_replay_resilience.csv --shards 1,2)
+
+# Faulted shard smoke: the full fault taxonomy routed across shard widths
+# must reproduce the serial engine's resilience digest (rerun determinism,
+# shards=1 identity, width-invariant fault counts).
+"$BUILD_DIR"/bench/ext_fault_resilience --shards 1,2,4 --assert-shards
 
 # Sharded engine under ThreadSanitizer: the lockstep coordinator, the
 # mailbox parity protocol, and the formation fabric must be data-race
@@ -32,7 +38,11 @@ cmake --build "$BUILD_DIR" -j
 # full builds when wanted).
 TSAN_DIR="${BUILD_DIR}-tsan"
 cmake -B "$TSAN_DIR" -S . -DSPIDER_SANITIZE=thread
-cmake --build "$TSAN_DIR" -j --target test_shard
+cmake --build "$TSAN_DIR" -j --target test_shard test_fault_shard
 "$TSAN_DIR"/tests/test_shard
+# The differential fault fuzz at a trimmed seed count: TSan's ~10x
+# slowdown makes 200 seeds too slow for the gate, and data races don't
+# need many seeds to surface under the instrumented scheduler.
+SPIDER_FAULT_FUZZ_SEEDS=10 "$TSAN_DIR"/tests/test_fault_shard
 
 echo "tier-1: all green"

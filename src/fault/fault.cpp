@@ -65,6 +65,78 @@ bool is_channel_fault(FaultKind kind) {
 
 }  // namespace
 
+FaultScope fault_scope(const FaultSpec& spec) {
+  if (is_channel_fault(spec.kind)) return FaultScope::kChannel;
+  return spec.target < 0 ? FaultScope::kGlobal : FaultScope::kEntity;
+}
+
+std::uint64_t fault_stream_seed(std::uint64_t scenario_seed) {
+  // Splitmix finalizer under a fixed salt: decoupled from every
+  // assembly-order fork chain so serial and sharded engines derive the
+  // same injector master from the same scenario seed.
+  std::uint64_t z = scenario_seed + 0xD1B54A32D192ED03ull;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+  return z ^ (z >> 31);
+}
+
+std::vector<std::vector<RoutedFault>> partition_schedule(
+    const FaultSchedule& schedule, Rng master, const FaultRouter& router) {
+  const int shards = std::max(1, router.shards);
+  std::vector<std::vector<RoutedFault>> out(static_cast<std::size_t>(shards));
+
+  // Shards owning at least one AP, ascending: the replication set for
+  // global specs. The smallest owner is the onset accountant.
+  std::vector<int> ap_shards;
+  if (router.ap_owner) {
+    for (std::size_t g = 0; g < router.total_aps; ++g) {
+      const int s = router.ap_owner(g).first;
+      if (std::find(ap_shards.begin(), ap_shards.end(), s) == ap_shards.end()) {
+        ap_shards.push_back(s);
+      }
+    }
+    std::sort(ap_shards.begin(), ap_shards.end());
+  }
+
+  for (const FaultSpec& spec : schedule.specs()) {
+    // One fork per spec in schedule order, before any routing decision —
+    // the serial arm()'s exact discipline — so the stream a spec receives
+    // is independent of where (or whether) it lands.
+    Rng spec_rng = master.fork();
+    switch (fault_scope(spec)) {
+      case FaultScope::kChannel: {
+        const std::vector<int> owners =
+            router.channel_owners ? router.channel_owners(spec.target)
+                                  : std::vector<int>{0};
+        for (std::size_t i = 0; i < owners.size(); ++i) {
+          out[static_cast<std::size_t>(owners[i])].push_back(
+              {spec, spec_rng, i == 0});
+        }
+        break;
+      }
+      case FaultScope::kEntity: {
+        // No APs anywhere: the serial injector would skip the spec too.
+        if (router.total_aps == 0 || !router.ap_owner) break;
+        const auto [shard, local] = router.ap_owner(
+            static_cast<std::size_t>(spec.target) % router.total_aps);
+        FaultSpec local_spec = spec;
+        local_spec.target = local;
+        out[static_cast<std::size_t>(shard)].push_back(
+            {local_spec, spec_rng, true});
+        break;
+      }
+      case FaultScope::kGlobal: {
+        for (std::size_t i = 0; i < ap_shards.size(); ++i) {
+          out[static_cast<std::size_t>(ap_shards[i])].push_back(
+              {spec, spec_rng, i == 0});
+        }
+        break;
+      }
+    }
+  }
+  return out;
+}
+
 FaultInjector::FaultInjector(sim::Simulator& simulator, Rng rng)
     : sim_(simulator), rng_(rng) {}
 
@@ -79,18 +151,59 @@ FaultInjector::ApTarget* FaultInjector::resolve_ap(int target) {
   return &aps_[static_cast<std::size_t>(target) % aps_.size()];
 }
 
+bool FaultInjector::any_applicable(const FaultSpec& spec) const {
+  for (const ApTarget& t : aps_) {
+    if (!needs_network(spec.kind) || t.network != nullptr) return true;
+  }
+  return false;
+}
+
+template <typename F>
+void FaultInjector::for_targets(const FaultSpec& spec, F&& f) {
+  if (spec.target < 0) {
+    // Global: every registered AP, skipping network-less registrations for
+    // network-layer kinds (a MAC-only target has no DHCP/gateway to fail).
+    for (ApTarget& t : aps_) {
+      if (needs_network(spec.kind) && t.network == nullptr) continue;
+      f(t);
+    }
+  } else {
+    f(*resolve_ap(spec.target));
+  }
+}
+
 void FaultInjector::arm(const FaultSchedule& schedule) {
   for (const FaultSpec& spec : schedule.specs()) {
-    // Skip specs whose target layer was never registered: a schedule can be
-    // reused across topologies (e.g. a medium-only test ignores AP faults).
-    if (is_channel_fault(spec.kind) && !medium_) continue;
-    if (!is_channel_fault(spec.kind) && !resolve_ap(spec.target)) continue;
-    if (needs_network(spec.kind) && !resolve_ap(spec.target)->network) continue;
-
-    const std::size_t index = log_.size();
-    log_.push_back(InjectedFault{spec});
-    sim_.post_at(spec.at, [this, index] { begin(index); });
+    // One fork per spec in schedule order, before the skip decisions, so a
+    // skipped spec never shifts a later spec's dwell stream and the sharded
+    // router (which forks in the same order) hands out identical streams.
+    Rng spec_rng = rng_.fork();
+    arm_one(spec, std::move(spec_rng), /*count_onset=*/true);
   }
+}
+
+void FaultInjector::arm_routed(std::vector<RoutedFault> routed) {
+  for (RoutedFault& rf : routed) {
+    arm_one(rf.spec, std::move(rf.rng), rf.count_onset);
+  }
+}
+
+void FaultInjector::arm_one(const FaultSpec& spec, Rng rng, bool count_onset) {
+  // Skip specs whose target layer was never registered: a schedule can be
+  // reused across topologies (e.g. a medium-only test ignores AP faults).
+  if (is_channel_fault(spec.kind)) {
+    if (!medium_) return;
+  } else if (spec.target < 0) {
+    if (!any_applicable(spec)) return;
+  } else {
+    if (!resolve_ap(spec.target)) return;
+    if (needs_network(spec.kind) && !resolve_ap(spec.target)->network) return;
+  }
+
+  const std::size_t index = log_.size();
+  log_.push_back(InjectedFault{spec});
+  armed_.push_back({std::move(rng), count_onset});
+  sim_.post_at(spec.at, [this, index] { begin(index); });
 }
 
 void FaultInjector::begin(std::size_t log_index) {
@@ -98,7 +211,10 @@ void FaultInjector::begin(std::size_t log_index) {
   const FaultSpec& spec = entry.spec;
   entry.started = sim_.now();
   entry.active = true;
-  ++injected_;
+  // Onset accounting follows the accountant flag: in a formation exactly
+  // one shard counts a replicated spec, so per-shard sums equal the serial
+  // injector's counts (the merge_shard contract).
+  if (armed_[log_index].count_onset) ++injected_;
   ++active_;
   SPIDER_TRACE(sim_, .kind = obs::TraceKind::kFaultBegin,
                .aux = static_cast<std::uint8_t>(spec.kind),
@@ -107,9 +223,8 @@ void FaultInjector::begin(std::size_t log_index) {
                .track = obs::track::fault(),
                .id = static_cast<std::uint64_t>(spec.target),
                .value = to_seconds(spec.duration));
-  if (observer_) observer_(spec);
+  if (observer_ && armed_[log_index].count_onset) observer_(spec);
 
-  ApTarget* t = is_channel_fault(spec.kind) ? nullptr : resolve_ap(spec.target);
   switch (spec.kind) {
     case FaultKind::kChannelBurstLoss:
       burst_tick(log_index, /*bad=*/true);
@@ -119,29 +234,32 @@ void FaultInjector::begin(std::size_t log_index) {
                                       spec.intensity);
       break;
     case FaultKind::kApBlackout:
-      t->ap->power_off();
+      for_targets(spec, [](ApTarget& t) { t.ap->power_off(); });
       break;
     case FaultKind::kApReboot:
-      t->ap->power_off();
-      t->network->dhcp().reset_pool();
+      for_targets(spec, [](ApTarget& t) {
+        t.ap->power_off();
+        t.network->dhcp().reset_pool();
+      });
       break;
     case FaultKind::kBeaconSilence:
-      t->ap->set_beacon_silence(true);
+      for_targets(spec, [](ApTarget& t) { t.ap->set_beacon_silence(true); });
       break;
     case FaultKind::kPsmFlush:
-      t->ap->purge_psm_buffers();
+      for_targets(spec, [](ApTarget& t) { t.ap->purge_psm_buffers(); });
       break;
     case FaultKind::kDhcpStall:
-      t->network->dhcp().set_stalled(true);
+      for_targets(spec, [](ApTarget& t) { t.network->dhcp().set_stalled(true); });
       break;
     case FaultKind::kDhcpNakStorm:
-      t->network->dhcp().set_nak_requests(true);
+      for_targets(spec,
+                  [](ApTarget& t) { t.network->dhcp().set_nak_requests(true); });
       break;
     case FaultKind::kDhcpPoolReset:
-      t->network->dhcp().reset_pool();
+      for_targets(spec, [](ApTarget& t) { t.network->dhcp().reset_pool(); });
       break;
     case FaultKind::kGatewayFlap:
-      t->network->set_gateway_up(false);
+      for_targets(spec, [](ApTarget& t) { t.network->set_gateway_up(false); });
       break;
   }
 
@@ -167,7 +285,6 @@ void FaultInjector::end(std::size_t log_index) {
                .id = static_cast<std::uint64_t>(spec.target),
                .value = to_seconds(entry.cleared - entry.started));
 
-  ApTarget* t = is_channel_fault(spec.kind) ? nullptr : resolve_ap(spec.target);
   switch (spec.kind) {
     case FaultKind::kChannelBurstLoss:
     case FaultKind::kChannelInterference:
@@ -175,22 +292,24 @@ void FaultInjector::end(std::size_t log_index) {
       break;
     case FaultKind::kApBlackout:
     case FaultKind::kApReboot:
-      t->ap->power_on();
+      for_targets(spec, [](ApTarget& t) { t.ap->power_on(); });
       break;
     case FaultKind::kBeaconSilence:
-      t->ap->set_beacon_silence(false);
+      for_targets(spec, [](ApTarget& t) { t.ap->set_beacon_silence(false); });
       break;
     case FaultKind::kPsmFlush:
     case FaultKind::kDhcpPoolReset:
       break;  // instantaneous: nothing to undo
     case FaultKind::kDhcpStall:
-      t->network->dhcp().set_stalled(false);
+      for_targets(spec,
+                  [](ApTarget& t) { t.network->dhcp().set_stalled(false); });
       break;
     case FaultKind::kDhcpNakStorm:
-      t->network->dhcp().set_nak_requests(false);
+      for_targets(spec,
+                  [](ApTarget& t) { t.network->dhcp().set_nak_requests(false); });
       break;
     case FaultKind::kGatewayFlap:
-      t->network->set_gateway_up(true);
+      for_targets(spec, [](ApTarget& t) { t.network->set_gateway_up(true); });
       break;
   }
 }
@@ -213,7 +332,10 @@ void FaultInjector::burst_tick(std::size_t log_index, bool bad) {
   }
 
   const Time mean = bad ? spec.burst_mean : spec.gap_mean;
-  const Time dwell = sec(rng_.exponential(to_seconds(std::max(mean, usec(1)))));
+  // Dwells come from the spec's own stream, so a replicated burst walks the
+  // identical good/bad timeline on every shard holding a copy.
+  Rng& rng = armed_[log_index].rng;
+  const Time dwell = sec(rng.exponential(to_seconds(std::max(mean, usec(1)))));
   const Time next = std::min(sim_.now() + std::max(dwell, usec(1)), fault_end);
   sim_.post_at(next, [this, log_index, bad] { burst_tick(log_index, !bad); });
 }

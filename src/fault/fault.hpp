@@ -3,6 +3,7 @@
 #include <cstdint>
 #include <functional>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "mac/ap.hpp"
@@ -59,6 +60,11 @@ const char* to_string(FaultKind kind);
 /// unknown name. Used by scenario serde to carry schedules across the wire.
 bool fault_kind_from_string(const std::string& name, FaultKind* out);
 
+/// Sentinel target for entity-kind faults: the fault applies to every
+/// registered AP at once (a shared backhaul dying takes every gateway with
+/// it). Any negative target means "all"; this name is the canonical one.
+inline constexpr int kAllAps = -1;
+
 /// One scheduled fault: at `at`, start `kind` on `target` for `duration`.
 /// Instantaneous kinds (kPsmFlush, kDhcpPoolReset) ignore `duration`.
 struct FaultSpec {
@@ -66,8 +72,9 @@ struct FaultSpec {
   Time at{0};
   Time duration{0};
   /// AP faults: index into the injector's AP list, taken modulo the list
-  /// size so sweeps can be written without knowing the deployment. Channel
-  /// faults: the 802.11 channel number itself.
+  /// size so sweeps can be written without knowing the deployment, or
+  /// kAllAps for a deployment-wide fault. Channel faults: the 802.11
+  /// channel number itself.
   int target = 0;
   /// Extra loss probability for channel faults (bad-state loss for bursts).
   double intensity = 0.9;
@@ -145,13 +152,61 @@ struct InjectedFault {
   bool active = false;
 };
 
+/// Routing class of a spec (DESIGN.md §12, fault routing across shards):
+/// channel faults follow the channel's stripe owners, entity faults follow
+/// the target AP's owner shard, global faults (target < 0) replicate to
+/// every AP-bearing shard.
+enum class FaultScope { kChannel, kEntity, kGlobal };
+FaultScope fault_scope(const FaultSpec& spec);
+
+/// The fault subsystem's RNG root for a scenario: a splitmix scramble of
+/// the scenario seed under a fixed salt. Both engines derive the injector
+/// master from this — never from assembly-order forks — so a spec's dwell
+/// stream is a pure function of (scenario seed, position in the schedule)
+/// and identical whether the serial engine or any shard replays it.
+std::uint64_t fault_stream_seed(std::uint64_t scenario_seed);
+
+/// One spec as routed to one shard of a formation: the spec (entity
+/// targets rewritten to the shard's local AP index), the per-spec RNG
+/// stream (identical copies on every shard sharing the spec), and whether
+/// this shard is the spec's onset accountant. Exactly one shard per spec
+/// counts it toward injected()/the fault observer, so resilience counters
+/// exact-sum across a formation like PerfCounters::merge_shard.
+struct RoutedFault {
+  FaultSpec spec;
+  Rng rng;
+  bool count_onset = true;
+};
+
+/// Shard-routing callbacks supplied by the engine (stripe ownership and AP
+/// placement live in phy/trace, not here).
+struct FaultRouter {
+  int shards = 1;
+  /// Deployment-global AP population size (entity targets reduce mod this).
+  std::size_t total_aps = 0;
+  /// Every shard owning a stripe of `channel` (deduplicated; the first
+  /// entry becomes the onset accountant).
+  std::function<std::vector<int>(int channel)> channel_owners;
+  /// Owner shard and shard-local injector index of deployment-global AP g.
+  std::function<std::pair<int, int>(std::size_t global_ap)> ap_owner;
+};
+
+/// Compiles a schedule into per-shard sub-schedules at partition time.
+/// Forks `master` once per spec in schedule order — the serial injector's
+/// exact fork discipline — so serial and every formation width hand each
+/// spec the identical stream regardless of where it routes.
+std::vector<std::vector<RoutedFault>> partition_schedule(
+    const FaultSchedule& schedule, Rng master, const FaultRouter& router);
+
 /// Drives a FaultSchedule against live simulation objects.
 ///
 /// Targets are registered up front (the medium, then each AP with its
 /// network); arm() schedules every start/stop transition on the simulator.
-/// All randomness (burst dwells) comes from the injector's own forked Rng,
-/// so adding faults never perturbs the stochastic streams of the stack
-/// under test, and the same seed + schedule replays byte-identically.
+/// All randomness (burst dwells) comes from per-spec streams forked off the
+/// injector's own Rng in schedule order, so adding faults never perturbs
+/// the stochastic streams of the stack under test, skipped specs never
+/// shift a later spec's dwells, and a spec replays the identical timeline
+/// wherever it is armed — serial or any shard of a formation.
 class FaultInjector {
  public:
   FaultInjector(sim::Simulator& simulator, Rng rng);
@@ -170,6 +225,10 @@ class FaultInjector {
 
   /// Schedules the whole timeline. May be called once per injector.
   void arm(const FaultSchedule& schedule);
+  /// Schedules one shard's slice of a partitioned timeline (see
+  /// partition_schedule). Specs arrive with their per-spec RNG streams
+  /// already forked; onset accounting follows each entry's count_onset.
+  void arm_routed(std::vector<RoutedFault> routed);
 
   const std::vector<InjectedFault>& log() const { return log_; }
   std::uint64_t injected() const { return injected_; }
@@ -180,8 +239,20 @@ class FaultInjector {
     mac::AccessPoint* ap;
     net::ApNetwork* network;
   };
+  /// Per-armed-spec state riding next to the log entry: the spec's own
+  /// dwell stream and whether this injector accounts its onset.
+  struct Armed {
+    Rng rng;
+    bool count_onset = true;
+  };
 
   ApTarget* resolve_ap(int target);
+  bool any_applicable(const FaultSpec& spec) const;
+  /// Applies `f` to the spec's AP target, or to every applicable AP for a
+  /// global (target < 0) spec.
+  template <typename F>
+  void for_targets(const FaultSpec& spec, F&& f);
+  void arm_one(const FaultSpec& spec, Rng rng, bool count_onset);
   void begin(std::size_t log_index);
   void end(std::size_t log_index);
   /// One Gilbert-Elliott state transition; re-arms itself until the
@@ -194,6 +265,7 @@ class FaultInjector {
   std::vector<ApTarget> aps_;
   std::function<void(const FaultSpec&)> observer_;
   std::vector<InjectedFault> log_;
+  std::vector<Armed> armed_;
   std::uint64_t injected_ = 0;
   std::uint64_t active_ = 0;
 };

@@ -53,6 +53,21 @@ int ShardPartition::targets(wire::Channel c, double x, int* out) const {
   return n;
 }
 
+int ShardPartition::stripe_owners(wire::Channel c, int* out) const {
+  const auto it = stripes.find(c);
+  if (it == stripes.end()) {
+    out[0] = fallback_owner(c, shards);
+    return 1;
+  }
+  int n = 0;
+  for (const ShardStripe& s : it->second) {
+    bool dup = false;
+    for (int j = 0; j < n; ++j) dup = dup || out[j] == s.shard;
+    if (!dup) out[n++] = s.shard;
+  }
+  return n;
+}
+
 bool ShardPartition::spatial() const {
   for (const auto& [c, v] : stripes) {
     if (v.size() > 1) return true;

@@ -44,6 +44,13 @@ struct ShardPartition {
   /// of `c` that intersects [x - margin, x + margin]; returns the count.
   /// Deduplicated; order follows the stripe list.
   int targets(wire::Channel c, double x, int* out) const;
+  /// Fills `out` (capacity >= kMaxShards) with every shard owning any
+  /// stripe of `c`, position-independent (absent channel: the owner()
+  /// fallback shard). Deduplicated; order follows the stripe list. Fault
+  /// routing uses this: a channel-scoped fault must reach every medium
+  /// that can carry the channel's frames, including the shard a migrating
+  /// proxy lands on mid-fault.
+  int stripe_owners(wire::Channel c, int* out) const;
   /// True when any channel is split spatially (i.e. proxies can migrate).
   bool spatial() const;
 };

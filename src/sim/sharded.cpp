@@ -87,7 +87,7 @@ void ShardedSimulator::shard_main(int s, Time deadline, void* barrier) {
     gate.arrive_and_wait();  // A_k: all window-k sends visible
     if (stop_.load(std::memory_order_relaxed)) break;
     drain(s, parity);
-    if (hooks_[static_cast<std::size_t>(s)]) hooks_[static_cast<std::size_t>(s)]();
+    for (const Thunk& hook : hooks_[static_cast<std::size_t>(s)]) hook();
     gate.arrive_and_wait();  // B_k: all window-k drains applied
     if (target == deadline) break;
   }

@@ -54,10 +54,11 @@ ScenarioResult execute_scenario(const ScenarioConfig& config,
                                 std::shared_ptr<obs::Tracer> tracer,
                                 sim::CancelToken* cancel) {
   // Formations of more than one shard take the sharded twin (one testbed
-  // per shard, lockstep windows). Impairment sources stay on the serial
-  // path: the injector mutates one medium/AP set in place.
+  // per shard, lockstep windows). Impairment sources ride along: the
+  // schedule is compiled into per-shard sub-schedules at partition time
+  // (fault::partition_schedule, DESIGN.md §12).
   const int shards = resolve_shards(config);
-  if (shards > 1 && config.impairments.none()) {
+  if (shards > 1) {
     return execute_scenario_sharded(config, shards, std::move(tracer), cancel);
   }
   const auto wall_start = std::chrono::steady_clock::now();
@@ -138,9 +139,11 @@ ScenarioResult execute_scenario(const ScenarioConfig& config,
 
   // Impairment timeline: the declarative source resolves to the schedule
   // the injector arms (synthetic sources pass through verbatim; trace-backed
-  // ones ingest + compile here). The injector's RNG fork happens only when
-  // faults are scheduled, so impairment-free scenarios replay the exact
-  // pre-fault streams.
+  // ones ingest + compile here). The injector master derives from the
+  // scenario seed under a fixed salt — never from the testbed's fork chain
+  // (whose position depends on AP/client counts) — so per-spec dwell
+  // streams match the sharded engine's partition_schedule exactly, and
+  // impairment-free scenarios replay the exact pre-fault streams.
   fault::FaultSchedule faults;
   if (!config.impairments.none()) {
     std::string error;
@@ -157,7 +160,7 @@ ScenarioResult execute_scenario(const ScenarioConfig& config,
   ResilienceRecorder resilience;
   std::optional<fault::FaultInjector> injector;
   if (!faults.empty()) {
-    injector.emplace(bed.sim, bed.fork_rng());
+    injector.emplace(bed.sim, Rng(fault::fault_stream_seed(config.seed)));
     injector->attach_medium(bed.medium);
     for (auto& bundle : bed.aps()) {
       injector->add_ap(*bundle.ap, bundle.network.get());
@@ -167,14 +170,17 @@ ScenarioResult execute_scenario(const ScenarioConfig& config,
           resilience.note_fault(sim.now());
         });
     injector->arm(faults);
+    // Link events carry the client identity (the MAC block, shared by the
+    // radio and every interface in it), keeping outage detection per client
+    // — the same bookkeeping a formation does shard-by-shard.
     harness.set_extra_callbacks({
         .on_link_up =
-            [&resilience, &sim = bed.sim](core::VirtualInterface&) {
-              resilience.note_link_up(sim.now());
+            [&resilience, &sim = bed.sim](core::VirtualInterface& vif) {
+              resilience.note_link_up(sim.now(), vif.mac().raw() >> 8);
             },
         .on_link_down =
-            [&resilience, &sim = bed.sim](core::VirtualInterface&) {
-              resilience.note_link_down(sim.now());
+            [&resilience, &sim = bed.sim](core::VirtualInterface& vif) {
+              resilience.note_link_down(sim.now(), vif.mac().raw() >> 8);
             },
     });
   }

@@ -84,7 +84,10 @@ struct ScenarioConfig {
   /// across hosts); >1 forces a formation of that width. Sharded results
   /// are deterministic per (config, seed, shards) but not byte-identical
   /// across different shard counts. Impairment sources (synthetic or
-  /// trace-backed) require shards == 1.
+  /// trace-backed) run at any width: the schedule compiles into per-shard
+  /// sub-schedules at partition time (DESIGN.md §12, fault routing across
+  /// shards), with resilience counters exact-summing back to the serial
+  /// injector's.
   int shards = 1;
 
   DriverKind driver = DriverKind::kSpider;

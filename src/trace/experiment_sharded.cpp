@@ -1,10 +1,14 @@
 #include <algorithm>
 #include <chrono>
 #include <memory>
+#include <optional>
+#include <stdexcept>
+#include <string>
 #include <utility>
 #include <vector>
 
 #include "core/spider_driver.hpp"
+#include "fault/fault.hpp"
 #include "mobility/mobility.hpp"
 #include "obs/tracer.hpp"
 #include "phy/shard_fabric.hpp"
@@ -33,11 +37,11 @@ int resolve_shards(const ScenarioConfig& config) {
   if (config.shards != 0) return std::max(1, config.shards);
   // Automatic width, decided purely from the workload (never from the
   // host) so every machine resolves — and reproduces — the same formation.
-  // Only city-scale populations amortise the window barriers; impairment
-  // sources (synthetic or trace-backed) pin the run to the serial engine.
-  const bool city_scale = config.city.has_value() &&
-                          config.resolved_clients() >= 16 &&
-                          config.impairments.none();
+  // Only city-scale populations amortise the window barriers. Impairment
+  // sources no longer pin the run to the serial engine: schedules compile
+  // into per-shard sub-schedules at partition time (DESIGN.md §12).
+  const bool city_scale =
+      config.city.has_value() && config.resolved_clients() >= 16;
   return city_scale ? 4 : 1;
 }
 
@@ -47,6 +51,21 @@ ScenarioResult execute_scenario_sharded(const ScenarioConfig& config,
                                         sim::CancelToken* cancel) {
   const auto wall_start = std::chrono::steady_clock::now();
   const int S = std::max(2, shards);
+
+  // Impairment timeline, resolved exactly as the serial engine does it
+  // (same throw-on-error contract for direct callers that skipped
+  // validate()). Routing happens later, once stripe ownership exists.
+  fault::FaultSchedule faults;
+  if (!config.impairments.none()) {
+    std::string error;
+    std::optional<fault::FaultSchedule> resolved =
+        config.impairments.resolve(&error);
+    if (!resolved) {
+      throw std::runtime_error(std::string(config.impairments.field_name()) +
+                               ": " + error);
+    }
+    faults = std::move(*resolved);
+  }
 
   // The physical world (AP sites, client routes) comes from a master RNG
   // forked in exactly the serial order — deployment first, then one route
@@ -99,7 +118,13 @@ ScenarioResult execute_scenario_sharded(const ScenarioConfig& config,
                           });
 
   // APs go to their stripe owners, carrying their deployment-global index
-  // so BSSIDs and subnets match the serial assembly.
+  // so BSSIDs and subnets match the serial assembly. The owner/local-index
+  // maps feed fault routing: an entity-scoped fault addressed to global AP
+  // g must land on g's owner shard, re-targeted to g's position in that
+  // shard's injector registration order.
+  std::vector<int> ap_owner_shard(sites.size(), 0);
+  std::vector<int> ap_local_index(sites.size(), 0);
+  std::vector<int> ap_count(static_cast<std::size_t>(S), 0);
   for (std::size_t i = 0; i < sites.size(); ++i) {
     const auto& site = sites[i];
     Testbed::ApSpec spec;
@@ -113,6 +138,8 @@ ScenarioResult execute_scenario_sharded(const ScenarioConfig& config,
     const int owner =
         fabric.partition().owner(site.channel, site.position.x);
     beds[static_cast<std::size_t>(owner)]->add_ap(spec);
+    ap_owner_shard[i] = owner;
+    ap_local_index[i] = ap_count[static_cast<std::size_t>(owner)]++;
   }
 
   struct ClientRig {
@@ -157,6 +184,71 @@ ScenarioResult execute_scenario_sharded(const ScenarioConfig& config,
         bed.sim, bed.server_ip(), *recorders.back()));
   }
   ScenarioResult result;
+
+  // Shard-aware fault injection (DESIGN.md §12): the schedule compiles into
+  // per-shard sub-schedules at partition time — channel faults to every
+  // stripe owner of the channel, entity faults to the target AP's owner
+  // shard, global faults to every AP-bearing shard — with one shard per
+  // spec designated onset accountant so resilience counters exact-sum like
+  // PerfCounters::merge_shard. Every injector posts its transitions at the
+  // spec's own sim time before the lockstep starts, so replicated faults
+  // flip state at the identical instant on every shard; all cross-shard
+  // consequences still travel through the mailbox fabric.
+  std::vector<ResilienceRecorder> resilience(static_cast<std::size_t>(S));
+  std::vector<std::unique_ptr<fault::FaultInjector>> injectors(
+      static_cast<std::size_t>(S));
+  if (!faults.empty()) {
+    fault::FaultRouter router;
+    router.shards = S;
+    router.total_aps = sites.size();
+    router.channel_owners = [&fabric](int channel) {
+      int buf[phy::kMaxShards];
+      const int n = fabric.partition().stripe_owners(
+          static_cast<wire::Channel>(channel), buf);
+      return std::vector<int>(buf, buf + n);
+    };
+    router.ap_owner = [&ap_owner_shard, &ap_local_index](std::size_t g) {
+      return std::pair<int, int>(ap_owner_shard[g], ap_local_index[g]);
+    };
+    std::vector<std::vector<fault::RoutedFault>> routed =
+        fault::partition_schedule(
+            faults, Rng(fault::fault_stream_seed(config.seed)), router);
+    for (int s = 0; s < S; ++s) {
+      Testbed& bed = *beds[static_cast<std::size_t>(s)];
+      ResilienceRecorder& rec = resilience[static_cast<std::size_t>(s)];
+      // Each shard's harness reports its clients' link churn into the
+      // shard-local recorder (every event fires on that shard's thread);
+      // client identity keys the outage bookkeeping, so the post-run merge
+      // equals the serial recorder client-for-client.
+      harnesses[static_cast<std::size_t>(s)]->set_extra_callbacks({
+          .on_link_up =
+              [&rec, &sim = bed.sim](core::VirtualInterface& vif) {
+                rec.note_link_up(sim.now(), vif.mac().raw() >> 8);
+              },
+          .on_link_down =
+              [&rec, &sim = bed.sim](core::VirtualInterface& vif) {
+                rec.note_link_down(sim.now(), vif.mac().raw() >> 8);
+              },
+      });
+      if (routed[static_cast<std::size_t>(s)].empty()) continue;
+      // The ctor stream is never drawn for routed specs (each carries its
+      // own); seed it from the shard for hygiene.
+      injectors[static_cast<std::size_t>(s)] =
+          std::make_unique<fault::FaultInjector>(
+              bed.sim, Rng(shard_seed(config.seed, s)));
+      fault::FaultInjector& injector =
+          *injectors[static_cast<std::size_t>(s)];
+      injector.attach_medium(bed.medium);
+      for (auto& bundle : bed.aps()) {
+        injector.add_ap(*bundle.ap, bundle.network.get());
+      }
+      injector.set_fault_observer(
+          [&rec, &sim = bed.sim](const fault::FaultSpec&) {
+            rec.note_fault(sim.now());
+          });
+      injector.arm_routed(std::move(routed[static_cast<std::size_t>(s)]));
+    }
+  }
 
   core::SpiderConfig spider_cfg = config.spider;
   spider_cfg.radio.max_speed_mps = config.speed_mps;
@@ -280,6 +372,18 @@ ScenarioResult execute_scenario_sharded(const ScenarioConfig& config,
   result.disruption_durations = Cdf(merged.disruption_durations());
   result.instantaneous_kBps = Cdf(merged.instantaneous_kBps());
   result.total_bytes = merged.total_bytes();
+
+  // Resilience counters exact-sum: onset accounting ran on one shard per
+  // spec, outage bookkeeping is per client, and the merged TTR vector is
+  // (time, client)-ordered — all byte-identical to the serial recorder.
+  ResilienceRecorder resilience_total;
+  for (int s = 0; s < S; ++s) {
+    resilience_total.merge(resilience[static_cast<std::size_t>(s)]);
+  }
+  result.faults_injected = resilience_total.faults_injected();
+  result.outages = resilience_total.outages();
+  result.recoveries = resilience_total.recoveries();
+  result.recovery_times = resilience_total.time_to_recover();
   digest_join_log(result);
 
   // Exact-sum aggregation: event totals add across shards, heap peaks add

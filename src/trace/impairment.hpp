@@ -68,8 +68,8 @@ struct ImpairmentSource {
 
   /// True when this source can impair nothing: a synthetic empty schedule
   /// or an inline empty timeline. A trace file is never "none" without
-  /// ingesting it, so it always counts as impairing (and therefore pins
-  /// the run to the serial engine, like any fault schedule).
+  /// ingesting it, so it always counts as impairing (armed through the
+  /// injector — serial, or routed per shard in a formation).
   bool none() const {
     switch (kind) {
       case Kind::kSynthetic: return schedule.empty();

@@ -1,5 +1,7 @@
 #include "trace/metrics.hpp"
 
+#include <algorithm>
+
 namespace spider::trace {
 
 void ThroughputRecorder::record(Time now, std::size_t bytes) {
@@ -81,23 +83,47 @@ void ResilienceRecorder::note_fault(Time now) {
   last_fault_ = now;
 }
 
-void ResilienceRecorder::note_link_up(Time now) {
-  ++links_;
-  had_link_ = true;
-  if (in_outage_) {
-    in_outage_ = false;
+void ResilienceRecorder::note_link_up(Time now, std::uint64_t client) {
+  ClientLinks& c = clients_[client];
+  ++c.links;
+  c.had_link = true;
+  if (c.in_outage) {
+    c.in_outage = false;
     ++recoveries_;
-    ttr_.add(to_seconds(now - outage_start_));
+    ttr_.push_back({now, client, to_seconds(now - c.outage_start)});
   }
 }
 
-void ResilienceRecorder::note_link_down(Time now) {
-  if (links_ > 0) --links_;
-  if (links_ == 0 && had_link_ && !in_outage_) {
-    in_outage_ = true;
-    outage_start_ = now;
+void ResilienceRecorder::note_link_down(Time now, std::uint64_t client) {
+  ClientLinks& c = clients_[client];
+  if (c.links > 0) --c.links;
+  if (c.links == 0 && c.had_link && !c.in_outage) {
+    c.in_outage = true;
+    c.outage_start = now;
     ++outages_;
   }
+}
+
+void ResilienceRecorder::merge(const ResilienceRecorder& other) {
+  faults_ += other.faults_;
+  outages_ += other.outages_;
+  recoveries_ += other.recoveries_;
+  last_fault_ = std::max(last_fault_, other.last_fault_);
+  ttr_.insert(ttr_.end(), other.ttr_.begin(), other.ttr_.end());
+}
+
+Cdf ResilienceRecorder::time_to_recover() const {
+  // (time, client) is a total order over recoveries — the serial engine and
+  // any merged formation emit the identical sample vector, which the
+  // differential suites hash verbatim.
+  std::vector<TtrSample> sorted = ttr_;
+  std::sort(sorted.begin(), sorted.end(),
+            [](const TtrSample& a, const TtrSample& b) {
+              return a.at != b.at ? a.at < b.at : a.client < b.client;
+            });
+  Cdf out;
+  for (const TtrSample& s : sorted) out.add(s.seconds);
+  return out;
 }
 
 }  // namespace spider::trace

@@ -1,6 +1,7 @@
 #pragma once
 
 #include <cstdint>
+#include <unordered_map>
 #include <vector>
 
 #include "util/stats.hpp"
@@ -55,36 +56,56 @@ class ThroughputRecorder {
 };
 
 /// Resilience bookkeeping for fault-injection experiments: counts faults
-/// as they fire and watches the client's live-link population. An outage
+/// as they fire and watches each client's live-link population. An outage
 /// is a window in which a client that previously had connectivity has no
-/// link at all; the time from outage start to the next link-up is one
-/// time-to-recover sample. The initial join (never had a link yet) is not
-/// an outage, and an outage still open at experiment end counts as
+/// link at all; the time from outage start to that client's next link-up
+/// is one time-to-recover sample. The initial join (never had a link yet)
+/// is not an outage, and an outage still open at experiment end counts as
 /// unrecovered.
+///
+/// Link events carry the client's deployment-global identity (the engines
+/// pass the MAC block), so outage detection is per client and independent
+/// of which event loop observes which client: a formation keeps one
+/// recorder per shard and merge()s them afterwards, and the totals
+/// exact-sum to the serial recorder's counts (the merge_shard contract).
 class ResilienceRecorder {
  public:
   void note_fault(Time now);
-  void note_link_up(Time now);
-  void note_link_down(Time now);
+  void note_link_up(Time now, std::uint64_t client = 0);
+  void note_link_down(Time now, std::uint64_t client = 0);
+
+  /// Folds `other` in: counters add, recovery samples pool. Post-run only
+  /// (in-flight outage state does not transfer across recorders).
+  void merge(const ResilienceRecorder& other);
 
   std::uint64_t faults_injected() const { return faults_; }
   std::uint64_t outages() const { return outages_; }
   std::uint64_t recoveries() const { return recoveries_; }
-  /// Seconds from losing the last link to the next link-up.
-  Cdf& time_to_recover() { return ttr_; }
-  const Cdf& time_to_recover() const { return ttr_; }
+  /// Seconds from losing the last link to the next link-up, ordered by
+  /// (recovery time, client) — a total order every engine reproduces, so
+  /// serial and merged sharded runs emit byte-identical sample vectors.
+  Cdf time_to_recover() const;
   Time last_fault_at() const { return last_fault_; }
 
  private:
+  struct ClientLinks {
+    std::size_t links = 0;
+    bool had_link = false;
+    bool in_outage = false;
+    Time outage_start{0};
+  };
+  struct TtrSample {
+    Time at{0};
+    std::uint64_t client = 0;
+    double seconds = 0.0;
+  };
+
   std::uint64_t faults_ = 0;
   std::uint64_t outages_ = 0;
   std::uint64_t recoveries_ = 0;
-  std::size_t links_ = 0;
-  bool had_link_ = false;
-  bool in_outage_ = false;
-  Time outage_start_{0};
   Time last_fault_{0};
-  Cdf ttr_;
+  std::unordered_map<std::uint64_t, ClientLinks> clients_;
+  std::vector<TtrSample> ttr_;
 };
 
 }  // namespace spider::trace

@@ -202,17 +202,12 @@ std::vector<ConfigIssue> ScenarioConfig::validate() const {
     issues.push_back({"shards", "must lie in [0, " +
                                     std::to_string(phy::kMaxShards) +
                                     "] (0 = auto, 1 = serial)"});
-  } else if (shards > 1 && !impairments.none()) {
-    // Named against the offending source, not the generic shards knob:
-    // "impairments.schedule" for a synthetic timeline,
-    // "impairments.trace_path"/"impairments.timeline" for trace-backed
-    // replay — all rejected for the same single-medium reason.
-    issues.push_back(
-        {impairments.field_name(),
-         std::string(impairments.kind_name()) +
-             " impairments require shards == 1 (the injector mutates a "
-             "single medium/AP set in place)"});
   }
+  // Impairment sources of every kind (synthetic schedule, trace file,
+  // inline timeline) are valid at any formation width: schedules compile
+  // into per-shard sub-schedules at partition time (fault routing across
+  // shards, DESIGN.md §12), so shards > 1 no longer pins a faulted run to
+  // the serial engine.
 
   return issues;
 }

@@ -482,6 +482,36 @@ TEST(Server, RunMatchesInProcessRunnerByteForByte) {
             stats_json(*wire_stats));
 }
 
+TEST(Server, FaultedShardedRunAcceptedOverTheWire) {
+  // shards > 1 plus impairments used to be rejected at validation; the
+  // partition-time schedule compiler made the combination first-class, and
+  // the wire path must agree with the in-process runner byte for byte.
+  TestServer ts(basic_config());
+  LineClient client = ts.connect();
+  trace::ScenarioConfig config = quick_scenario(33, 20.0);
+  config.shards = 2;
+  config.deployment.road_length_m = 800.0;
+  config.deployment.aps_per_km = 10.0;
+  config.impairments.schedule.ap_blackout(sec(4), sec(2), 0)
+      .burst_loss(sec(8), sec(3), 6, 0.8);
+  const util::Json response =
+      rpc(client, R"({"op":"run","id":"fs","deadline_ms":600000,"scenario":)" +
+                      scenario_to_json(config) + "}");
+  const util::Json* ok = response.find("ok");
+  ASSERT_NE(ok, nullptr);
+  ASSERT_TRUE(ok->bool_or(false)) << error_kind(response);
+  const util::Json* result = response.find("result");
+  ASSERT_NE(result, nullptr);
+  const std::optional<RunStats> wire_stats = RunStats::from_json(*result);
+  ASSERT_TRUE(wire_stats.has_value());
+
+  const trace::ScenarioResult local = trace::ScenarioRunner().run_one(config);
+  EXPECT_TRUE(local.completed);
+  EXPECT_GT(local.faults_injected, 0u);
+  EXPECT_EQ(stats_json(RunStats::from_result(local)),
+            stats_json(*wire_stats));
+}
+
 TEST(Server, WatchdogReapsStalledRun) {
   ServerConfig config = basic_config();
   config.workers = 1;
@@ -629,6 +659,29 @@ TEST(Campaign, MergedStatsMatchSerialSweepByteForByte) {
   const CampaignStats oracle =
       serial_campaign_stats(campaign.base, 1, 10, /*jobs=*/2);
   EXPECT_EQ(report.merged.digest(), oracle.digest());
+}
+
+TEST(Campaign, ShardedFaultedCampaignMatchesSerialSweep) {
+  // A campaign whose base scenario runs sharded *and* impaired: every seed
+  // executes the formation engine end-to-end, and the merged stats still
+  // equal the serial sweep's byte for byte.
+  TestServer ts(basic_config());
+  CampaignConfig campaign;
+  campaign.servers = {ts.server.config().socket_path};
+  campaign.clients_per_server = 2;
+  campaign.base = quick_scenario(0, 15.0);
+  campaign.base.shards = 2;
+  campaign.base.deployment.road_length_m = 800.0;
+  campaign.base.deployment.aps_per_km = 10.0;
+  campaign.base.impairments.schedule.ap_blackout(sec(4), sec(2), 0)
+      .gateway_flap(sec(8), sec(2), fault::kAllAps);
+  campaign.first_seed = 1;
+  campaign.num_seeds = 4;
+  const CampaignReport report = run_campaign(campaign);
+  EXPECT_TRUE(report.ok());
+  EXPECT_EQ(report.completed, 4u);
+  EXPECT_EQ(report.merged.digest(),
+            serial_campaign_stats(campaign.base, 1, 4, /*jobs=*/2).digest());
 }
 
 TEST(Campaign, RetriesSeedReapedByWatchdog) {

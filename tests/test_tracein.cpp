@@ -19,6 +19,7 @@
 #include <string>
 #include <vector>
 
+#include "phy/shard_fabric.hpp"
 #include "trace/client_profile.hpp"
 #include "trace/experiment.hpp"
 #include "trace/impairment.hpp"
@@ -532,27 +533,83 @@ TEST(Validate, TraceImpairmentFailuresNameTheSourceField) {
   }
 }
 
-TEST(Validate, ShardRejectionNamesTheOffendingSource) {
+// Formerly the shards>1 rejection test: schedules now compile into
+// per-shard sub-schedules at partition time, so this pins the acceptance
+// matrix — every impairment kind is valid at every width — while keeping
+// the field-naming contract for the error paths that remain (a broken
+// trace is still reported against its own source field, at any width).
+TEST(Validate, ShardAcceptanceMatrixAndSourceFieldNaming) {
   const TempTrace file("test_tracein_shards.csv", "0,6,0.5\n");
+  tracein::OccupancyTimeline t;
+  t.samples.push_back({sec(1), 6, 0.5});
+
+  for (int shards : {0, 1, 2, 4, phy::kMaxShards}) {
+    trace::ScenarioConfig config;
+    config.shards = shards;
+
+    config.impairments = trace::ImpairmentSource::trace_file(file.path());
+    EXPECT_TRUE(config.validate().empty()) << "trace-file, shards " << shards;
+
+    config.impairments = trace::ImpairmentSource::inline_timeline(t);
+    EXPECT_TRUE(config.validate().empty())
+        << "inline-timeline, shards " << shards;
+
+    config.impairments = trace::ImpairmentSource();
+    config.impairments.schedule.ap_blackout(sec(10), sec(1), 0);
+    EXPECT_TRUE(config.validate().empty()) << "synthetic, shards " << shards;
+  }
+
+  // Error paths still name the offending source field, sharded or not.
   trace::ScenarioConfig config;
-  config.shards = 2;
-  config.impairments = trace::ImpairmentSource::trace_file(file.path());
+  config.shards = 4;
+  config.impairments =
+      trace::ImpairmentSource::trace_file("test_tracein_does_not_exist.csv");
   {
     const auto issues = config.validate();
     ASSERT_EQ(issues.size(), 1u);
     EXPECT_EQ(issues[0].field, "impairments.trace_path");
-    EXPECT_NE(issues[0].message.find("trace-file"), std::string::npos);
-    EXPECT_NE(issues[0].message.find("shards == 1"), std::string::npos);
+    EXPECT_NE(issues[0].message.find("cannot open"), std::string::npos);
   }
+}
 
+// Trace-backed impairments run end-to-end under the sharded engine: both
+// trace-backed kinds execute at shards > 1, reproduce run-to-run, and
+// count exactly the faults the serial engine counts for the same source
+// (onset accounting designates one shard per spec, so the sums match).
+TEST(TraceReplay, TraceBackedImpairmentsRunSharded) {
+  const TempTrace file("test_tracein_shard_e2e.csv",
+                       "10,6,0.85\n25,6,0.1\n30,1,0.9\n40,1,0.2\n");
   tracein::OccupancyTimeline t;
-  t.samples.push_back({sec(1), 6, 0.5});
-  config.impairments = trace::ImpairmentSource::inline_timeline(t);
-  {
-    const auto issues = config.validate();
-    ASSERT_EQ(issues.size(), 1u);
-    EXPECT_EQ(issues[0].field, "impairments.timeline");
-    EXPECT_NE(issues[0].message.find("inline-timeline"), std::string::npos);
+  t.samples.push_back({sec(12), 6, 0.95});
+  t.samples.push_back({sec(30), 6, 0.05});
+
+  for (int source = 0; source < 2; ++source) {
+    trace::ScenarioConfig cfg;
+    cfg.seed = 77;
+    cfg.duration = sec(50);
+    cfg.deployment.road_length_m = 400;
+    cfg.deployment.aps_per_km = 10;
+    cfg.spider.mode = core::OperationMode::equal_split({1, 6, 11}, msec(600));
+    cfg.impairments = source == 0
+                          ? trace::ImpairmentSource::trace_file(file.path())
+                          : trace::ImpairmentSource::inline_timeline(t);
+
+    cfg.shards = 1;
+    const trace::ScenarioResult serial = trace::run_scenario(cfg);
+    EXPECT_TRUE(serial.completed);
+    EXPECT_GT(serial.faults_injected, 0u);
+
+    cfg.shards = 2;
+    const trace::ScenarioResult a = trace::run_scenario(cfg);
+    const trace::ScenarioResult b = trace::run_scenario(cfg);
+    EXPECT_TRUE(a.completed) << "source " << source;
+    EXPECT_EQ(a.faults_injected, serial.faults_injected)
+        << "source " << source;
+    EXPECT_EQ(a.total_bytes, b.total_bytes) << "source " << source;
+    EXPECT_EQ(a.outages, b.outages) << "source " << source;
+    EXPECT_EQ(a.recoveries, b.recoveries) << "source " << source;
+    EXPECT_EQ(a.recovery_times.samples(), b.recovery_times.samples())
+        << "source " << source;
   }
 }
 
